@@ -1,0 +1,163 @@
+// Performance microbenchmarks (google-benchmark): tensor kernels, model
+// forward/backward, the regression-relevance-propagation pass, k-means and
+// dataset generation. These quantify where the CPU time goes and guard
+// against regressions in the hot loops.
+
+#include <benchmark/benchmark.h>
+
+#include "core/causal_conv.h"
+#include "core/causality_transformer.h"
+#include "data/lorenz96.h"
+#include "data/synthetic.h"
+#include "graph/kmeans.h"
+#include "interpret/relevance.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace cf = causalformer;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(1);
+  cf::Tensor a = cf::Tensor::Randn(cf::Shape{n, n}, &rng);
+  cf::Tensor b = cf::Tensor::Randn(cf::Shape{n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cf::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ElementwiseAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(2);
+  cf::Tensor a = cf::Tensor::Randn(cf::Shape{n}, &rng);
+  cf::Tensor b = cf::Tensor::Randn(cf::Shape{n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cf::Add(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(3);
+  cf::Tensor x = cf::Tensor::Randn(cf::Shape{n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cf::Softmax(x, 1).data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void BM_CausalConv(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t t = state.range(1);
+  cf::Rng rng(4);
+  cf::Tensor x = cf::Tensor::Randn(cf::Shape{16, n, t}, &rng);
+  cf::Tensor k = cf::Tensor::Randn(cf::Shape{n, n, t}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cf::core::MultiKernelCausalConv(x, k).data());
+  }
+}
+BENCHMARK(BM_CausalConv)->Args({5, 16})->Args({10, 16})->Args({20, 32});
+
+void BM_ModelForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(5);
+  cf::core::ModelOptions opt;
+  opt.num_series = n;
+  opt.window = 16;
+  opt.d_model = 32;
+  opt.d_qk = 32;
+  opt.heads = 4;
+  opt.d_ffn = 64;
+  cf::core::CausalityTransformer model(opt, &rng);
+  cf::Tensor x = cf::Tensor::Randn(cf::Shape{16, n, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x).prediction.data());
+  }
+}
+BENCHMARK(BM_ModelForward)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_ModelForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(6);
+  cf::core::ModelOptions opt;
+  opt.num_series = n;
+  opt.window = 16;
+  opt.d_model = 32;
+  opt.d_qk = 32;
+  opt.heads = 4;
+  opt.d_ffn = 64;
+  cf::core::CausalityTransformer model(opt, &rng);
+  cf::Tensor x = cf::Tensor::Randn(cf::Shape{16, n, 16}, &rng);
+  for (auto _ : state) {
+    const auto fwd = model.Forward(x);
+    const cf::Tensor loss = model.Loss(fwd, x, 1e-4f, 1e-4f);
+    model.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_ModelForwardBackward)->Arg(4)->Arg(10);
+
+void BM_RelevancePropagation(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(7);
+  cf::core::ModelOptions opt;
+  opt.num_series = n;
+  opt.window = 16;
+  opt.d_model = 32;
+  opt.d_qk = 32;
+  opt.heads = 2;
+  opt.d_ffn = 32;
+  cf::core::CausalityTransformer model(opt, &rng);
+  cf::Tensor x = cf::Tensor::Randn(cf::Shape{8, n, 16}, &rng);
+  const auto fwd = model.Forward(x);
+  cf::Tensor seed = cf::Tensor::Ones(fwd.prediction.shape());
+  for (auto _ : state) {
+    const auto map = cf::interpret::PropagateRelevance(fwd.prediction, seed);
+    benchmark::DoNotOptimize(map.size());
+  }
+}
+BENCHMARK(BM_RelevancePropagation)->Arg(4)->Arg(10);
+
+void BM_KMeans1d(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  cf::Rng rng(8);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cf::KMeans1d(values, 3).iterations);
+  }
+}
+BENCHMARK(BM_KMeans1d)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GenerateSynthetic(benchmark::State& state) {
+  cf::Rng rng(9);
+  cf::data::SyntheticOptions opt;
+  opt.length = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateSynthetic(cf::data::SyntheticStructure::kDiamond, opt, &rng)
+            .series.data());
+  }
+}
+BENCHMARK(BM_GenerateSynthetic)->Arg(1000)->Arg(10000);
+
+void BM_GenerateLorenz96(benchmark::State& state) {
+  cf::Rng rng(10);
+  cf::data::Lorenz96Options opt;
+  opt.length = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateLorenz96(opt, &rng).series.data());
+  }
+}
+BENCHMARK(BM_GenerateLorenz96)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

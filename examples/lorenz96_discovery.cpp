@@ -1,0 +1,63 @@
+// Lorenz-96 climate-dynamics discovery: the paper's simulated benchmark.
+// Each variable i is driven by (x_{i+1} - x_{i-2}) x_{i-1} - x_i + F, so the
+// true parents of i are {i+1, i-1, i-2, i}. This example trains CausalFormer
+// with the paper's Lorenz configuration (tau=10, m/n=2/3) and prints the
+// learned adjacency next to the ground truth.
+
+#include <cstdio>
+
+#include "core/causalformer.h"
+#include "data/lorenz96.h"
+#include "graph/metrics.h"
+
+namespace cf = causalformer;
+
+namespace {
+
+void PrintAdjacency(const char* title, const cf::CausalGraph& g) {
+  std::printf("%s\n     ", title);
+  for (int j = 0; j < g.num_series(); ++j) std::printf("%2d ", j);
+  std::printf("  (column = effect)\n");
+  for (int i = 0; i < g.num_series(); ++i) {
+    std::printf("  %2d ", i);
+    for (int j = 0; j < g.num_series(); ++j) {
+      std::printf(" %c ", g.HasEdge(i, j) ? 'X' : '.');
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  cf::Rng rng(7);
+
+  cf::data::Lorenz96Options data_options;
+  data_options.num_series = 10;
+  data_options.length = 600;
+  data_options.f_lo = 30.0;
+  data_options.f_hi = 40.0;
+  const cf::data::Dataset dataset = GenerateLorenz96(data_options, &rng);
+
+  cf::core::CausalFormerOptions options =
+      cf::core::CausalFormerOptions::ForSeries(dataset.num_series(),
+                                               /*window=*/8);
+  options.train.max_epochs = 25;
+  options.train.stride = 2;
+  cf::core::CausalFormer model(options, &rng);
+  const auto report = model.Fit(dataset.series, &rng);
+  std::printf("Lorenz-96: N=10, F in [30,40]; trained %d epochs, loss %.4f\n\n",
+              report.epochs_run, report.final_train_loss);
+
+  const cf::core::DetectionResult result = model.Discover();
+  PrintAdjacency("ground truth adjacency:", dataset.truth);
+  PrintAdjacency("discovered adjacency:", result.graph);
+
+  const cf::PrfScores scores = EvaluateGraph(dataset.truth, result.graph);
+  std::printf("precision=%.2f recall=%.2f F1=%.2f  (paper Table 1: 0.69)\n",
+              scores.precision, scores.recall, scores.f1);
+  std::printf("AUROC of raw causal scores=%.2f\n",
+              Auroc(dataset.truth, result.scores));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: discover the causal structure of a synthetic "diamond" system
+// (Fig. 1/7 of the paper) in a dozen lines of API.
+//
+//   1. generate data with a known ground-truth graph,
+//   2. train the causality-aware transformer on the prediction task,
+//   3. interpret it with the decomposition-based causality detector,
+//   4. compare the discovered graph against the ground truth.
+
+#include <cstdio>
+
+#include "core/causalformer.h"
+#include "data/synthetic.h"
+#include "graph/metrics.h"
+
+namespace cf = causalformer;
+
+int main() {
+  cf::Rng rng(42);
+
+  // 1. Data: four series with the diamond structure S0->S1, S0->S2,
+  //    S1->S3, S2->S3 (plus self-causation), length 1000.
+  cf::data::SyntheticOptions data_options;
+  data_options.length = 600;
+  const cf::data::Dataset dataset = GenerateSynthetic(
+      cf::data::SyntheticStructure::kDiamond, data_options, &rng);
+  std::printf("ground truth: %s\n\n", dataset.truth.ToString().c_str());
+
+  // 2-3. Fit + discover with per-dataset-size defaults.
+  cf::core::CausalFormerOptions options =
+      cf::core::CausalFormerOptions::ForSeries(dataset.num_series(),
+                                               /*window=*/8);
+  options.train.max_epochs = 30;
+  options.train.stride = 2;
+  cf::core::CausalFormer model(options, &rng);
+  const auto report = model.Fit(dataset.series, &rng);
+  std::printf("trained %d epochs (final prediction loss %.4f)\n",
+              report.epochs_run, report.final_train_loss);
+
+  const cf::core::DetectionResult result = model.Discover();
+  std::printf("discovered:   %s\n\n", result.graph.ToString().c_str());
+
+  // 4. Evaluate.
+  const cf::PrfScores scores = EvaluateGraph(dataset.truth, result.graph);
+  std::printf("precision=%.2f recall=%.2f F1=%.2f\n", scores.precision,
+              scores.recall, scores.f1);
+  std::printf("PoD (delay precision on true positives)=%.2f\n",
+              PrecisionOfDelay(dataset.truth, result.graph));
+
+  // Bonus: graphviz rendering of the discovered graph.
+  std::printf("\nDOT:\n%s", result.graph.ToDot().c_str());
+  return 0;
+}

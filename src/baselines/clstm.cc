@@ -1,0 +1,102 @@
+#include "baselines/clstm.h"
+
+#include <cmath>
+
+#include "data/windowing.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+namespace {
+
+class TargetLstm : public nn::Module {
+ public:
+  TargetLstm(int64_t num_series, int64_t hidden, Rng* rng)
+      : lstm_(num_series, hidden, rng), head_(hidden, 1, rng) {
+    RegisterModule("lstm", &lstm_);
+    RegisterModule("head", &head_);
+  }
+
+  /// x: [B, T, N] -> predictions [B, T, 1] (next-value at every step).
+  Tensor Forward(const Tensor& x) const {
+    return head_.Forward(lstm_.Forward(x));
+  }
+
+  const Tensor& input_weights() const { return lstm_.cell().w_ih(); }
+
+ private:
+  nn::Lstm lstm_;
+  nn::Linear head_;
+};
+
+// Group lasso over input rows of w_ih ([N, 4H]); group = one source series.
+Tensor InputGroupPenalty(const Tensor& w_ih, int64_t n) {
+  Tensor penalty;
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor group = Slice(w_ih, 0, i, i + 1);
+    const Tensor norm = Sqrt(AddScalar(Sum(Square(group)), 1e-8f));
+    penalty = penalty.defined() ? Add(penalty, norm) : norm;
+  }
+  return penalty;
+}
+
+}  // namespace
+
+MethodResult Clstm::Discover(const Tensor& series, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  const int64_t seq = std::min<int64_t>(options_.seq_len, len - 1);
+
+  // Windows of length seq+1: inputs are steps [0, seq), targets [1, seq].
+  const Tensor windows = data::MakeWindows(series, seq + 1, /*stride=*/seq);
+  const int64_t count = windows.dim(0);
+
+  MethodResult result(static_cast<int>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    TargetLstm model(n, options_.hidden, rng);
+    optim::Adam adam(model.Parameters(), optim::AdamOptions{.lr = options_.lr});
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      const auto batches = data::MakeBatches(count, options_.batch_size, rng);
+      for (const auto& idx : batches) {
+        const Tensor w = data::GatherWindows(windows, idx);  // [B, N, seq+1]
+        const Tensor inputs =
+            Transpose(Slice(w, 2, 0, seq), 1, 2);  // [B, seq, N]
+        const Tensor target = Transpose(
+            Slice(Slice(w, 1, j, j + 1), 2, 1, seq + 1), 1, 2);  // [B, seq, 1]
+        const Tensor pred = model.Forward(inputs);
+        Tensor loss = Mean(Square(Sub(pred, target)));
+        loss = Add(loss, Scale(InputGroupPenalty(model.input_weights(), n),
+                               options_.lambda));
+        adam.ZeroGrad();
+        loss.Backward();
+        adam.Step();
+      }
+    }
+
+    // Scores: per-source input-weight group norms.
+    const Tensor w_ih = model.input_weights();  // [N, 4H]
+    const float* pw = w_ih.data();
+    const int64_t cols = w_ih.dim(1);
+    for (int64_t i = 0; i < n; ++i) {
+      double sq = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const double v = pw[i * cols + c];
+        sq += v * v;
+      }
+      result.scores.set(static_cast<int>(i), static_cast<int>(j),
+                        std::sqrt(sq));
+    }
+  }
+  result.has_delays = false;
+  FinalizeResult(&result, options_.num_clusters, options_.top_clusters);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace causalformer

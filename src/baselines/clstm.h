@@ -1,0 +1,44 @@
+#ifndef CAUSALFORMER_BASELINES_CLSTM_H_
+#define CAUSALFORMER_BASELINES_CLSTM_H_
+
+#include "baselines/method.h"
+
+/// \file
+/// cLSTM — component-wise LSTM neural Granger causality (Tank et al., 2021).
+///
+/// One LSTM per target series consumes all series as inputs and predicts the
+/// target's next value. A group-lasso penalty on the input-to-hidden weight
+/// columns (one group per source series) sparsifies the inputs; the causal
+/// score of i -> j is the L2 norm of source i's input-weight group. cLSTM
+/// does not produce causal delays (Table 2 omits it accordingly).
+
+namespace causalformer {
+namespace baselines {
+
+struct ClstmOptions {
+  int64_t hidden = 12;
+  /// Truncated BPTT sub-sequence length.
+  int64_t seq_len = 16;
+  int epochs = 60;
+  float lr = 5e-3f;
+  float lambda = 5e-3f;
+  int64_t batch_size = 32;
+  int num_clusters = 2;
+  int top_clusters = 1;
+};
+
+class Clstm : public CausalDiscoveryMethod {
+ public:
+  explicit Clstm(const ClstmOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "cLSTM"; }
+  MethodResult Discover(const Tensor& series, Rng* rng) override;
+
+ private:
+  ClstmOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_BASELINES_CLSTM_H_

@@ -1,0 +1,163 @@
+#include "baselines/cuts.h"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+namespace {
+
+// Per-target gated MLP: inputs [S, N, lag] are multiplied by stochastic
+// sigmoid gates (one per source series) before the prediction head. During
+// training the gates receive logistic reparameterisation noise (the
+// Gumbel/binary-concrete trick of the original CUTS), which makes the gates
+// identifiable: noise on a *useful* input inflates the loss unless its gate
+// logit rises, while the sparsity penalty drags useless gates to zero.
+class GatedPredictor : public nn::Module {
+ public:
+  GatedPredictor(int64_t n, int64_t lag, int64_t hidden, Rng* rng)
+      : n_(n), lag_(lag), l1_(n * lag, hidden, rng), l2_(hidden, 1, rng) {
+    gate_logits_ = RegisterParameter("gates", Tensor::Zeros(Shape{n, 1}));
+    RegisterModule("l1", &l1_);
+    RegisterModule("l2", &l2_);
+  }
+
+  /// rng != nullptr -> sample stochastic gates; nullptr -> deterministic.
+  Tensor Forward(const Tensor& features, Rng* rng) const {  // [S, N, lag]
+    Tensor logits = gate_logits_;
+    if (rng != nullptr) {
+      Tensor noise = Tensor::Zeros(Shape{n_, 1});
+      float* pn = noise.data();
+      for (int64_t i = 0; i < n_; ++i) {
+        double u = rng->Uniform();
+        u = std::min(std::max(u, 1e-6), 1.0 - 1e-6);
+        pn[i] = static_cast<float>(std::log(u / (1.0 - u)));
+      }
+      logits = Add(logits, noise);
+    }
+    const Tensor gated = Mul(features, Sigmoid(logits));
+    const Tensor flat =
+        Reshape(gated, Shape{features.dim(0), n_ * lag_});
+    return l2_.Forward(Relu(l1_.Forward(flat)));  // [S, 1]
+  }
+
+  const Tensor& gate_logits() const { return gate_logits_; }
+
+ private:
+  int64_t n_, lag_;
+  Tensor gate_logits_;  // [N, 1]
+  nn::Linear l1_, l2_;
+};
+
+// Linear interpolation over masked points of one series row.
+void InterpolateMasked(float* row, const std::vector<bool>& missing,
+                       int64_t len) {
+  int64_t t = 0;
+  while (t < len) {
+    if (!missing[t]) {
+      ++t;
+      continue;
+    }
+    const int64_t gap_start = t;
+    while (t < len && missing[t]) ++t;
+    const int64_t gap_end = t;  // first observed index after the gap (or len)
+    const float left = gap_start > 0 ? row[gap_start - 1] : 0.0f;
+    const float right = gap_end < len ? row[gap_end] : left;
+    const int64_t span = gap_end - gap_start + 1;
+    for (int64_t k = gap_start; k < gap_end; ++k) {
+      const float alpha =
+          static_cast<float>(k - gap_start + 1) / static_cast<float>(span);
+      row[k] = left + alpha * (right - left);
+    }
+  }
+}
+
+}  // namespace
+
+MethodResult Cuts::Discover(const Tensor& series, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  const int lag = options_.max_lag;
+
+  // Stage 1: emulate irregular sampling, then impute.
+  Tensor working = series.Clone();
+  std::vector<std::vector<bool>> missing(n, std::vector<bool>(len, false));
+  {
+    float* p = working.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t t = 0; t < len; ++t) {
+        missing[i][t] = rng->Bernoulli(options_.missing_fraction);
+      }
+      InterpolateMasked(p + i * len, missing[i], len);
+    }
+  }
+
+  MethodResult result(static_cast<int>(n));
+  std::vector<std::unique_ptr<GatedPredictor>> models;
+  for (int64_t j = 0; j < n; ++j) {
+    models.push_back(
+        std::make_unique<GatedPredictor>(n, lag, options_.hidden, rng));
+  }
+
+  const int rounds = std::max(1, options_.imputation_rounds);
+  const int epochs_per_round = std::max(1, options_.epochs / rounds);
+  for (int round = 0; round < rounds; ++round) {
+    const LaggedDesign design = BuildLaggedDesign(working, lag);
+    const int64_t samples = design.inputs.dim(0);
+    const Tensor features = Reshape(design.inputs, Shape{samples, n, lag});
+
+    for (int64_t j = 0; j < n; ++j) {
+      GatedPredictor& model = *models[j];
+      optim::Adam adam(model.Parameters(),
+                       optim::AdamOptions{.lr = options_.lr});
+      const Tensor y = Slice(design.targets, 1, j, j + 1);
+      for (int epoch = 0; epoch < epochs_per_round; ++epoch) {
+        const Tensor pred = model.Forward(features, rng);
+        Tensor loss = Mean(Square(Sub(pred, y)));
+        loss = Add(loss, Scale(Sum(Sigmoid(model.gate_logits())),
+                               options_.lambda));
+        adam.ZeroGrad();
+        loss.Backward();
+        adam.Step();
+      }
+    }
+
+    // Refine imputed points with the models' own predictions (delayed
+    // supervision), feeding the next round.
+    if (round + 1 < rounds) {
+      float* p = working.data();
+      for (int64_t j = 0; j < n; ++j) {
+        const Tensor pred =
+            models[j]->Forward(features, /*rng=*/nullptr);  // [S, 1]
+        const float* pp = pred.data();
+        for (int64_t s = 0; s < samples; ++s) {
+          const int64_t t = s + lag;
+          if (missing[j][t]) p[j * len + t] = pp[s];
+        }
+      }
+    }
+  }
+
+  for (int64_t j = 0; j < n; ++j) {
+    const Tensor gates = models[j]->gate_logits();
+    const float* pg = gates.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const double g = 1.0 / (1.0 + std::exp(-static_cast<double>(pg[i])));
+      result.scores.set(static_cast<int>(i), static_cast<int>(j), g);
+    }
+  }
+  result.has_delays = false;
+  FinalizeResult(&result, options_.num_clusters, options_.top_clusters);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace causalformer

@@ -1,0 +1,92 @@
+#include "baselines/dvgnn.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/module.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+namespace {
+
+class DiffusionGnn : public nn::Module {
+ public:
+  DiffusionGnn(int64_t n, int64_t lag, int64_t hidden, Rng* rng) : n_(n) {
+    adj_logits_ = RegisterParameter("adj_logits",
+                                    Tensor::Full(Shape{n, n}, -1.0f));
+    w1_ = RegisterParameter("w1", nn::HeNormal(Shape{lag, hidden}, lag, rng));
+    w2_ = RegisterParameter("w2", nn::HeNormal(Shape{hidden, 1}, hidden, rng));
+    b1_ = RegisterParameter("b1", Tensor::Zeros(Shape{hidden}));
+    b2_ = RegisterParameter("b2", Tensor::Zeros(Shape{1}));
+  }
+
+  /// features: [S, N, lag]; noise: [N, N] or undefined -> predictions [S, N].
+  Tensor Forward(const Tensor& features, const Tensor& noise) const {
+    Tensor logits = adj_logits_;
+    if (noise.defined()) logits = Add(logits, noise);
+    const Tensor adj = Sigmoid(logits);  // [N, N], row = target
+    const Tensor h0 = Add(MatMul(features, w1_), b1_);      // [S, N, h]
+    const Tensor h1 = Relu(MatMul(adj, h0));                // diffusion step 1
+    const Tensor h2 = MatMul(adj, h1);                      // diffusion step 2
+    return Squeeze(Add(MatMul(h2, w2_), b2_), 2);           // [S, N]
+  }
+
+  /// The learned diffusion matrix (sigmoid of logits), row = target.
+  Tensor LearnedAdjacency() const { return Sigmoid(adj_logits_.Detach()); }
+
+  const Tensor& adj_logits() const { return adj_logits_; }
+
+ private:
+  int64_t n_;
+  Tensor adj_logits_;  // [N, N]
+  Tensor w1_, b1_, w2_, b2_;
+};
+
+}  // namespace
+
+MethodResult Dvgnn::Discover(const Tensor& series, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int64_t n = series.dim(0);
+  const LaggedDesign design = BuildLaggedDesign(series, options_.max_lag);
+  const int64_t samples = design.inputs.dim(0);
+  // [S, N * lag] -> [S, N, lag]: the design matrix groups lags by series.
+  const Tensor features =
+      Reshape(design.inputs, Shape{samples, n, options_.max_lag});
+
+  DiffusionGnn model(n, options_.max_lag, options_.hidden, rng);
+  optim::Adam adam(model.Parameters(), optim::AdamOptions{.lr = options_.lr});
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Variational reparameterisation: Gaussian noise on the logits.
+    Tensor noise = Tensor::Randn(Shape{n, n}, rng);
+    {
+      float* p = noise.data();
+      for (int64_t i = 0; i < noise.numel(); ++i) p[i] *= options_.noise_std;
+    }
+    const Tensor pred = model.Forward(features, noise);
+    Tensor loss = Mean(Square(Sub(pred, design.targets)));
+    loss = Add(loss, Scale(L1Norm(Sigmoid(model.adj_logits())),
+                           options_.lambda));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+  }
+
+  MethodResult result(static_cast<int>(n));
+  const Tensor adj = model.LearnedAdjacency();  // [N, N], row = target
+  for (int64_t to = 0; to < n; ++to) {
+    for (int64_t from = 0; from < n; ++from) {
+      result.scores.set(static_cast<int>(from), static_cast<int>(to),
+                        adj.at({to, from}));
+    }
+  }
+  result.has_delays = false;
+  FinalizeResult(&result, options_.num_clusters, options_.top_clusters);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace causalformer

@@ -1,0 +1,103 @@
+#include "baselines/method.h"
+
+#include "baselines/clstm.h"
+#include "baselines/cmlp.h"
+#include "baselines/cuts.h"
+#include "baselines/dvgnn.h"
+#include "baselines/tcdf.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+std::string ToString(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kCmlp:
+      return "cMLP";
+    case MethodKind::kClstm:
+      return "cLSTM";
+    case MethodKind::kTcdf:
+      return "TCDF";
+    case MethodKind::kDvgnn:
+      return "DVGNN";
+    case MethodKind::kCuts:
+      return "CUTS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CausalDiscoveryMethod> CreateMethod(MethodKind kind,
+                                                    bool fast) {
+  switch (kind) {
+    case MethodKind::kCmlp: {
+      CmlpOptions opt;
+      if (fast) opt.epochs = 60;
+      return std::make_unique<Cmlp>(opt);
+    }
+    case MethodKind::kClstm: {
+      ClstmOptions opt;
+      if (fast) opt.epochs = 20;
+      return std::make_unique<Clstm>(opt);
+    }
+    case MethodKind::kTcdf: {
+      TcdfOptions opt;
+      if (fast) opt.epochs = 60;
+      return std::make_unique<Tcdf>(opt);
+    }
+    case MethodKind::kDvgnn: {
+      DvgnnOptions opt;
+      if (fast) opt.epochs = 60;
+      return std::make_unique<Dvgnn>(opt);
+    }
+    case MethodKind::kCuts: {
+      CutsOptions opt;
+      if (fast) opt.epochs = 60;
+      return std::make_unique<Cuts>(opt);
+    }
+  }
+  CF_CHECK(false) << "unknown method kind";
+  return nullptr;
+}
+
+LaggedDesign BuildLaggedDesign(const Tensor& series, int max_lag) {
+  CF_CHECK_EQ(series.ndim(), 2) << "expected [N, L]";
+  CF_CHECK_GT(max_lag, 0);
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  CF_CHECK_GT(len, max_lag);
+  const int64_t samples = len - max_lag;
+
+  LaggedDesign design;
+  design.max_lag = max_lag;
+  design.inputs = Tensor::Zeros(Shape{samples, n * max_lag});
+  design.targets = Tensor::Zeros(Shape{samples, n});
+  const float* src = series.data();
+  float* in = design.inputs.data();
+  float* tg = design.targets.data();
+  for (int64_t s = 0; s < samples; ++s) {
+    const int64_t t = s + max_lag;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int lag = 1; lag <= max_lag; ++lag) {
+        in[s * n * max_lag + i * max_lag + (lag - 1)] =
+            src[i * len + t - lag];
+      }
+      tg[s * n + i] = src[i * len + t];
+    }
+  }
+  return design;
+}
+
+void FinalizeResult(MethodResult* result, int num_clusters, int top_clusters) {
+  CF_CHECK(result != nullptr);
+  std::vector<std::vector<int>> delays = result->delays;
+  for (auto& row : delays) {
+    for (auto& d : row) {
+      if (d < 0) d = 1;  // default delay when the method has no estimate
+    }
+  }
+  const ClusterSelectOptions copts{num_clusters, top_clusters};
+  result->graph = GraphFromScores(result->scores, copts, &delays);
+}
+
+}  // namespace baselines
+}  // namespace causalformer

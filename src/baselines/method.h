@@ -1,0 +1,70 @@
+#ifndef CAUSALFORMER_BASELINES_METHOD_H_
+#define CAUSALFORMER_BASELINES_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/causal_graph.h"
+#include "graph/score_matrix.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file
+/// Common interface for the baseline temporal causal discovery methods of
+/// Section 5.2: cMLP, cLSTM (neural Granger causality), TCDF, DVGNN, and
+/// CUTS. Each method trains its own predictive model on the series and
+/// publishes a causal-score matrix; edges are selected by the same k-means
+/// clustering the paper applies to score-based methods, so all methods are
+/// compared under one selection rule.
+
+namespace causalformer {
+namespace baselines {
+
+struct MethodResult {
+  ScoreMatrix scores;                    ///< (from, to)
+  std::vector<std::vector<int>> delays;  ///< [from][to]; -1 = not estimated
+  CausalGraph graph;
+  bool has_delays = false;
+
+  explicit MethodResult(int n)
+      : scores(n), delays(n, std::vector<int>(n, -1)), graph(n) {}
+};
+
+class CausalDiscoveryMethod {
+ public:
+  virtual ~CausalDiscoveryMethod() = default;
+  virtual std::string name() const = 0;
+  /// Trains on `series` ([N, L]) and returns scores + graph.
+  virtual MethodResult Discover(const Tensor& series, Rng* rng) = 0;
+};
+
+enum class MethodKind { kCmlp, kClstm, kTcdf, kDvgnn, kCuts };
+
+std::string ToString(MethodKind kind);
+
+/// Factory with per-method default hyper-parameters. `fast` shrinks training
+/// budgets for smoke tests.
+std::unique_ptr<CausalDiscoveryMethod> CreateMethod(MethodKind kind,
+                                                    bool fast = false);
+
+// ---- Shared helpers ----------------------------------------------------------
+
+/// Lagged design matrix: row t-max_lag holds
+/// [x_0[t-1..t-max_lag], x_1[t-1..t-max_lag], ...]; target row holds x_j[t].
+/// Input layout groups lags by series: column i*max_lag + (lag-1).
+struct LaggedDesign {
+  Tensor inputs;   ///< [samples, N * max_lag]
+  Tensor targets;  ///< [samples, N] (column j = series j at time t)
+  int max_lag = 0;
+};
+LaggedDesign BuildLaggedDesign(const Tensor& series, int max_lag);
+
+/// Builds a graph from scores with the shared k-means rule (top 1 of 2).
+void FinalizeResult(MethodResult* result, int num_clusters = 2,
+                    int top_clusters = 1);
+
+}  // namespace baselines
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_BASELINES_METHOD_H_

@@ -1,0 +1,129 @@
+#include "baselines/tcdf.h"
+
+#include <cmath>
+
+#include "nn/conv1d.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+namespace {
+
+class TargetTcn : public nn::Module {
+ public:
+  TargetTcn(int64_t n, const TcdfOptions& opt, Rng* rng)
+      : n_(n),
+        conv1_(n, n, opt.kernel_size, opt.dilation1, /*groups=*/n, rng),
+        conv2_(n, n, opt.kernel_size, opt.dilation2, /*groups=*/n, rng) {
+    RegisterModule("conv1", &conv1_);
+    RegisterModule("conv2", &conv2_);
+    attention_ = RegisterParameter("attention", Tensor::Ones(Shape{n, 1}));
+    combine_ = RegisterParameter(
+        "combine", Tensor::Full(Shape{n, 1}, 1.0f / static_cast<float>(n)));
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{1}));
+  }
+
+  /// x: [1, N, L] (target row pre-shifted) -> prediction [1, L].
+  Tensor Forward(const Tensor& x) const {
+    Tensor h = Relu(conv1_.Forward(x));
+    h = conv2_.Forward(h);                    // [1, N, L]
+    const Tensor gated = Mul(h, attention_);  // broadcast [N,1] over [1,N,L]
+    const Tensor mixed = Sum(Mul(gated, combine_), /*axis=*/1);  // [1, L]
+    return Add(mixed, bias_);
+  }
+
+  const Tensor& attention() const { return attention_; }
+  const Tensor& kernel1() const { return conv1_.weight(); }
+  const Tensor& kernel2() const { return conv2_.weight(); }
+
+ private:
+  int64_t n_;
+  nn::Conv1dCausal conv1_, conv2_;
+  Tensor attention_;  // [N, 1]
+  Tensor combine_;    // [N, 1]
+  Tensor bias_;       // [1]
+};
+
+// Composed impulse response of channel i's two dilated kernels; entry l is
+// the effective weight on lag l.
+std::vector<double> ChannelImpulseResponse(const Tensor& k1, const Tensor& k2,
+                                           int64_t channel, int64_t d1,
+                                           int64_t d2) {
+  const int64_t ksize = k1.dim(2);
+  const int64_t max_lag = (ksize - 1) * d1 + (ksize - 1) * d2;
+  std::vector<double> response(max_lag + 1, 0.0);
+  const float* p1 = k1.data() + channel * ksize;  // depthwise: [N,1,K]
+  const float* p2 = k2.data() + channel * ksize;
+  for (int64_t a = 0; a < ksize; ++a) {
+    for (int64_t b = 0; b < ksize; ++b) {
+      const int64_t lag = (ksize - 1 - a) * d1 + (ksize - 1 - b) * d2;
+      response[lag] += static_cast<double>(p1[a]) * p2[b];
+    }
+  }
+  return response;
+}
+
+}  // namespace
+
+MethodResult Tcdf::Discover(const Tensor& series, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+
+  MethodResult result(static_cast<int>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    // Input [1, N, L] with the target's own row shifted right one step.
+    Tensor x = Tensor::Zeros(Shape{1, n, len});
+    {
+      const float* src = series.data();
+      float* dst = x.data();
+      for (int64_t i = 0; i < n; ++i) {
+        if (i == j) {
+          for (int64_t t = 1; t < len; ++t) dst[i * len + t] = src[i * len + t - 1];
+        } else {
+          for (int64_t t = 0; t < len; ++t) dst[i * len + t] = src[i * len + t];
+        }
+      }
+    }
+    const Tensor target = Reshape(
+        Slice(series.requires_grad() ? series.Detach() : series, 0, j, j + 1),
+        Shape{1, len});
+
+    TargetTcn model(n, options_, rng);
+    optim::Adam adam(model.Parameters(), optim::AdamOptions{.lr = options_.lr});
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      const Tensor pred = model.Forward(x);
+      Tensor loss = Mean(Square(Sub(pred, target)));
+      loss = Add(loss, Scale(L1Norm(model.attention()), options_.lambda));
+      adam.ZeroGrad();
+      loss.Backward();
+      adam.Step();
+    }
+
+    // Scores = |attention|; delays from the composed kernel response.
+    const float* pa = model.attention().data();
+    for (int64_t i = 0; i < n; ++i) {
+      result.scores.set(static_cast<int>(i), static_cast<int>(j),
+                        std::fabs(pa[i]));
+      const std::vector<double> response = ChannelImpulseResponse(
+          model.kernel1(), model.kernel2(), i, options_.dilation1,
+          options_.dilation2);
+      int best = 0;
+      for (size_t l = 1; l < response.size(); ++l) {
+        if (std::fabs(response[l]) > std::fabs(response[best])) {
+          best = static_cast<int>(l);
+        }
+      }
+      result.delays[i][j] = best + (i == j ? 1 : 0);
+    }
+  }
+  result.has_delays = true;
+  FinalizeResult(&result, options_.num_clusters, options_.top_clusters);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace causalformer

@@ -1,0 +1,108 @@
+#include "baselines/var_granger.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace baselines {
+
+namespace {
+
+// Solves (A + ridge*I) x = b for symmetric positive-definite A by Cholesky
+// decomposition. A is dense row-major d x d.
+std::vector<double> SolveRidge(std::vector<double> a, std::vector<double> b,
+                               int d, double ridge) {
+  for (int i = 0; i < d; ++i) a[i * d + i] += ridge;
+  // Cholesky: A = L L^T.
+  std::vector<double> l(static_cast<size_t>(d) * d, 0.0);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[i * d + j];
+      for (int k = 0; k < j; ++k) sum -= l[i * d + k] * l[j * d + k];
+      if (i == j) {
+        CF_CHECK_GT(sum, 0.0) << "matrix not positive definite";
+        l[i * d + j] = std::sqrt(sum);
+      } else {
+        l[i * d + j] = sum / l[j * d + j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(d);
+  for (int i = 0; i < d; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l[i * d + k] * y[k];
+    y[i] = sum / l[i * d + i];
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(d);
+  for (int i = d - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < d; ++k) sum -= l[k * d + i] * x[k];
+    x[i] = sum / l[i * d + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+MethodResult VarGranger::Discover(const Tensor& series, Rng* rng) {
+  (void)rng;  // deterministic method
+  const int64_t n = series.dim(0);
+  const LaggedDesign design = BuildLaggedDesign(series, options_.max_lag);
+  const int64_t samples = design.inputs.dim(0);
+  const int d = static_cast<int>(n * options_.max_lag);
+
+  // Gram matrix X^T X and per-target X^T y.
+  std::vector<double> gram(static_cast<size_t>(d) * d, 0.0);
+  const float* x = design.inputs.data();
+  for (int64_t s = 0; s < samples; ++s) {
+    const float* row = x + s * d;
+    for (int i = 0; i < d; ++i) {
+      const double xi = row[i];
+      for (int j = i; j < d; ++j) gram[i * d + j] += xi * row[j];
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < i; ++j) gram[i * d + j] = gram[j * d + i];
+  }
+
+  MethodResult result(static_cast<int>(n));
+  const float* targets = design.targets.data();
+  for (int64_t target = 0; target < n; ++target) {
+    std::vector<double> xty(d, 0.0);
+    for (int64_t s = 0; s < samples; ++s) {
+      const double yv = targets[s * n + target];
+      const float* row = x + s * d;
+      for (int i = 0; i < d; ++i) xty[i] += row[i] * yv;
+    }
+    const std::vector<double> coef =
+        SolveRidge(gram, xty, d, options_.ridge * samples);
+
+    for (int64_t from = 0; from < n; ++from) {
+      double total = 0.0;
+      double best = -1.0;
+      int best_lag = 1;
+      for (int lag = 1; lag <= options_.max_lag; ++lag) {
+        const double w =
+            std::fabs(coef[from * options_.max_lag + (lag - 1)]);
+        total += w;
+        if (w > best) {
+          best = w;
+          best_lag = lag;
+        }
+      }
+      result.scores.set(static_cast<int>(from), static_cast<int>(target),
+                        total);
+      result.delays[from][target] = best_lag;
+    }
+  }
+  result.has_delays = true;
+  FinalizeResult(&result, options_.num_clusters, options_.top_clusters);
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace causalformer

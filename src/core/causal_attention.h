@@ -1,0 +1,28 @@
+#ifndef CAUSALFORMER_CORE_CAUSAL_ATTENTION_H_
+#define CAUSALFORMER_CORE_CAUSAL_ATTENTION_H_
+
+#include "tensor/ops.h"
+
+/// \file
+/// The value-combination step of the multi-variate causal attention
+/// (Section 4.1.3). Unlike standard attention, the value tensor keeps a
+/// separate channel per (source, target) pair — the causal convolution
+/// result — and the attention matrix weights *source series*, not time
+/// positions:
+///
+///     out[b, i, t] = Σ_j A[b, i, j] · V[b, j, i, t]
+///
+/// where A is the (batched) N x N attention matrix for target rows i over
+/// source columns j, and V[b, j, i, :] is source j's convolution channel for
+/// predicting target i.
+
+namespace causalformer {
+namespace core {
+
+/// A: [B, N, N]; V: [B, N, N, T] (source, target, time). Returns [B, N, T].
+Tensor AttentionCombine(const Tensor& attention, const Tensor& value);
+
+}  // namespace core
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_CORE_CAUSAL_ATTENTION_H_

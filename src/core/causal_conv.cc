@@ -1,0 +1,127 @@
+#include "core/causal_conv.h"
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace causalformer {
+namespace core {
+
+Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
+                             bool shared_kernel) {
+  CF_CHECK_EQ(x.ndim(), 3) << "x must be [B, N, T]";
+  CF_CHECK_EQ(kernel.ndim(), 3) << "kernel must be [N, N|1, T]";
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t steps = x.dim(2);
+  CF_CHECK_EQ(kernel.dim(0), n);
+  CF_CHECK_EQ(kernel.dim(1), shared_kernel ? 1 : n);
+  CF_CHECK_EQ(kernel.dim(2), steps);
+
+  Tensor out = Tensor::Zeros(Shape{batch, n, n, steps});
+  {
+    const float* px = x.data();
+    const float* pk = kernel.data();
+    float* po = out.data();
+    ParallelFor(batch * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
+      for (int64_t bi = begin; bi < end; ++bi) {
+        const int64_t b = bi / n;
+        const int64_t i = bi % n;
+        const float* xrow = px + (b * n + i) * steps;
+        for (int64_t j = 0; j < n; ++j) {
+          const int64_t kj = shared_kernel ? 0 : j;
+          const float* krow =
+              pk + (i * kernel.dim(1) + kj) * steps;
+          float* orow = po + ((b * n + i) * n + j) * steps;
+          for (int64_t t = 0; t < steps; ++t) {
+            float acc = 0.0f;
+            // Tap T-1-(t-tau) multiplies x[tau]; iterate over lag.
+            for (int64_t tau = 0; tau <= t; ++tau) {
+              acc += krow[steps - 1 - (t - tau)] * xrow[tau];
+            }
+            orow[t] = acc / static_cast<float>(t + 1);
+          }
+        }
+      }
+    });
+  }
+
+  return MakeOp(
+      "multi_kernel_causal_conv", {x, kernel}, out,
+      [x, kernel, shared_kernel](const Tensor&, const Tensor& cot) {
+        const int64_t batch = x.dim(0);
+        const int64_t n = x.dim(1);
+        const int64_t steps = x.dim(2);
+        const int64_t kdim1 = kernel.dim(1);
+        Tensor gx = Tensor::Zeros(x.shape());
+        Tensor gk = Tensor::Zeros(kernel.shape());
+        const float* px = x.data();
+        const float* pk = kernel.data();
+        const float* pc = cot.data();
+        float* pgx = gx.data();
+        float* pgk = gk.data();
+        // Serial over (b, i, j); the grad-kernel buffer is shared across
+        // batches so parallelising would race on pgk.
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t i = 0; i < n; ++i) {
+            const float* xrow = px + (b * n + i) * steps;
+            float* gxrow = pgx + (b * n + i) * steps;
+            for (int64_t j = 0; j < n; ++j) {
+              const int64_t kj = shared_kernel ? 0 : j;
+              const float* krow = pk + (i * kdim1 + kj) * steps;
+              float* gkrow = pgk + (i * kdim1 + kj) * steps;
+              const float* crow = pc + ((b * n + i) * n + j) * steps;
+              for (int64_t t = 0; t < steps; ++t) {
+                const float c = crow[t] / static_cast<float>(t + 1);
+                if (c == 0.0f) continue;
+                for (int64_t tau = 0; tau <= t; ++tau) {
+                  const int64_t tap = steps - 1 - (t - tau);
+                  gxrow[tau] += krow[tap] * c;
+                  gkrow[tap] += xrow[tau] * c;
+                }
+              }
+            }
+          }
+        }
+        return std::vector<Tensor>{gx, gk};
+      });
+}
+
+Tensor ShiftRightDiagonal(const Tensor& conv) {
+  CF_CHECK_EQ(conv.ndim(), 4) << "conv must be [B, N, N, T]";
+  const int64_t batch = conv.dim(0);
+  const int64_t n = conv.dim(1);
+  CF_CHECK_EQ(conv.dim(2), n);
+  const int64_t steps = conv.dim(3);
+
+  Tensor out = conv.Clone();
+  {
+    float* po = out.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t i = 0; i < n; ++i) {
+        float* row = po + ((b * n + i) * n + i) * steps;
+        for (int64_t t = steps - 1; t >= 1; --t) row[t] = row[t - 1];
+        row[0] = 0.0f;
+      }
+    }
+  }
+
+  return MakeOp("shift_right_diagonal", {conv}, out,
+                [batch, n, steps](const Tensor&, const Tensor& cot) {
+                  // Adjoint: shift the diagonal cotangent left by one.
+                  Tensor g = cot.Clone();
+                  float* pg = g.data();
+                  for (int64_t b = 0; b < batch; ++b) {
+                    for (int64_t i = 0; i < n; ++i) {
+                      float* row = pg + ((b * n + i) * n + i) * steps;
+                      for (int64_t t = 0; t + 1 < steps; ++t) {
+                        row[t] = row[t + 1];
+                      }
+                      row[steps - 1] = 0.0f;
+                    }
+                  }
+                  return std::vector<Tensor>{g};
+                });
+}
+
+}  // namespace core
+}  // namespace causalformer

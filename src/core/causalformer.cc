@@ -1,0 +1,87 @@
+#include "core/causalformer.h"
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace core {
+
+CausalFormerOptions CausalFormerOptions::ForSeries(int num_series,
+                                                   int64_t window) {
+  CausalFormerOptions opt;
+  opt.model.num_series = num_series;
+  opt.model.window = window;
+  if (num_series <= 4) {
+    // Synthetic-scale settings (paper: d=256, h=4, m/n=1/2, T=16, tau=1).
+    opt.model.d_model = 32;
+    opt.model.d_qk = 32;
+    opt.model.heads = 4;
+    opt.model.d_ffn = 32;
+    opt.model.tau = 1.0f;
+    opt.train.lambda_k = 1e-4f;
+    opt.train.lambda_m = 1e-4f;
+    opt.detector.num_clusters = 2;
+    opt.detector.top_clusters = 1;
+  } else if (num_series <= 12) {
+    // Lorenz-scale (paper: d=512, h=8, tau=10, m/n=2/3, T=32).
+    opt.model.d_model = 48;
+    opt.model.d_qk = 48;
+    opt.model.heads = 4;
+    opt.model.d_ffn = 64;
+    opt.model.tau = 10.0f;
+    opt.train.lambda_k = 5e-4f;
+    opt.train.lambda_m = 5e-4f;
+    opt.detector.num_clusters = 3;
+    opt.detector.top_clusters = 2;
+  } else {
+    // fMRI-scale (paper: d=256, h=4, d_ffn=512, tau=100, m/n=1/2, lambda=0).
+    opt.model.d_model = 32;
+    opt.model.d_qk = 32;
+    opt.model.heads = 4;
+    opt.model.d_ffn = 64;
+    opt.model.tau = 100.0f;
+    opt.train.lambda_k = 0.0f;
+    opt.train.lambda_m = 0.0f;
+    opt.detector.num_clusters = 2;
+    opt.detector.top_clusters = 1;
+  }
+  return opt;
+}
+
+CausalFormer::CausalFormer(const CausalFormerOptions& options, Rng* rng)
+    : options_(options) {
+  CF_CHECK(rng != nullptr);
+  CF_CHECK_GT(options_.model.num_series, 0)
+      << "set model.num_series (e.g. via CausalFormerOptions::ForSeries)";
+  model_ = std::make_unique<CausalityTransformer>(options_.model, rng);
+}
+
+TrainReport CausalFormer::Fit(const Tensor& series, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  CF_CHECK_EQ(series.dim(0), options_.model.num_series)
+      << "series count mismatch";
+  const TrainReport report = TrainCausalityTransformer(
+      model_.get(), series, options_.train, rng, &windows_);
+  fitted_ = true;
+  return report;
+}
+
+DetectionResult CausalFormer::Discover() const {
+  return Discover(options_.detector);
+}
+
+DetectionResult CausalFormer::Discover(
+    const DetectorOptions& detector_options) const {
+  CF_CHECK(fitted_) << "call Fit() before Discover()";
+  return DetectCausalGraph(*model_, windows_, detector_options);
+}
+
+DetectionResult DiscoverCausalGraph(const data::Dataset& dataset,
+                                    const CausalFormerOptions& options,
+                                    Rng* rng) {
+  CausalFormer cf(options, rng);
+  cf.Fit(dataset.series, rng);
+  return cf.Discover();
+}
+
+}  // namespace core
+}  // namespace causalformer

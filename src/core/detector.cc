@@ -1,0 +1,173 @@
+#include "core/detector.h"
+
+#include <cmath>
+
+#include "data/windowing.h"
+#include "interpret/gradient_modulation.h"
+#include "interpret/relevance.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace core {
+
+namespace {
+
+// Combines relevance and gradient into a causal score tensor according to the
+// ablation switches. Undefined inputs are treated as all-zero.
+Tensor CombineScores(const Tensor& relevance, const Tensor& gradient,
+                     const Shape& shape, const DetectorOptions& opts) {
+  const Tensor r = relevance.defined() ? relevance : Tensor::Zeros(shape);
+  const Tensor g = gradient.defined() ? gradient : Tensor::Zeros(shape);
+  if (opts.use_relevance && opts.use_gradient) {
+    return interpret::ModulateByGradient(r, g);
+  }
+  if (!opts.use_relevance && opts.use_gradient) {
+    return interpret::AbsGradientScore(g);
+  }
+  return interpret::RectifiedRelevanceScore(r);
+}
+
+// Mean over batch (axis 0) of a [B, N, N] tensor -> [N, N] raw buffer view.
+std::vector<double> BatchMeanMatrix(const Tensor& t) {
+  const int64_t b = t.dim(0);
+  const int64_t n = t.dim(1);
+  std::vector<double> out(static_cast<size_t>(n) * n, 0.0);
+  const float* p = t.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t k = 0; k < n * n; ++k) {
+      out[static_cast<size_t>(k)] += p[bi * n * n + k];
+    }
+  }
+  for (auto& v : out) v /= static_cast<double>(b);
+  return out;
+}
+
+// Kernel tap index (0-based argmax over taps) -> delay (Eq. 20).
+int DelayFromTap(int64_t window, int64_t tap, bool self_loop) {
+  // Tap T-1-l multiplies lag l; self channels are right-shifted one slot.
+  int delay = static_cast<int>(window - 1 - tap);
+  if (self_loop) delay += 1;
+  return delay;
+}
+
+}  // namespace
+
+DetectionResult DetectCausalGraph(const CausalityTransformer& model,
+                                  const Tensor& windows,
+                                  const DetectorOptions& options) {
+  CF_CHECK_EQ(windows.ndim(), 3) << "expected [B, N, T]";
+  const ModelOptions& mopt = model.options();
+  const int n = static_cast<int>(mopt.num_series);
+  const int64_t t_window = mopt.window;
+  CF_CHECK_EQ(windows.dim(1), n);
+  CF_CHECK_EQ(windows.dim(2), t_window);
+
+  // Interpretation batch: first max_windows windows.
+  const int64_t use = std::min<int64_t>(windows.dim(0), options.max_windows);
+  std::vector<int64_t> idx(use);
+  for (int64_t i = 0; i < use; ++i) idx[i] = i;
+  const Tensor x = data::GatherWindows(windows, idx);
+
+  DetectionResult result(n);
+  const ForwardResult fwd = model.Forward(x);
+  const Tensor kernel = model.kernel();
+  const bool shared = !mopt.multi_kernel;
+
+  // Accumulated kernel scores per target: [from][to] -> best tap.
+  auto kernel_row = [&](const Tensor& score_k, int from, int to) {
+    const int64_t kj = shared ? 0 : to;
+    const float* p = score_k.data() +
+                     (static_cast<int64_t>(from) * score_k.dim(1) + kj) *
+                         t_window;
+    return p;
+  };
+
+  if (!options.use_interpretation) {
+    // Ablation "w/o interpretation": attention weights and raw |K| are the
+    // causal scores.
+    for (const Tensor& a : fwd.attention) {
+      const std::vector<double> mean = BatchMeanMatrix(a);
+      for (int to = 0; to < n; ++to) {
+        for (int from = 0; from < n; ++from) {
+          result.scores.add(from, to,
+                            mean[static_cast<size_t>(to) * n + from] /
+                                static_cast<double>(fwd.attention.size()));
+        }
+      }
+    }
+    const Tensor abs_k = interpret::AbsGradientScore(kernel);
+    for (int to = 0; to < n; ++to) {
+      for (int from = 0; from < n; ++from) {
+        const float* taps = kernel_row(abs_k, from, to);
+        int64_t best = 0;
+        for (int64_t k = 1; k < t_window; ++k) {
+          if (taps[k] > taps[best]) best = k;
+        }
+        result.delays[from][to] = DelayFromTap(t_window, best, from == to);
+      }
+    }
+  } else {
+    // Full detector: per-target one-hot seeds, gradients + RRP.
+    for (int target = 0; target < n; ++target) {
+      Tensor seed = Tensor::Zeros(fwd.prediction.shape());
+      {
+        float* ps = seed.data();
+        const int64_t b = fwd.prediction.dim(0);
+        for (int64_t bi = 0; bi < b; ++bi) {
+          float* row = ps + (bi * n + target) * t_window;
+          for (int64_t t = 0; t < t_window; ++t) row[t] = 1.0f;
+        }
+      }
+
+      // Fresh gradients on the tensors we read.
+      const_cast<Tensor&>(kernel).ZeroGrad();
+      for (const Tensor& a : fwd.attention) const_cast<Tensor&>(a).ZeroGrad();
+      fwd.prediction.Backward(seed);
+
+      interpret::RelevanceOptions ropts;
+      ropts.epsilon = options.epsilon;
+      ropts.bias_absorption = options.bias_absorption;
+      const interpret::RelevanceMap relevance =
+          interpret::PropagateRelevance(fwd.prediction, seed, ropts);
+
+      // Attention scores: E over heads and batch of (|grad| ⊙ R)_+, then the
+      // target's row selects its causes (S(A)[i]_{i,:}).
+      std::vector<double> row(n, 0.0);
+      for (const Tensor& a : fwd.attention) {
+        const Tensor s =
+            CombineScores(interpret::RelevanceOf(relevance, a), a.grad(),
+                          a.shape(), options);
+        const std::vector<double> mean = BatchMeanMatrix(s);
+        for (int from = 0; from < n; ++from) {
+          row[from] += mean[static_cast<size_t>(target) * n + from];
+        }
+      }
+      for (int from = 0; from < n; ++from) {
+        result.scores.set(from, target,
+                          row[from] /
+                              static_cast<double>(fwd.attention.size()));
+      }
+
+      // Kernel scores -> delays for edges into this target (Eq. 20).
+      const Tensor s_k =
+          CombineScores(interpret::RelevanceOf(relevance, kernel),
+                        kernel.grad(), kernel.shape(), options);
+      for (int from = 0; from < n; ++from) {
+        const float* taps = kernel_row(s_k, from, target);
+        int64_t best = 0;
+        for (int64_t k = 1; k < t_window; ++k) {
+          if (taps[k] > taps[best]) best = k;
+        }
+        result.delays[from][target] =
+            DelayFromTap(t_window, best, from == target);
+      }
+    }
+  }
+
+  const ClusterSelectOptions copts{options.num_clusters, options.top_clusters};
+  result.graph = GraphFromScores(result.scores, copts, &result.delays);
+  return result;
+}
+
+}  // namespace core
+}  // namespace causalformer

@@ -1,0 +1,60 @@
+#ifndef CAUSALFORMER_CORE_DETECTOR_H_
+#define CAUSALFORMER_CORE_DETECTOR_H_
+
+#include <vector>
+
+#include "core/causality_transformer.h"
+#include "graph/causal_graph.h"
+#include "graph/score_matrix.h"
+
+/// \file
+/// The decomposition-based causality detector (Section 4.2, Fig. 6).
+///
+/// For each target series i the detector:
+///   1. seeds the trained model's output with the one-hot relevance
+///      R^(L) = [0, ..., 1_i, ..., 0] ⊗ 1_T over a batch of windows,
+///   2. backward-propagates gradients (for Eq. 19) and relevance (RRP,
+///      Eq. 15-18) down to the attention matrices A and the causal
+///      convolution kernels K,
+///   3. forms causal scores S = E_{batch,heads}[ (|∇f| ⊙ R)_+ ],
+///   4. clusters the incoming scores S(A)[i]_{i,:} with k-means and keeps the
+///      top-m of n classes as causal edges (Section 4.2.3),
+///   5. reads each edge's delay from the kernel scores (Eq. 20):
+///      d(e_{j,i}) = T - argmax_t S(K)[i]_{j,i,t} (plus one slot for
+///      self-loops, whose convolution output is right-shifted).
+
+namespace causalformer {
+namespace core {
+
+struct DetectorOptions {
+  /// k-means classes n and selected top classes m (density m/n, Sec. 4.2.3).
+  int num_clusters = 2;
+  int top_clusters = 1;
+  /// Number of windows used for interpretation (memory/time bound).
+  int64_t max_windows = 32;
+  /// Ablation switches (Table 3):
+  bool use_interpretation = true;  ///< false: raw attention/kernel weights
+  bool use_relevance = true;       ///< false: |gradient| only
+  bool use_gradient = true;        ///< false: rectified relevance only
+  bool bias_absorption = true;     ///< false: "w/o bias" RRP variant
+  float epsilon = 1e-6f;           ///< RRP denominator stabiliser
+};
+
+struct DetectionResult {
+  ScoreMatrix scores;                    ///< (from, to) causal scores
+  std::vector<std::vector<int>> delays;  ///< [from][to] delay estimates
+  CausalGraph graph;                     ///< the constructed causal graph
+
+  DetectionResult(int n)
+      : scores(n), delays(n, std::vector<int>(n, 0)), graph(n) {}
+};
+
+/// Runs detection on `windows` ([B, N, T]) with the trained model.
+DetectionResult DetectCausalGraph(const CausalityTransformer& model,
+                                  const Tensor& windows,
+                                  const DetectorOptions& options = {});
+
+}  // namespace core
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_CORE_DETECTOR_H_

@@ -1,0 +1,80 @@
+#include "core/trainer.h"
+
+#include "data/windowing.h"
+#include "optim/adam.h"
+#include "optim/early_stopping.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace core {
+
+TrainReport TrainCausalityTransformer(CausalityTransformer* model,
+                                      const Tensor& series,
+                                      const TrainOptions& options, Rng* rng,
+                                      Tensor* windows_out) {
+  CF_CHECK(model != nullptr);
+  CF_CHECK(rng != nullptr);
+  const ModelOptions& mopt = model->options();
+  const Tensor windows =
+      data::MakeWindows(series, mopt.window, options.stride);
+  if (windows_out != nullptr) *windows_out = windows;
+  const int64_t count = windows.dim(0);
+
+  std::vector<int64_t> train_idx, val_idx;
+  data::SplitTrainVal(count, options.val_fraction, &train_idx, &val_idx);
+  CF_CHECK(!train_idx.empty());
+
+  optim::Adam adam(model->Parameters(), optim::AdamOptions{.lr = options.lr});
+  optim::EarlyStopping stopper(options.patience);
+
+  TrainReport report;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Shuffle training windows each epoch.
+    std::vector<int64_t> order = train_idx;
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < static_cast<int64_t>(order.size());
+         start += options.batch_size) {
+      const int64_t end = std::min<int64_t>(order.size(),
+                                            start + options.batch_size);
+      const std::vector<int64_t> idx(order.begin() + start,
+                                     order.begin() + end);
+      const Tensor batch = data::GatherWindows(windows, idx);
+      const ForwardResult fwd = model->Forward(batch);
+      const Tensor loss =
+          model->Loss(fwd, batch, options.lambda_k, options.lambda_m);
+      adam.ZeroGrad();
+      loss.Backward();
+      adam.ClipGradNorm(options.grad_clip);
+      adam.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    epoch_loss /= std::max<int64_t>(1, batches);
+    report.final_train_loss = epoch_loss;
+    report.epochs_run = epoch + 1;
+
+    // Validation loss (pure MSE part, no penalties).
+    double monitored = epoch_loss;
+    if (!val_idx.empty()) {
+      const Tensor vbatch = data::GatherWindows(windows, val_idx);
+      const ForwardResult vfwd = model->Forward(vbatch);
+      const Tensor vloss = model->Loss(vfwd, vbatch, 0.0f, 0.0f);
+      monitored = vloss.item();
+    }
+    if (options.verbose) {
+      CF_LOG(kInfo) << "epoch " << epoch << " train=" << epoch_loss
+                    << " monitored=" << monitored;
+    }
+    if (stopper.Update(monitored)) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  report.best_val_loss = stopper.best();
+  return report;
+}
+
+}  // namespace core
+}  // namespace causalformer

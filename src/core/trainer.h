@@ -1,0 +1,46 @@
+#ifndef CAUSALFORMER_CORE_TRAINER_H_
+#define CAUSALFORMER_CORE_TRAINER_H_
+
+#include "core/causality_transformer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file
+/// Prediction-task training loop for the causality-aware transformer
+/// (Section 5.3): sliding windows, mini-batch Adam, L1 sparsity penalties,
+/// early stopping on validation loss.
+
+namespace causalformer {
+namespace core {
+
+struct TrainOptions {
+  int max_epochs = 60;
+  int64_t batch_size = 32;
+  float lr = 5e-3f;
+  float lambda_k = 1e-4f;  ///< kernel L1 coefficient λ_K
+  float lambda_m = 1e-4f;  ///< mask L1 coefficient λ_M
+  int64_t stride = 1;      ///< window stride over the series
+  double val_fraction = 0.1;
+  int patience = 8;
+  float grad_clip = 5.0f;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  int epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_val_loss = 0.0;
+  bool early_stopped = false;
+};
+
+/// Trains `model` on windows cut from `series` ([N, L]). Returns the window
+/// stack in `windows_out` (if non-null) so the detector can reuse it.
+TrainReport TrainCausalityTransformer(CausalityTransformer* model,
+                                      const Tensor& series,
+                                      const TrainOptions& options, Rng* rng,
+                                      Tensor* windows_out = nullptr);
+
+}  // namespace core
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_CORE_TRAINER_H_

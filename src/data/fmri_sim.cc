@@ -1,0 +1,155 @@
+#include "data/fmri_sim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+namespace {
+
+// Spectral radius estimate by power iteration, for stabilising A.
+double SpectralRadius(const std::vector<std::vector<double>>& a, Rng* rng) {
+  const int n = static_cast<int>(a.size());
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->Normal();
+  double lambda = 0.0;
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> w(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) w[i] += a[i][j] * v[j];
+    }
+    double norm = 0.0;
+    for (const double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return 0.0;
+    for (int i = 0; i < n; ++i) v[i] = w[i] / norm;
+    lambda = norm;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+std::vector<double> HrfKernel(int length) {
+  if (length <= 0) return {1.0};
+  // Canonical double-gamma sampled at a ~2.5 s repetition time.
+  std::vector<double> h(length);
+  double sum = 0.0;
+  for (int k = 0; k < length; ++k) {
+    const double t = 2.5 * (k + 0.5);
+    const double peak = std::pow(t, 5.0) * std::exp(-t) / 120.0;
+    const double undershoot =
+        std::pow(t, 15.0) * std::exp(-t) / (6.0 * 1.307674368e12);
+    h[k] = peak - undershoot;
+    sum += h[k];
+  }
+  CF_CHECK_GT(sum, 0.0);
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+Dataset GenerateFmriSubject(const FmriOptions& options, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int n = options.num_nodes;
+  CF_CHECK_GE(n, 2);
+  const int64_t len = options.length;
+
+  // 1. Sparse directed graph without 2-cycles.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  CausalGraph truth(n);
+  const double edge_prob =
+      options.parents_per_node / static_cast<double>(n - 1);
+  for (int to = 0; to < n; ++to) {
+    for (int from = 0; from < n; ++from) {
+      if (from == to) continue;
+      if (a[from][to] != 0.0) continue;  // reverse edge exists -> skip
+      if (!rng->Bernoulli(edge_prob)) continue;
+      const double w = rng->Uniform(options.coupling_lo, options.coupling_hi);
+      a[to][from] = w;  // row = effect, col = cause
+      truth.AddEdge(from, to, 1, w);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    a[i][i] = options.self_coupling;
+    truth.AddEdge(i, i, 1, options.self_coupling);
+  }
+
+  // 2. Stabilise: scale so the spectral radius is at most 0.9.
+  const double radius = SpectralRadius(a, rng);
+  if (radius > 0.9) {
+    const double scale = 0.9 / radius;
+    for (auto& row : a) {
+      for (auto& v : row) v *= scale;
+    }
+  }
+
+  // 3. Latent linear dynamics with burn-in. The latent state advances
+  // `latent_substeps` times per observed sample: neural dynamics are much
+  // faster than the repetition time, so each BOLD sample mixes several
+  // causal hops (NetSim-like difficulty).
+  const int sub = std::max(1, options.latent_substeps);
+  const int64_t burn_in = 100;
+  const int64_t total =
+      (len + burn_in + options.hrf_length) * static_cast<int64_t>(sub);
+  std::vector<std::vector<double>> z(n, std::vector<double>(total, 0.0));
+  for (int i = 0; i < n; ++i) z[i][0] = rng->Normal();
+  const double sub_noise =
+      options.process_noise / std::sqrt(static_cast<double>(sub));
+  for (int64_t t = 1; t < total; ++t) {
+    for (int i = 0; i < n; ++i) {
+      double v = 0.0;
+      for (int j = 0; j < n; ++j) v += a[i][j] * z[j][t - 1];
+      z[i][t] = v + sub_noise * rng->Normal();
+    }
+  }
+
+  // 4. Haemodynamic convolution (at sample resolution) + observation noise.
+  const std::vector<double> hrf = HrfKernel(options.hrf_length);
+  Tensor series = Tensor::Zeros(Shape{n, len});
+  float* p = series.data();
+  for (int i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < len; ++t) {
+      const int64_t src = (t + burn_in + options.hrf_length) * sub;
+      double bold = 0.0;
+      for (size_t k = 0; k < hrf.size(); ++k) {
+        bold += hrf[k] * z[i][src - static_cast<int64_t>(k) * sub];
+      }
+      bold += options.observation_noise * rng->Normal();
+      p[i * len + t] = static_cast<float>(bold);
+    }
+  }
+  if (options.standardize) StandardizeSeries(series);
+
+  return Dataset("fmri-" + std::to_string(n), std::move(series),
+                 std::move(truth));
+}
+
+std::vector<Dataset> GenerateFmriBenchmark(Rng* rng, int64_t length,
+                                           int num_subjects) {
+  CF_CHECK(rng != nullptr);
+  // NetSim-like size mixture; trimmed/cycled to num_subjects.
+  std::vector<int> sizes;
+  for (int i = 0; i < 15; ++i) sizes.push_back(5);
+  for (int i = 0; i < 8; ++i) sizes.push_back(10);
+  for (int i = 0; i < 4; ++i) sizes.push_back(15);
+  sizes.push_back(50);
+
+  std::vector<Dataset> out;
+  out.reserve(num_subjects);
+  for (int s = 0; s < num_subjects; ++s) {
+    FmriOptions opt;
+    opt.num_nodes = sizes[s % sizes.size()];
+    opt.length = length;
+    Rng sub = rng->Split();
+    Dataset d = GenerateFmriSubject(opt, &sub);
+    d.name = "fmri-" + std::to_string(opt.num_nodes) + "-s" + std::to_string(s);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace causalformer

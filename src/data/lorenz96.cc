@@ -1,0 +1,77 @@
+#include "data/lorenz96.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+namespace {
+
+void Lorenz96Derivative(const std::vector<double>& x, double forcing,
+                        std::vector<double>* dx) {
+  const int n = static_cast<int>(x.size());
+  for (int i = 0; i < n; ++i) {
+    const double xp1 = x[(i + 1) % n];
+    const double xm1 = x[(i - 1 + n) % n];
+    const double xm2 = x[(i - 2 + n) % n];
+    (*dx)[i] = (xp1 - xm2) * xm1 - x[i] + forcing;
+  }
+}
+
+void Rk4Step(std::vector<double>* x, double forcing, double h) {
+  const size_t n = x->size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  Lorenz96Derivative(*x, forcing, &k1);
+  for (size_t i = 0; i < n; ++i) tmp[i] = (*x)[i] + 0.5 * h * k1[i];
+  Lorenz96Derivative(tmp, forcing, &k2);
+  for (size_t i = 0; i < n; ++i) tmp[i] = (*x)[i] + 0.5 * h * k2[i];
+  Lorenz96Derivative(tmp, forcing, &k3);
+  for (size_t i = 0; i < n; ++i) tmp[i] = (*x)[i] + h * k3[i];
+  Lorenz96Derivative(tmp, forcing, &k4);
+  for (size_t i = 0; i < n; ++i) {
+    (*x)[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+}  // namespace
+
+Dataset GenerateLorenz96(const Lorenz96Options& options, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  CF_CHECK_GE(options.num_series, 4) << "Lorenz-96 needs at least 4 variables";
+  const int n = options.num_series;
+  const int64_t len = options.length;
+  const double forcing = rng->Uniform(options.f_lo, options.f_hi);
+  const double h = options.dt / options.substeps;
+
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) x[i] = forcing + 0.01 * rng->Normal();
+  // Perturb one variable so trajectories decorrelate from the fixed point.
+  x[0] += 1.0;
+
+  // Burn-in onto the attractor.
+  for (int s = 0; s < 500 * options.substeps; ++s) Rk4Step(&x, forcing, h);
+
+  Tensor series = Tensor::Zeros(Shape{n, len});
+  float* p = series.data();
+  for (int64_t t = 0; t < len; ++t) {
+    for (int s = 0; s < options.substeps; ++s) Rk4Step(&x, forcing, h);
+    for (int i = 0; i < n; ++i) {
+      p[i * len + t] = static_cast<float>(x[i]);
+    }
+  }
+  if (options.standardize) StandardizeSeries(series);
+
+  CausalGraph truth(n);
+  for (int i = 0; i < n; ++i) {
+    truth.AddEdge((i + 1) % n, i, 1);
+    truth.AddEdge((i - 1 + n) % n, i, 1);
+    truth.AddEdge((i - 2 + n) % n, i, 1);
+    truth.AddEdge(i, i, 1);
+  }
+  return Dataset("lorenz96", std::move(series), std::move(truth));
+}
+
+}  // namespace data
+}  // namespace causalformer

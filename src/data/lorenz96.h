@@ -1,0 +1,38 @@
+#ifndef CAUSALFORMER_DATA_LORENZ96_H_
+#define CAUSALFORMER_DATA_LORENZ96_H_
+
+#include "data/timeseries.h"
+#include "util/rng.h"
+
+/// \file
+/// The Lorenz-96 chaotic climate model (Eq. 21):
+///
+///     dx_i/dt = (x_{i+1} - x_{i-2}) x_{i-1} - x_i + F
+///
+/// integrated with 4th-order Runge–Kutta. The ground-truth parents of series
+/// i are {i-2, i-1, i+1, i} (indices mod N), all at delay 1 after sampling.
+/// The paper simulates N = 10 variables with forcing F ∈ [30, 40] (strongly
+/// chaotic) over 1000 units.
+
+namespace causalformer {
+namespace data {
+
+struct Lorenz96Options {
+  int num_series = 10;
+  int64_t length = 1000;
+  /// Forcing constant; drawn uniformly from [f_lo, f_hi] per realisation.
+  double f_lo = 30.0;
+  double f_hi = 40.0;
+  /// Integration step between samples.
+  double dt = 0.01;
+  /// RK4 sub-steps per emitted sample (finer integration for stability).
+  int substeps = 5;
+  bool standardize = true;
+};
+
+Dataset GenerateLorenz96(const Lorenz96Options& options, Rng* rng);
+
+}  // namespace data
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_DATA_LORENZ96_H_

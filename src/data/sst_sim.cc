@@ -1,0 +1,230 @@
+#include "data/sst_sim.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+namespace {
+
+// Gaussian vortex stream function; sign > 0 gives clockwise (anticyclonic)
+// circulation with u = -dpsi/dlat, v = +dpsi/dlon.
+struct Vortex {
+  double lat_center;
+  double lon_center;
+  double lat_scale;
+  double lon_scale;
+  double strength;  // > 0 clockwise, < 0 counter-clockwise
+};
+
+double StreamFunction(const Vortex& v, double lat, double lon) {
+  const double dy = (lat - v.lat_center) / v.lat_scale;
+  const double dx = (lon - v.lon_center) / v.lon_scale;
+  return v.strength * std::exp(-0.5 * (dx * dx + dy * dy));
+}
+
+// (u, v) of the combined field at a point, by analytic differentiation.
+std::pair<double, double> FieldVelocity(const std::vector<Vortex>& vortices,
+                                        double lat, double lon) {
+  double u = 0.0, vv = 0.0;
+  for (const auto& vx : vortices) {
+    const double psi = StreamFunction(vx, lat, lon);
+    const double dpsi_dlat = -psi * (lat - vx.lat_center) /
+                             (vx.lat_scale * vx.lat_scale);
+    const double dpsi_dlon = -psi * (lon - vx.lon_center) /
+                             (vx.lon_scale * vx.lon_scale);
+    u += -dpsi_dlat;
+    vv += dpsi_dlon;
+  }
+  return {u, vv};
+}
+
+double Climatology(double lat) {
+  // Warm south, cold north: ~24C at 20N down to ~2C at 70N.
+  return 24.0 - 22.0 * (lat - 20.0) / 50.0;
+}
+
+}  // namespace
+
+SstDataset GenerateSst(const SstOptions& options, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  SstGrid grid;
+  for (double lat = options.lat_min + options.lat_step / 2;
+       lat < options.lat_max; lat += options.lat_step) {
+    grid.lats.push_back(lat);
+  }
+  for (double lon = options.lon_min + options.lon_step / 2;
+       lon < options.lon_max; lon += options.lon_step) {
+    grid.lons.push_back(lon);
+  }
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  const int n = grid.num_cells();
+  CF_CHECK_GE(rows, 3);
+  CF_CHECK_GE(cols, 3);
+
+  // Subtropical (clockwise) and subpolar (counter-clockwise) gyres. The
+  // subpolar centre sits at ~35W so its western flank (Greenland side,
+  // 60-40W) flows south (East Greenland Current) and its eastern flank
+  // (15W-0) flows north (Norway Current).
+  const std::vector<Vortex> vortices = {
+      {32.0, -50.0, 11.0, 20.0, +1.0},
+      {58.0, -33.0, 8.0, 18.0, -0.8},
+  };
+
+  // Sample the velocity field and normalise the peak speed.
+  std::vector<std::pair<double, double>> velocity(n);
+  double max_speed = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto [u, v] =
+          FieldVelocity(vortices, grid.lats[r], grid.lons[c]);
+      velocity[grid.CellIndex(r, c)] = {u, v};
+      max_speed = std::max(max_speed, std::sqrt(u * u + v * v));
+    }
+  }
+  CF_CHECK_GT(max_speed, 0.0);
+  const double scale = options.peak_speed / max_speed;
+  for (auto& [u, v] : velocity) {
+    u *= scale;
+    v *= scale;
+  }
+
+  // Advection-diffusion integration (upwind differencing, unit cell size).
+  const int64_t len = options.length;
+  const int64_t burn_in = 40;
+  std::vector<double> temp(n), next(n);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      temp[grid.CellIndex(r, c)] =
+          Climatology(grid.lats[r]) + 0.5 * rng->Normal();
+    }
+  }
+  Tensor series = Tensor::Zeros(Shape{n, len});
+  float* out = series.data();
+
+  auto cell_temp = [&](int r, int c) {
+    r = std::min(std::max(r, 0), rows - 1);
+    c = std::min(std::max(c, 0), cols - 1);
+    return temp[grid.CellIndex(r, c)];
+  };
+
+  for (int64_t t = 0; t < burn_in + len; ++t) {
+    const double season =
+        options.seasonal_amp * std::sin(2.0 * M_PI * t / 9.6);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const int idx = grid.CellIndex(r, c);
+        const auto [u, v] = velocity[idx];
+        const double here = temp[idx];
+        // Upwind gradients (u > 0: flow from the west; v > 0: from the south).
+        const double ddx = u > 0 ? here - cell_temp(r, c - 1)
+                                 : cell_temp(r, c + 1) - here;
+        const double ddy = v > 0 ? here - cell_temp(r - 1, c)
+                                 : cell_temp(r + 1, c) - here;
+        const double lap = cell_temp(r - 1, c) + cell_temp(r + 1, c) +
+                           cell_temp(r, c - 1) + cell_temp(r, c + 1) -
+                           4.0 * here;
+        double value = here - u * ddx - v * ddy + options.diffusion * lap +
+                       options.relaxation * (Climatology(grid.lats[r]) - here) +
+                       season * (0.5 + 0.5 * (70.0 - grid.lats[r]) / 50.0) +
+                       options.noise_std * rng->Normal();
+        next[idx] = value;
+      }
+    }
+    std::swap(temp, next);
+    if (t >= burn_in) {
+      const int64_t col_t = t - burn_in;
+      for (int i = 0; i < n; ++i) {
+        out[static_cast<int64_t>(i) * len + col_t] = static_cast<float>(temp[i]);
+      }
+    }
+  }
+  if (options.deseasonalize) {
+    // Per-cell least-squares removal of the annual harmonic (period 9.6
+    // slots): y ~ a + b sin(wt) + c cos(wt).
+    const double w = 2.0 * M_PI / 9.6;
+    for (int i = 0; i < n; ++i) {
+      float* row = out + static_cast<int64_t>(i) * len;
+      double sy = 0, ss = 0, sc = 0, sss = 0, scc = 0, ssc = 0, sys = 0,
+             syc = 0;
+      for (int64_t t = 0; t < len; ++t) {
+        const double s = std::sin(w * t);
+        const double c = std::cos(w * t);
+        sy += row[t];
+        ss += s;
+        sc += c;
+        sss += s * s;
+        scc += c * c;
+        ssc += s * c;
+        sys += row[t] * s;
+        syc += row[t] * c;
+      }
+      // Solve the 3x3 normal equations by Cramer's rule.
+      const double m[3][3] = {{static_cast<double>(len), ss, sc},
+                              {ss, sss, ssc},
+                              {sc, ssc, scc}};
+      const double rhs[3] = {sy, sys, syc};
+      auto det3 = [](const double a[3][3]) {
+        return a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+               a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+               a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+      };
+      const double det = det3(m);
+      if (std::fabs(det) < 1e-9) continue;
+      double coef[3];
+      for (int k = 0; k < 3; ++k) {
+        double mk[3][3];
+        for (int r = 0; r < 3; ++r) {
+          for (int c = 0; c < 3; ++c) mk[r][c] = m[r][c];
+        }
+        for (int r = 0; r < 3; ++r) mk[r][k] = rhs[r];
+        coef[k] = det3(mk) / det;
+      }
+      for (int64_t t = 0; t < len; ++t) {
+        row[t] -= static_cast<float>(coef[0] + coef[1] * std::sin(w * t) +
+                                     coef[2] * std::cos(w * t));
+      }
+    }
+  }
+  if (options.standardize) StandardizeSeries(series);
+
+  CausalGraph truth = CurrentFieldGraph(grid, velocity);
+  SstDataset result{Dataset("sst", std::move(series), std::move(truth)), grid,
+                    velocity};
+  return result;
+}
+
+CausalGraph CurrentFieldGraph(
+    const SstGrid& grid, const std::vector<std::pair<double, double>>& velocity,
+    double min_speed) {
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  CausalGraph truth(grid.num_cells());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int idx = grid.CellIndex(r, c);
+      truth.AddEdge(idx, idx, 1);
+      const auto [u, v] = velocity[idx];
+      const double speed = std::sqrt(u * u + v * v);
+      if (speed < min_speed) continue;
+      // Dominant upstream neighbour: quantise the inflow direction to the
+      // 8-neighbourhood.
+      const double angle = std::atan2(-v, -u);  // direction the flow comes from
+      const int sector =
+          static_cast<int>(std::lround(angle / (M_PI / 4.0))) & 7;
+      static constexpr int kDc[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+      static constexpr int kDr[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+      const int ur = r + kDr[sector];
+      const int uc = c + kDc[sector];
+      if (ur < 0 || ur >= rows || uc < 0 || uc >= cols) continue;
+      truth.AddEdge(grid.CellIndex(ur, uc), idx, 1, speed);
+    }
+  }
+  return truth;
+}
+
+}  // namespace data
+}  // namespace causalformer

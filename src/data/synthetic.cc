@@ -1,0 +1,119 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+namespace {
+
+struct EdgeSpec {
+  int from;
+  int to;
+};
+
+// 0-based renderings of Fig. 7. Diamond: S1->S2, S1->S3, S2->S4, S3->S4.
+// Mediator: S1->S2, S2->S3, S1->S3. V-structure: S1->S3, S2->S3.
+// Fork: S1->S2, S1->S3.
+std::vector<EdgeSpec> StructureEdges(SyntheticStructure s) {
+  switch (s) {
+    case SyntheticStructure::kDiamond:
+      return {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+    case SyntheticStructure::kMediator:
+      return {{0, 1}, {1, 2}, {0, 2}};
+    case SyntheticStructure::kVStructure:
+      return {{0, 2}, {1, 2}};
+    case SyntheticStructure::kFork:
+      return {{0, 1}, {0, 2}};
+  }
+  CF_CHECK(false) << "unknown structure";
+  return {};
+}
+
+int StructureSize(SyntheticStructure s) {
+  return s == SyntheticStructure::kDiamond ? 4 : 3;
+}
+
+}  // namespace
+
+std::string ToString(SyntheticStructure s) {
+  switch (s) {
+    case SyntheticStructure::kDiamond:
+      return "diamond";
+    case SyntheticStructure::kMediator:
+      return "mediator";
+    case SyntheticStructure::kVStructure:
+      return "v-structure";
+    case SyntheticStructure::kFork:
+      return "fork";
+  }
+  return "unknown";
+}
+
+CausalGraph StructureSkeleton(SyntheticStructure structure) {
+  const int n = StructureSize(structure);
+  CausalGraph g(n);
+  for (const auto& e : StructureEdges(structure)) g.AddEdge(e.from, e.to, 1);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, i, 1);
+  return g;
+}
+
+Dataset GenerateSynthetic(SyntheticStructure structure,
+                          const SyntheticOptions& options, Rng* rng) {
+  CF_CHECK(rng != nullptr);
+  const int n = StructureSize(structure);
+  const int64_t len = options.length;
+  CF_CHECK_GT(len, options.max_lag + 1);
+
+  struct RealizedEdge {
+    int from;
+    int to;
+    int lag;
+    double weight;
+  };
+  std::vector<RealizedEdge> edges;
+  for (const auto& e : StructureEdges(structure)) {
+    const int lag = 1 + static_cast<int>(rng->UniformInt(options.max_lag));
+    const double w = rng->Uniform(options.coupling_lo, options.coupling_hi);
+    edges.push_back({e.from, e.to, lag, w});
+  }
+
+  CausalGraph truth(n);
+  for (const auto& e : edges) truth.AddEdge(e.from, e.to, e.lag);
+  for (int i = 0; i < n; ++i) truth.AddEdge(i, i, 1);
+
+  // Burn-in lets the process forget its zero initial state.
+  const int64_t burn_in = 50;
+  const int64_t total = len + burn_in;
+  std::vector<std::vector<double>> x(n, std::vector<double>(total, 0.0));
+  for (int i = 0; i < n; ++i) x[i][0] = rng->Normal();
+
+  for (int64_t t = 1; t < total; ++t) {
+    for (int j = 0; j < n; ++j) {
+      double value = options.self_coupling * x[j][t - 1];
+      for (const auto& e : edges) {
+        if (e.to != j || t < e.lag) continue;
+        const double parent = x[e.from][t - e.lag];
+        value += e.weight * (options.nonlinear ? std::tanh(parent) : parent);
+      }
+      value += options.noise_std * rng->Normal();
+      x[j][t] = value;
+    }
+  }
+
+  Tensor series = Tensor::Zeros(Shape{n, len});
+  float* p = series.data();
+  for (int i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < len; ++t) {
+      p[i * len + t] = static_cast<float>(x[i][t + burn_in]);
+    }
+  }
+  if (options.standardize) StandardizeSeries(series);
+  return Dataset(ToString(structure), std::move(series), std::move(truth));
+}
+
+}  // namespace data
+}  // namespace causalformer

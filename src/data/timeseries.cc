@@ -1,0 +1,52 @@
+#include "data/timeseries.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+Tensor StandardizeSeries(Tensor series) {
+  CF_CHECK_EQ(series.ndim(), 2) << "expected [N, L]";
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  float* p = series.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = p + i * len;
+    double mean = 0.0;
+    for (int64_t t = 0; t < len; ++t) mean += row[t];
+    mean /= static_cast<double>(len);
+    double var = 0.0;
+    for (int64_t t = 0; t < len; ++t) var += (row[t] - mean) * (row[t] - mean);
+    var /= static_cast<double>(len);
+    const double stddev = std::sqrt(var);
+    const double inv = stddev > 1e-12 ? 1.0 / stddev : 1.0;
+    for (int64_t t = 0; t < len; ++t) {
+      row[t] = static_cast<float>((row[t] - mean) * inv);
+    }
+  }
+  return series;
+}
+
+Tensor MinMaxScaleSeries(Tensor series) {
+  CF_CHECK_EQ(series.ndim(), 2) << "expected [N, L]";
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  float* p = series.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = p + i * len;
+    float lo = row[0], hi = row[0];
+    for (int64_t t = 1; t < len; ++t) {
+      lo = std::min(lo, row[t]);
+      hi = std::max(hi, row[t]);
+    }
+    const float range = hi - lo;
+    const float inv = range > 1e-12f ? 1.0f / range : 1.0f;
+    for (int64_t t = 0; t < len; ++t) row[t] = (row[t] - lo) * inv;
+  }
+  return series;
+}
+
+}  // namespace data
+}  // namespace causalformer

@@ -1,0 +1,40 @@
+#ifndef CAUSALFORMER_DATA_TIMESERIES_H_
+#define CAUSALFORMER_DATA_TIMESERIES_H_
+
+#include <string>
+
+#include "graph/causal_graph.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// The common dataset container: N observed time series of length L plus the
+/// ground-truth temporal causal graph used for evaluation.
+
+namespace causalformer {
+namespace data {
+
+struct Dataset {
+  std::string name;
+  Tensor series;      ///< [N, L], row i = series i
+  CausalGraph truth;  ///< ground-truth causal graph with delays
+
+  Dataset(std::string name_in, Tensor series_in, CausalGraph truth_in)
+      : name(std::move(name_in)),
+        series(std::move(series_in)),
+        truth(std::move(truth_in)) {}
+
+  int num_series() const { return static_cast<int>(series.dim(0)); }
+  int64_t length() const { return series.dim(1); }
+};
+
+/// Per-series z-score standardisation (in place). Constant series are left
+/// centred at zero. Returns the input tensor for chaining.
+Tensor StandardizeSeries(Tensor series);
+
+/// Per-series min-max scaling to [0, 1] (in place).
+Tensor MinMaxScaleSeries(Tensor series);
+
+}  // namespace data
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_DATA_TIMESERIES_H_

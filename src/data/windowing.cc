@@ -1,0 +1,77 @@
+#include "data/windowing.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace data {
+
+Tensor MakeWindows(const Tensor& series, int64_t window, int64_t stride) {
+  CF_CHECK_EQ(series.ndim(), 2) << "expected [N, L]";
+  CF_CHECK_GT(window, 0);
+  CF_CHECK_GT(stride, 0);
+  const int64_t n = series.dim(0);
+  const int64_t len = series.dim(1);
+  CF_CHECK_GE(len, window) << "series shorter than window";
+  const int64_t count = (len - window) / stride + 1;
+
+  Tensor out = Tensor::Zeros(Shape{count, n, window});
+  const float* src = series.data();
+  float* dst = out.data();
+  for (int64_t b = 0; b < count; ++b) {
+    const int64_t start = b * stride;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = src + i * len + start;
+      float* w = dst + (b * n + i) * window;
+      std::copy(row, row + window, w);
+    }
+  }
+  return out;
+}
+
+Tensor GatherWindows(const Tensor& windows, const std::vector<int64_t>& indices) {
+  CF_CHECK_EQ(windows.ndim(), 3) << "expected [B, N, T]";
+  const int64_t n = windows.dim(1);
+  const int64_t t = windows.dim(2);
+  const int64_t stride = n * t;
+  Tensor out = Tensor::Zeros(Shape{static_cast<int64_t>(indices.size()), n, t});
+  const float* src = windows.data();
+  float* dst = out.data();
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const int64_t b = indices[k];
+    CF_CHECK_GE(b, 0);
+    CF_CHECK_LT(b, windows.dim(0));
+    std::copy(src + b * stride, src + (b + 1) * stride, dst + k * stride);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t count, int64_t batch_size,
+                                              Rng* rng) {
+  CF_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order(count);
+  for (int64_t i = 0; i < count; ++i) order[i] = i;
+  if (rng != nullptr) rng->Shuffle(&order);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < count; start += batch_size) {
+    const int64_t end = std::min(count, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+void SplitTrainVal(int64_t count, double val_fraction,
+                   std::vector<int64_t>* train, std::vector<int64_t>* val) {
+  CF_CHECK_GE(val_fraction, 0.0);
+  CF_CHECK_LT(val_fraction, 1.0);
+  const int64_t val_count = static_cast<int64_t>(count * val_fraction);
+  const int64_t train_count = count - val_count;
+  train->clear();
+  val->clear();
+  for (int64_t i = 0; i < train_count; ++i) train->push_back(i);
+  for (int64_t i = train_count; i < count; ++i) val->push_back(i);
+}
+
+}  // namespace data
+}  // namespace causalformer

@@ -1,0 +1,35 @@
+#ifndef CAUSALFORMER_DATA_WINDOWING_H_
+#define CAUSALFORMER_DATA_WINDOWING_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file
+/// Sliding-window batching: the causality-aware transformer consumes windows
+/// X ∈ R^{N x T} cut from the full series of length L, stacked into batches
+/// [B, N, T].
+
+namespace causalformer {
+namespace data {
+
+/// All windows of width `window` with the given stride: output [B, N, window].
+Tensor MakeWindows(const Tensor& series, int64_t window, int64_t stride = 1);
+
+/// Rows `indices` of a window stack [B, N, T] -> [|indices|, N, T].
+Tensor GatherWindows(const Tensor& windows, const std::vector<int64_t>& indices);
+
+/// Shuffled mini-batch index lists covering [0, count).
+std::vector<std::vector<int64_t>> MakeBatches(int64_t count, int64_t batch_size,
+                                              Rng* rng);
+
+/// Deterministic train/validation split of window indices (validation takes
+/// the trailing fraction, avoiding leakage from shuffled overlap).
+void SplitTrainVal(int64_t count, double val_fraction,
+                   std::vector<int64_t>* train, std::vector<int64_t>* val);
+
+}  // namespace data
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_DATA_WINDOWING_H_

@@ -1,0 +1,60 @@
+#ifndef CAUSALFORMER_EVAL_EXPERIMENT_H_
+#define CAUSALFORMER_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/causalformer.h"
+#include "data/timeseries.h"
+
+/// \file
+/// Experiment configuration: which datasets make up each row of the paper's
+/// tables, and the (CPU-scaled) CausalFormer configuration per dataset family
+/// (Section 5.3). Budgets honour two environment variables:
+///   CF_SEEDS — number of random realisations per dataset row (default 3)
+///   CF_FAST  — when set to 1, shrink sizes/epochs for smoke runs.
+
+namespace causalformer {
+namespace eval {
+
+enum class DatasetKind {
+  kDiamond,
+  kMediator,
+  kVStructure,
+  kFork,
+  kLorenz96,
+  kFmri,
+};
+
+std::string ToString(DatasetKind kind);
+
+/// All dataset kinds in Table-1 row order.
+std::vector<DatasetKind> AllDatasetKinds();
+
+struct ExperimentBudget {
+  int seeds = 3;           ///< realisations per synthetic/Lorenz row
+  int fmri_subjects = 6;   ///< subjects evaluated for the fMRI row
+  int64_t series_length = 1000;
+  int64_t fmri_length = 160;
+  bool fast = false;
+
+  /// Reads CF_SEEDS / CF_FAST from the environment.
+  static ExperimentBudget FromEnv();
+};
+
+/// Generates the datasets making up one table row. Synthetic/Lorenz rows get
+/// `budget.seeds` independent realisations; the fMRI row returns
+/// `budget.fmri_subjects` simulated subjects (sizes cycling 5/10/15).
+std::vector<data::Dataset> MakeDatasets(DatasetKind kind,
+                                        const ExperimentBudget& budget,
+                                        uint64_t seed);
+
+/// The paper's per-dataset CausalFormer settings, scaled for CPU.
+core::CausalFormerOptions CausalFormerConfigFor(DatasetKind kind,
+                                                int num_series,
+                                                const ExperimentBudget& budget);
+
+}  // namespace eval
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_EVAL_EXPERIMENT_H_

@@ -1,0 +1,42 @@
+#include "eval/report.h"
+
+#include "graph/metrics.h"
+#include "util/string_util.h"
+
+namespace causalformer {
+namespace eval {
+
+std::string MetricCell(const std::vector<double>& values) {
+  const auto [mean, stddev] = MeanAndStd(values);
+  return MeanStd(mean, stddev);
+}
+
+EdgeClassification ClassifyEdges(const CausalGraph& truth,
+                                 const CausalGraph& pred, bool include_self) {
+  EdgeClassification cls;
+  const int n = truth.num_series();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!include_self && i == j) continue;
+      const bool t = truth.HasEdge(i, j);
+      const bool p = pred.HasEdge(i, j);
+      const std::string label = StrFormat("S%d->S%d", i, j);
+      if (t && p) cls.true_positives.push_back(label);
+      if (!t && p) cls.false_positives.push_back(label);
+      if (t && !p) cls.false_negatives.push_back(label);
+    }
+  }
+  return cls;
+}
+
+std::string RenderEdgeClassification(const std::string& method_name, double f1,
+                                     const EdgeClassification& cls) {
+  std::string out = StrFormat("%s  (F1=%.2f)\n", method_name.c_str(), f1);
+  out += "  true positives (black): " + StrJoin(cls.true_positives, ", ") + "\n";
+  out += "  false positives (red):  " + StrJoin(cls.false_positives, ", ") + "\n";
+  out += "  missed (dashed):        " + StrJoin(cls.false_negatives, ", ") + "\n";
+  return out;
+}
+
+}  // namespace eval
+}  // namespace causalformer

@@ -1,0 +1,40 @@
+#ifndef CAUSALFORMER_EVAL_REPORT_H_
+#define CAUSALFORMER_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "util/table.h"
+
+/// \file
+/// Report rendering for the benchmark harness: paper-style mean±std cells and
+/// the edge-classified comparison used by the Fig. 8 case study.
+
+namespace causalformer {
+namespace eval {
+
+/// "0.68±0.08" from a metric vector.
+std::string MetricCell(const std::vector<double>& values);
+
+/// Classified edges of a prediction against ground truth, in the Fig. 8
+/// black/red/dashed convention: true positives, false positives, and missed
+/// (false negative) edges, rendered as readable lists.
+struct EdgeClassification {
+  std::vector<std::string> true_positives;
+  std::vector<std::string> false_positives;
+  std::vector<std::string> false_negatives;
+};
+
+EdgeClassification ClassifyEdges(const CausalGraph& truth,
+                                 const CausalGraph& pred,
+                                 bool include_self = false);
+
+std::string RenderEdgeClassification(const std::string& method_name,
+                                     double f1,
+                                     const EdgeClassification& cls);
+
+}  // namespace eval
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_EVAL_REPORT_H_

@@ -1,0 +1,133 @@
+#include "eval/runner.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace causalformer {
+namespace eval {
+
+namespace {
+
+baselines::MethodKind ToMethodKind(MethodId id) {
+  switch (id) {
+    case MethodId::kCmlp:
+      return baselines::MethodKind::kCmlp;
+    case MethodId::kClstm:
+      return baselines::MethodKind::kClstm;
+    case MethodId::kTcdf:
+      return baselines::MethodKind::kTcdf;
+    case MethodId::kDvgnn:
+      return baselines::MethodKind::kDvgnn;
+    case MethodId::kCuts:
+      return baselines::MethodKind::kCuts;
+    case MethodId::kCausalFormer:
+      break;
+  }
+  CF_CHECK(false) << "not a baseline method";
+  return baselines::MethodKind::kCmlp;
+}
+
+struct SingleRun {
+  CausalGraph graph;
+  bool has_delays = false;
+};
+
+SingleRun RunOnce(MethodId method, DatasetKind kind,
+                  const data::Dataset& dataset, const ExperimentBudget& budget,
+                  uint64_t seed, const AblationSpec* ablation) {
+  Rng rng(seed);
+  if (method == MethodId::kCausalFormer) {
+    core::CausalFormerOptions opt =
+        CausalFormerConfigFor(kind, dataset.num_series(), budget);
+    if (ablation != nullptr) {
+      opt.model.multi_kernel = ablation->multi_kernel;
+      opt.detector.use_interpretation = ablation->use_interpretation;
+      opt.detector.use_relevance = ablation->use_relevance;
+      opt.detector.use_gradient = ablation->use_gradient;
+      opt.detector.bias_absorption = ablation->bias_absorption;
+    }
+    core::CausalFormer cf(opt, &rng);
+    cf.Fit(dataset.series, &rng);
+    const core::DetectionResult res = cf.Discover();
+    return SingleRun{res.graph, /*has_delays=*/true};
+  }
+  auto baseline = baselines::CreateMethod(ToMethodKind(method), budget.fast);
+  baselines::MethodResult res = baseline->Discover(dataset.series, &rng);
+  return SingleRun{res.graph, res.has_delays};
+}
+
+}  // namespace
+
+std::string ToString(MethodId id) {
+  switch (id) {
+    case MethodId::kCmlp:
+      return "cMLP";
+    case MethodId::kClstm:
+      return "cLSTM";
+    case MethodId::kTcdf:
+      return "TCDF";
+    case MethodId::kDvgnn:
+      return "DVGNN";
+    case MethodId::kCuts:
+      return "CUTS";
+    case MethodId::kCausalFormer:
+      return "CausalFormer";
+  }
+  return "unknown";
+}
+
+std::vector<MethodId> AllMethodIds() {
+  return {MethodId::kCmlp,  MethodId::kClstm, MethodId::kTcdf,
+          MethodId::kDvgnn, MethodId::kCuts,  MethodId::kCausalFormer};
+}
+
+RunMetrics RunMethod(MethodId method, DatasetKind kind,
+                     const std::vector<data::Dataset>& datasets,
+                     const ExperimentBudget& budget, uint64_t seed) {
+  RunMetrics metrics;
+  uint64_t run_seed = seed;
+  for (const auto& dataset : datasets) {
+    Stopwatch timer;
+    const SingleRun run =
+        RunOnce(method, kind, dataset, budget, run_seed++, nullptr);
+    const PrfScores prf = EvaluateGraph(dataset.truth, run.graph);
+    metrics.precision.push_back(prf.precision);
+    metrics.recall.push_back(prf.recall);
+    metrics.f1.push_back(prf.f1);
+    if (run.has_delays) {
+      metrics.pod.push_back(PrecisionOfDelay(dataset.truth, run.graph));
+      metrics.has_delays = true;
+    }
+    CF_LOG(kDebug) << ToString(method) << " on " << dataset.name << ": F1="
+                   << prf.f1 << " (" << timer.ElapsedSeconds() << "s)";
+  }
+  return metrics;
+}
+
+RunMetrics RunCausalFormerAblated(DatasetKind kind,
+                                  const std::vector<data::Dataset>& datasets,
+                                  const ExperimentBudget& budget, uint64_t seed,
+                                  const AblationSpec& ablation) {
+  RunMetrics metrics;
+  uint64_t run_seed = seed;
+  for (const auto& dataset : datasets) {
+    const SingleRun run = RunOnce(MethodId::kCausalFormer, kind, dataset,
+                                  budget, run_seed++, &ablation);
+    const PrfScores prf = EvaluateGraph(dataset.truth, run.graph);
+    metrics.precision.push_back(prf.precision);
+    metrics.recall.push_back(prf.recall);
+    metrics.f1.push_back(prf.f1);
+    metrics.pod.push_back(PrecisionOfDelay(dataset.truth, run.graph));
+    metrics.has_delays = true;
+  }
+  return metrics;
+}
+
+CausalGraph DiscoverWithMethod(MethodId method, DatasetKind kind,
+                               const data::Dataset& dataset,
+                               const ExperimentBudget& budget, uint64_t seed) {
+  return RunOnce(method, kind, dataset, budget, seed, nullptr).graph;
+}
+
+}  // namespace eval
+}  // namespace causalformer

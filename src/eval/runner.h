@@ -1,0 +1,61 @@
+#ifndef CAUSALFORMER_EVAL_RUNNER_H_
+#define CAUSALFORMER_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/method.h"
+#include "eval/experiment.h"
+#include "graph/metrics.h"
+
+/// \file
+/// Multi-seed experiment runner: trains a method on every dataset of a table
+/// row and collects precision/recall/F1/PoD per run.
+
+namespace causalformer {
+namespace eval {
+
+enum class MethodId { kCmlp, kClstm, kTcdf, kDvgnn, kCuts, kCausalFormer };
+
+std::string ToString(MethodId id);
+
+/// Table-1 column order.
+std::vector<MethodId> AllMethodIds();
+
+struct RunMetrics {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  std::vector<double> pod;  ///< only filled by delay-producing methods
+  bool has_delays = false;
+};
+
+/// CausalFormer ablation switches (Table 3). Defaults = the full model.
+struct AblationSpec {
+  bool use_interpretation = true;
+  bool use_relevance = true;
+  bool use_gradient = true;
+  bool bias_absorption = true;
+  bool multi_kernel = true;
+};
+
+/// Runs `method` on each dataset, evaluating against its ground truth.
+RunMetrics RunMethod(MethodId method, DatasetKind kind,
+                     const std::vector<data::Dataset>& datasets,
+                     const ExperimentBudget& budget, uint64_t seed);
+
+/// Runs CausalFormer with ablation switches applied (Table 3).
+RunMetrics RunCausalFormerAblated(DatasetKind kind,
+                                  const std::vector<data::Dataset>& datasets,
+                                  const ExperimentBudget& budget, uint64_t seed,
+                                  const AblationSpec& ablation);
+
+/// Single-dataset discovery returning the predicted graph (Fig. 8).
+CausalGraph DiscoverWithMethod(MethodId method, DatasetKind kind,
+                               const data::Dataset& dataset,
+                               const ExperimentBudget& budget, uint64_t seed);
+
+}  // namespace eval
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_EVAL_RUNNER_H_

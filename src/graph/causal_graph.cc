@@ -1,0 +1,101 @@
+#include "graph/causal_graph.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace causalformer {
+
+CausalGraph::CausalGraph(int num_series) : num_series_(num_series) {
+  CF_CHECK_GT(num_series, 0);
+  edge_index_.assign(num_series, std::vector<int>(num_series, 0));
+}
+
+void CausalGraph::AddEdge(int from, int to, int delay, double score) {
+  CF_CHECK_GE(from, 0);
+  CF_CHECK_LT(from, num_series_);
+  CF_CHECK_GE(to, 0);
+  CF_CHECK_LT(to, num_series_);
+  CF_CHECK_GE(delay, 0);
+  int& slot = edge_index_[from][to];
+  if (slot != 0) {
+    edges_[slot - 1] = CausalEdge{from, to, delay, score};
+    return;
+  }
+  edges_.push_back(CausalEdge{from, to, delay, score});
+  slot = static_cast<int>(edges_.size());
+}
+
+void CausalGraph::RemoveEdge(int from, int to) {
+  const int slot = edge_index_[from][to];
+  if (slot == 0) return;
+  const int idx = slot - 1;
+  const int last = static_cast<int>(edges_.size()) - 1;
+  if (idx != last) {
+    edges_[idx] = edges_[last];
+    edge_index_[edges_[idx].from][edges_[idx].to] = idx + 1;
+  }
+  edges_.pop_back();
+  edge_index_[from][to] = 0;
+}
+
+bool CausalGraph::HasEdge(int from, int to) const {
+  CF_CHECK_GE(from, 0);
+  CF_CHECK_LT(from, num_series_);
+  CF_CHECK_GE(to, 0);
+  CF_CHECK_LT(to, num_series_);
+  return edge_index_[from][to] != 0;
+}
+
+std::optional<CausalEdge> CausalGraph::FindEdge(int from, int to) const {
+  if (!HasEdge(from, to)) return std::nullopt;
+  return edges_[edge_index_[from][to] - 1];
+}
+
+std::vector<std::vector<bool>> CausalGraph::Adjacency() const {
+  std::vector<std::vector<bool>> adj(num_series_,
+                                     std::vector<bool>(num_series_, false));
+  for (const auto& e : edges_) adj[e.from][e.to] = true;
+  return adj;
+}
+
+CausalGraph CausalGraph::FromAdjacency(
+    const std::vector<std::vector<bool>>& adj) {
+  CF_CHECK(!adj.empty());
+  CausalGraph g(static_cast<int>(adj.size()));
+  for (size_t i = 0; i < adj.size(); ++i) {
+    CF_CHECK_EQ(adj[i].size(), adj.size());
+    for (size_t j = 0; j < adj[i].size(); ++j) {
+      if (adj[i][j]) g.AddEdge(static_cast<int>(i), static_cast<int>(j), 1);
+    }
+  }
+  return g;
+}
+
+std::string CausalGraph::ToDot(const std::vector<std::string>& names) const {
+  auto name = [&](int i) {
+    if (i < static_cast<int>(names.size())) return names[i];
+    return std::string("S") + std::to_string(i);
+  };
+  std::string out = "digraph causal {\n  rankdir=LR;\n";
+  for (int i = 0; i < num_series_; ++i) {
+    out += StrFormat("  \"%s\";\n", name(i).c_str());
+  }
+  for (const auto& e : edges_) {
+    out += StrFormat("  \"%s\" -> \"%s\" [label=\"d=%d\"];\n",
+                     name(e.from).c_str(), name(e.to).c_str(), e.delay);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string CausalGraph::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    parts.push_back(
+        StrFormat("S%d->S%d(d=%d)", e.from, e.to, e.delay));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace causalformer

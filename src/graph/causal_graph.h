@@ -1,0 +1,59 @@
+#ifndef CAUSALFORMER_GRAPH_CAUSAL_GRAPH_H_
+#define CAUSALFORMER_GRAPH_CAUSAL_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file
+/// Temporal causal graphs: directed edges `from -> to` annotated with a
+/// discrete delay d(e) in time slots (0 = instantaneous) and an optional
+/// discovery score. Self-loops (self-causation) are permitted, matching the
+/// problem formulation in Section 3 of the paper.
+
+namespace causalformer {
+
+struct CausalEdge {
+  int from = 0;
+  int to = 0;
+  int delay = 0;
+  double score = 1.0;
+};
+
+class CausalGraph {
+ public:
+  explicit CausalGraph(int num_series);
+
+  int num_series() const { return num_series_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<CausalEdge>& edges() const { return edges_; }
+
+  /// Adds or replaces the edge from -> to.
+  void AddEdge(int from, int to, int delay = 0, double score = 1.0);
+  void RemoveEdge(int from, int to);
+
+  bool HasEdge(int from, int to) const;
+  /// The edge record, if present.
+  std::optional<CausalEdge> FindEdge(int from, int to) const;
+
+  /// Dense boolean adjacency, adj[from][to].
+  std::vector<std::vector<bool>> Adjacency() const;
+
+  /// Builds a graph from a boolean adjacency matrix (delays default to 1).
+  static CausalGraph FromAdjacency(const std::vector<std::vector<bool>>& adj);
+
+  /// Graphviz DOT rendering; `names` may be empty (S0, S1, ... are used).
+  std::string ToDot(const std::vector<std::string>& names = {}) const;
+
+  /// Compact "S0->S1(d=2), ..." rendering for logs.
+  std::string ToString() const;
+
+ private:
+  int num_series_;
+  std::vector<CausalEdge> edges_;
+  std::vector<std::vector<int>> edge_index_;  // [from][to] -> idx+1, 0 = none
+};
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_GRAPH_CAUSAL_GRAPH_H_

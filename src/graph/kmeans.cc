@@ -1,0 +1,96 @@
+#include "graph/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+
+namespace causalformer {
+
+KMeans1dResult KMeans1d(const std::vector<double>& values, int k,
+                        int max_iterations) {
+  CF_CHECK(!values.empty());
+  CF_CHECK_GT(k, 0);
+
+  // Clamp k to the number of distinct values so no cluster starts empty.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  k = std::min<int>(k, static_cast<int>(sorted.size()));
+
+  // Quantile initialisation over the distinct sorted values.
+  std::vector<double> centroids(k);
+  for (int c = 0; c < k; ++c) {
+    const size_t idx =
+        static_cast<size_t>((sorted.size() - 1) * (c + 0.5) / k + 0.5);
+    centroids[c] = sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  KMeans1dResult result;
+  result.assignment.assign(values.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < values.size(); ++i) {
+      int best = 0;
+      double best_d = std::fabs(values[i] - centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        const double d = std::fabs(values[i] - centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<double> sum(k, 0.0);
+    std::vector<int> count(k, 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      sum[result.assignment[i]] += values[i];
+      ++count[result.assignment[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (count[c] > 0) centroids[c] = sum[c] / count[c];
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+  }
+
+  // Renumber clusters so centroids are ascending.
+  std::vector<int> order(k);
+  for (int c = 0; c < k; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return centroids[a] < centroids[b]; });
+  std::vector<int> rank(k);
+  for (int pos = 0; pos < k; ++pos) rank[order[pos]] = pos;
+  result.centroids.resize(k);
+  for (int c = 0; c < k; ++c) result.centroids[rank[c]] = centroids[c];
+  for (auto& a : result.assignment) a = rank[a];
+  return result;
+}
+
+std::vector<int> TopClusterIndices(const std::vector<double>& values, int k,
+                                   int top_m) {
+  CF_CHECK_GT(top_m, 0);
+  const KMeans1dResult res = KMeans1d(values, k);
+  const int actual_k = static_cast<int>(res.centroids.size());
+  const int effective_m = std::min(top_m, actual_k);
+  // With fewer distinct clusters than requested, selecting all clusters would
+  // mark everything causal; require strictly top clusters unless k collapsed
+  // to a single value (then everything is in one class).
+  const int threshold_rank = actual_k - effective_m;
+  std::vector<int> out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (res.assignment[i] >= threshold_rank && actual_k > 1) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace causalformer

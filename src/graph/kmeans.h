@@ -1,0 +1,34 @@
+#ifndef CAUSALFORMER_GRAPH_KMEANS_H_
+#define CAUSALFORMER_GRAPH_KMEANS_H_
+
+#include <vector>
+
+/// \file
+/// One-dimensional k-means (Lloyd's algorithm [46]) used by the causal graph
+/// construction step (Section 4.2.3): the causal scores of each target series
+/// are clustered into n classes and the top-m classes (by centroid) become
+/// edges. Initialisation is deterministic (evenly spaced quantiles of the
+/// sorted values), so discovery is reproducible.
+
+namespace causalformer {
+
+struct KMeans1dResult {
+  std::vector<double> centroids;  ///< ascending order
+  std::vector<int> assignment;    ///< cluster id per input value
+  int iterations = 0;
+};
+
+/// Runs Lloyd's algorithm on scalars. `k` is clamped to the number of
+/// distinct values; duplicated centroids are collapsed.
+KMeans1dResult KMeans1d(const std::vector<double>& values, int k,
+                        int max_iterations = 100);
+
+/// Indices of the values assigned to the `top_m` highest-centroid clusters
+/// after clustering into `k` clusters. This is the Top[m/n] selection of the
+/// paper; a larger m/k yields a denser causal graph.
+std::vector<int> TopClusterIndices(const std::vector<double>& values, int k,
+                                   int top_m);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_GRAPH_KMEANS_H_

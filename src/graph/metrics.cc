@@ -1,0 +1,149 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+
+ConfusionCounts CountEdges(const CausalGraph& truth, const CausalGraph& pred,
+                           bool include_self) {
+  CF_CHECK_EQ(truth.num_series(), pred.num_series());
+  const int n = truth.num_series();
+  ConfusionCounts counts;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!include_self && i == j) continue;
+      const bool t = truth.HasEdge(i, j);
+      const bool p = pred.HasEdge(i, j);
+      if (t && p) ++counts.true_positives;
+      if (!t && p) ++counts.false_positives;
+      if (t && !p) ++counts.false_negatives;
+    }
+  }
+  return counts;
+}
+
+PrfScores ScoresFromCounts(const ConfusionCounts& c) {
+  PrfScores s;
+  const int tp = c.true_positives;
+  if (tp + c.false_positives > 0) {
+    s.precision = static_cast<double>(tp) / (tp + c.false_positives);
+  }
+  if (tp + c.false_negatives > 0) {
+    s.recall = static_cast<double>(tp) / (tp + c.false_negatives);
+  }
+  if (s.precision + s.recall > 0.0) {
+    s.f1 = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+PrfScores EvaluateGraph(const CausalGraph& truth, const CausalGraph& pred,
+                        bool include_self) {
+  return ScoresFromCounts(CountEdges(truth, pred, include_self));
+}
+
+double PrecisionOfDelay(const CausalGraph& truth, const CausalGraph& pred,
+                        bool include_self) {
+  CF_CHECK_EQ(truth.num_series(), pred.num_series());
+  int tp = 0;
+  int delay_correct = 0;
+  for (const auto& e : pred.edges()) {
+    if (!include_self && e.from == e.to) continue;
+    const auto gt = truth.FindEdge(e.from, e.to);
+    if (!gt.has_value()) continue;
+    ++tp;
+    if (gt->delay == e.delay) ++delay_correct;
+  }
+  if (tp == 0) return 0.0;
+  return static_cast<double>(delay_correct) / tp;
+}
+
+namespace {
+
+// Collects (score, is_positive) pairs over all candidate cells.
+std::vector<std::pair<double, bool>> LabeledScores(const CausalGraph& truth,
+                                                   const ScoreMatrix& scores,
+                                                   bool include_self) {
+  CF_CHECK_EQ(truth.num_series(), scores.num_series());
+  std::vector<std::pair<double, bool>> out;
+  const int n = truth.num_series();
+  out.reserve(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!include_self && i == j) continue;
+      out.emplace_back(scores.at(i, j), truth.HasEdge(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double Auroc(const CausalGraph& truth, const ScoreMatrix& scores,
+             bool include_self) {
+  auto labeled = LabeledScores(truth, scores, include_self);
+  int64_t pos = 0, neg = 0;
+  for (const auto& [s, y] : labeled) {
+    (void)s;
+    y ? ++pos : ++neg;
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  // Rank-sum (Mann–Whitney) formulation with midranks for ties.
+  std::sort(labeled.begin(), labeled.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < labeled.size()) {
+    size_t j = i;
+    while (j < labeled.size() && labeled[j].first == labeled[i].first) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labeled[k].second) rank_sum_pos += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double Auprc(const CausalGraph& truth, const ScoreMatrix& scores,
+             bool include_self) {
+  auto labeled = LabeledScores(truth, scores, include_self);
+  int64_t pos = 0;
+  for (const auto& [s, y] : labeled) {
+    (void)s;
+    if (y) ++pos;
+  }
+  if (pos == 0) return 0.0;
+  // Average precision: sum over positives of precision at each positive,
+  // descending by score (ties broken pessimistically: negatives first).
+  std::sort(labeled.begin(), labeled.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  double ap = 0.0;
+  int64_t tp = 0;
+  for (size_t k = 0; k < labeled.size(); ++k) {
+    if (labeled[k].second) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+    }
+  }
+  return ap / static_cast<double>(pos);
+}
+
+std::pair<double, double> MeanAndStd(const std::vector<double>& xs) {
+  if (xs.empty()) return {0.0, 0.0};
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace causalformer

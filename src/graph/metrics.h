@@ -1,0 +1,62 @@
+#ifndef CAUSALFORMER_GRAPH_METRICS_H_
+#define CAUSALFORMER_GRAPH_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/causal_graph.h"
+#include "graph/score_matrix.h"
+
+/// \file
+/// Evaluation metrics for temporal causal discovery: precision, recall,
+/// F1-score over directed edges; precision of delay (PoD) over true-positive
+/// edges; and threshold-free AUROC/AUPRC over raw causal scores (extension).
+
+namespace causalformer {
+
+struct ConfusionCounts {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+};
+
+/// Edge-set confusion between ground truth and prediction. Self-loops are
+/// included when `include_self` is true (the paper's formulation permits
+/// self-causation).
+ConfusionCounts CountEdges(const CausalGraph& truth, const CausalGraph& pred,
+                           bool include_self = true);
+
+struct PrfScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Precision/recall/F1 from counts (0 when undefined).
+PrfScores ScoresFromCounts(const ConfusionCounts& counts);
+
+/// Convenience: CountEdges + ScoresFromCounts.
+PrfScores EvaluateGraph(const CausalGraph& truth, const CausalGraph& pred,
+                        bool include_self = true);
+
+/// Precision of delay (PoD): among true-positive edges, the fraction whose
+/// predicted delay matches the ground-truth delay exactly. Returns 0 when
+/// there are no true positives.
+double PrecisionOfDelay(const CausalGraph& truth, const CausalGraph& pred,
+                        bool include_self = true);
+
+/// Area under the ROC curve of `scores` against the truth's edge set.
+/// Diagonal cells are skipped when `include_self` is false.
+double Auroc(const CausalGraph& truth, const ScoreMatrix& scores,
+             bool include_self = true);
+
+/// Area under the precision-recall curve (average precision formulation).
+double Auprc(const CausalGraph& truth, const ScoreMatrix& scores,
+             bool include_self = true);
+
+/// Sample mean and (population, denominator n) standard deviation.
+std::pair<double, double> MeanAndStd(const std::vector<double>& xs);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_GRAPH_METRICS_H_

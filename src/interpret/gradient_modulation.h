@@ -1,0 +1,30 @@
+#ifndef CAUSALFORMER_INTERPRET_GRADIENT_MODULATION_H_
+#define CAUSALFORMER_INTERPRET_GRADIENT_MODULATION_H_
+
+#include "tensor/tensor.h"
+
+/// \file
+/// Gradient modulation (Eq. 19): the causal score of an input node is
+///
+///     S = ( |∇f| ⊙ R )_+
+///
+/// — relevance strengthened where the model output is sensitive, rectified so
+/// only positive evidence counts. Averaging over attention heads / batch
+/// elements (the E_h of Eq. 19) is done by the caller, which owns those axes.
+
+namespace causalformer {
+namespace interpret {
+
+/// Elementwise max(0, |gradient| * relevance). Shapes must match.
+Tensor ModulateByGradient(const Tensor& relevance, const Tensor& gradient);
+
+/// Variants used by the Table-3 ablations:
+/// "w/o relevance": S = |gradient| alone.
+Tensor AbsGradientScore(const Tensor& gradient);
+/// "w/o gradient": S = max(0, relevance) alone.
+Tensor RectifiedRelevanceScore(const Tensor& relevance);
+
+}  // namespace interpret
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_INTERPRET_GRADIENT_MODULATION_H_

@@ -1,0 +1,117 @@
+#include "interpret/relevance.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace interpret {
+
+namespace {
+
+// f + eps * sign(f), with sign(0) := +1, so s = R / f never divides by zero.
+Tensor Stabilize(const Tensor& f, float eps) {
+  Tensor out = Tensor::Zeros(f.shape());
+  const float* pf = f.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < f.numel(); ++i) {
+    po[i] = pf[i] + (pf[i] >= 0.0f ? eps : -eps);
+  }
+  return out;
+}
+
+// cot = R / stabilize(f), computed without touching the tape.
+Tensor SafeRatio(const Tensor& relevance, const Tensor& f, float eps) {
+  Tensor denom = Stabilize(f, eps);
+  Tensor out = Tensor::Zeros(f.shape());
+  const float* pr = relevance.data();
+  const float* pd = denom.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < f.numel(); ++i) po[i] = pr[i] / pd[i];
+  return out;
+}
+
+// a ⊙ b elementwise on raw buffers (same shape), off-tape.
+Tensor HadamardRaw(const Tensor& a, const Tensor& b) {
+  CF_CHECK(a.shape() == b.shape());
+  Tensor out = Tensor::Zeros(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+// A "bias add": Add(h, b) where b is a leaf parameter broadcast against h.
+// Used by the w/o-bias ablation to route relevance past biases.
+bool IsBiasAdd(const Node& node) {
+  if (node.op != "add" || node.inputs.size() != 2) return false;
+  const Tensor& data = node.inputs[0];
+  const Tensor& bias = node.inputs[1];
+  if (!bias.defined() || !data.defined()) return false;
+  // A computed activation plus a leaf parameter — the Linear layout.
+  return data.grad_fn() != nullptr && bias.grad_fn() == nullptr &&
+         bias.requires_grad() && bias.numel() <= data.numel();
+}
+
+}  // namespace
+
+RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
+                                const RelevanceOptions& options) {
+  CF_CHECK(output.defined());
+  CF_CHECK(seed.defined());
+  CF_CHECK(seed.shape() == output.shape())
+      << "relevance seed " << seed.shape().ToString() << " vs output "
+      << output.shape().ToString();
+
+  RelevanceMap relevance;
+  relevance[output.impl()] = seed.Clone();
+
+  for (const Tensor& t : ReverseTopoOrder(output)) {
+    const auto it = relevance.find(t.impl());
+    if (it == relevance.end()) continue;
+    const Tensor r_out = it->second;
+    const auto& fn = t.grad_fn();
+    if (fn == nullptr) continue;
+
+    std::vector<Tensor> contributions(fn->inputs.size());
+    if (!options.bias_absorption && IsBiasAdd(*fn)) {
+      // Route everything through the data operand; the bias gets nothing.
+      contributions[0] = ReduceToShape(r_out, fn->inputs[0].shape());
+    } else {
+      // Generic Eq. (17)/(18): R_in = x ⊙ vjp(R_out / f_out).
+      const Tensor s = SafeRatio(r_out, t, options.epsilon);
+      const std::vector<Tensor> cots = fn->vjp(t, s);
+      CF_CHECK_EQ(cots.size(), fn->inputs.size());
+      for (size_t i = 0; i < fn->inputs.size(); ++i) {
+        if (!fn->inputs[i].defined() || !cots[i].defined()) continue;
+        contributions[i] = HadamardRaw(fn->inputs[i], cots[i]);
+      }
+    }
+
+    for (size_t i = 0; i < fn->inputs.size(); ++i) {
+      const Tensor& input = fn->inputs[i];
+      const Tensor& contrib = contributions[i];
+      if (!input.defined() || !contrib.defined()) continue;
+      auto [slot, inserted] = relevance.try_emplace(input.impl(), Tensor());
+      if (inserted) {
+        slot->second = contrib.Clone();
+      } else {
+        float* dst = slot->second.data();
+        const float* src = contrib.data();
+        for (int64_t k = 0; k < contrib.numel(); ++k) dst[k] += src[k];
+      }
+    }
+  }
+  return relevance;
+}
+
+Tensor RelevanceOf(const RelevanceMap& map, const Tensor& t) {
+  const auto it = map.find(t.impl());
+  if (it == map.end()) return Tensor();
+  return it->second;
+}
+
+}  // namespace interpret
+}  // namespace causalformer

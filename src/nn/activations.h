@@ -1,0 +1,27 @@
+#ifndef CAUSALFORMER_NN_ACTIVATIONS_H_
+#define CAUSALFORMER_NN_ACTIVATIONS_H_
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+/// \file
+/// Stateless activation helpers beyond the raw tensor ops, plus dropout.
+
+namespace causalformer {
+namespace nn {
+
+/// Inverted dropout: zeroes elements with probability `p` and scales the
+/// survivors by 1/(1-p). Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng);
+
+/// Gaussian Error Linear Unit (tanh approximation).
+Tensor Gelu(const Tensor& x);
+
+/// Elementwise clamp into [lo, hi] with straight-through gradient inside the
+/// interval and zero outside.
+Tensor Clamp(const Tensor& x, float lo, float hi);
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_ACTIVATIONS_H_

@@ -1,0 +1,46 @@
+#ifndef CAUSALFORMER_NN_CONV1D_H_
+#define CAUSALFORMER_NN_CONV1D_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+/// \file
+/// Causal (left-padded) dilated 1-D convolution, the building block of the
+/// TCDF baseline's temporal convolutional network. Output at time t depends
+/// only on inputs at times <= t (or < t with `shift_right`, which TCDF uses
+/// on the first layer so a series cannot predict itself from its own present).
+
+namespace causalformer {
+namespace nn {
+
+/// Functional form: x [B, C_in, T], weight [C_out, C_in/groups, K],
+/// bias [C_out] (optional, pass undefined Tensor to skip).
+/// Dilation d makes tap k look back (K-1-k)*d steps.
+Tensor CausalConv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                    int64_t dilation, int64_t groups, bool shift_right = false);
+
+class Conv1dCausal : public Module {
+ public:
+  Conv1dCausal(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t dilation, int64_t groups, Rng* rng, bool bias = true);
+
+  /// x: [B, C_in, T] -> [B, C_out, T].
+  Tensor Forward(const Tensor& x, bool shift_right = false) const;
+
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  int64_t dilation_;
+  int64_t groups_;
+  Tensor weight_;  // [C_out, C_in/groups, K]
+  Tensor bias_;    // [C_out] or undefined
+};
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_CONV1D_H_

@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace nn {
+
+Tensor HeNormal(const Shape& shape, int64_t fan_in, Rng* rng) {
+  CF_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  Tensor t = Tensor::Randn(shape, rng);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] *= stddev;
+  return t;
+}
+
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng* rng) {
+  CF_CHECK_GT(fan_in + fan_out, 0);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(shape, -a, a, rng);
+}
+
+}  // namespace nn
+}  // namespace causalformer

@@ -1,0 +1,25 @@
+#ifndef CAUSALFORMER_NN_INIT_H_
+#define CAUSALFORMER_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+/// \file
+/// Weight initialization. The paper uses He initialization [51] for the
+/// causality-aware transformer; Xavier is provided for the tanh/sigmoid-heavy
+/// baselines (cLSTM).
+
+namespace causalformer {
+namespace nn {
+
+/// He (Kaiming) normal: N(0, sqrt(2 / fan_in)).
+Tensor HeNormal(const Shape& shape, int64_t fan_in, Rng* rng);
+
+/// Xavier (Glorot) uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(const Shape& shape, int64_t fan_in, int64_t fan_out,
+                     Rng* rng);
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_INIT_H_

@@ -1,0 +1,36 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  CF_CHECK_GT(in_features, 0);
+  CF_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", HeNormal(Shape{in_features, out_features}, in_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CF_CHECK_GE(x.ndim(), 1);
+  CF_CHECK_EQ(x.dim(-1), in_features_)
+      << "Linear expects trailing dim " << in_features_ << ", got "
+      << x.shape().ToString();
+  Tensor h;
+  if (x.ndim() == 1) {
+    h = Squeeze(MatMul(Unsqueeze(x, 0), weight_), 0);
+  } else {
+    h = MatMul(x, weight_);
+  }
+  if (bias_.defined()) h = Add(h, bias_);
+  return h;
+}
+
+}  // namespace nn
+}  // namespace causalformer

@@ -1,0 +1,36 @@
+#ifndef CAUSALFORMER_NN_LINEAR_H_
+#define CAUSALFORMER_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+/// \file
+/// Fully connected layer y = x W + b with W in R^{in x out}.
+
+namespace causalformer {
+namespace nn {
+
+class Linear : public Module {
+ public:
+  /// He-initialized weights; zero bias. `bias=false` omits the bias term.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias = true);
+
+  /// x: [..., in_features] -> [..., out_features].
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_LINEAR_H_

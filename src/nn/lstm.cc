@@ -1,0 +1,65 @@
+#include "nn/lstm.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = RegisterParameter(
+      "w_ih", XavierUniform(Shape{input_size, 4 * hidden_size}, input_size,
+                            4 * hidden_size, rng));
+  w_hh_ = RegisterParameter(
+      "w_hh", XavierUniform(Shape{hidden_size, 4 * hidden_size}, hidden_size,
+                            4 * hidden_size, rng));
+  // Forget-gate bias initialised to 1 (standard practice for gradient flow).
+  Tensor b = Tensor::Zeros(Shape{4 * hidden_size});
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) b.data()[i] = 1.0f;
+  bias_ = RegisterParameter("bias", b);
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return State{Tensor::Zeros(Shape{batch, hidden_size_}),
+               Tensor::Zeros(Shape{batch, hidden_size_})};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& prev) const {
+  CF_CHECK_EQ(x.ndim(), 2);
+  CF_CHECK_EQ(x.dim(1), input_size_);
+  const Tensor gates =
+      Add(Add(MatMul(x, w_ih_), MatMul(prev.h, w_hh_)), bias_);
+  const int64_t h = hidden_size_;
+  const Tensor i = Sigmoid(Slice(gates, 1, 0, h));
+  const Tensor f = Sigmoid(Slice(gates, 1, h, 2 * h));
+  const Tensor g = Tanh(Slice(gates, 1, 2 * h, 3 * h));
+  const Tensor o = Sigmoid(Slice(gates, 1, 3 * h, 4 * h));
+  State next;
+  next.c = Add(Mul(f, prev.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Tensor Lstm::Forward(const Tensor& x) const {
+  CF_CHECK_EQ(x.ndim(), 3) << "Lstm expects [B, T, input]";
+  const int64_t batch = x.dim(0);
+  const int64_t steps = x.dim(1);
+  LstmCell::State state = cell_.InitialState(batch);
+  std::vector<Tensor> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    const Tensor xt = Squeeze(Slice(x, 1, t, t + 1), 1);  // [B, input]
+    state = cell_.Step(xt, state);
+    outputs.push_back(Unsqueeze(state.h, 1));  // [B, 1, H]
+  }
+  return Concat(outputs, 1);
+}
+
+}  // namespace nn
+}  // namespace causalformer

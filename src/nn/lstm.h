@@ -1,0 +1,61 @@
+#ifndef CAUSALFORMER_NN_LSTM_H_
+#define CAUSALFORMER_NN_LSTM_H_
+
+#include <utility>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+/// \file
+/// A standard LSTM used by the cLSTM baseline (neural Granger causality).
+/// Gates are packed [i | f | g | o] along the hidden axis.
+
+namespace causalformer {
+namespace nn {
+
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  struct State {
+    Tensor h;  // [B, H]
+    Tensor c;  // [B, H]
+  };
+
+  /// One step: x is [B, input_size].
+  State Step(const Tensor& x, const State& prev) const;
+
+  State InitialState(int64_t batch) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  /// Input-to-hidden weights [input, 4H] — the cLSTM causal scores read the
+  /// per-input-column norms of this matrix.
+  const Tensor& w_ih() const { return w_ih_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_ih_;  // [input, 4H]
+  Tensor w_hh_;  // [H, 4H]
+  Tensor bias_;  // [4H]
+};
+
+/// Unrolled LSTM over a [B, T, input] sequence; returns hidden states
+/// [B, T, H].
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  const LstmCell& cell() const { return cell_; }
+
+ private:
+  LstmCell cell_;
+};
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_LSTM_H_

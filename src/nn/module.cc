@@ -1,0 +1,50 @@
+#include "nn/module.h"
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) {
+    (void)name;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out = params_;
+  for (const auto& [prefix, child] : children_) {
+    for (const auto& [name, t] : child->NamedParameters()) {
+      out.emplace_back(prefix + "." + name, t);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& t : Parameters()) n += t.numel();
+  return n;
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  CF_CHECK(t.defined());
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  CF_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace nn
+}  // namespace causalformer

@@ -1,0 +1,54 @@
+#ifndef CAUSALFORMER_NN_MODULE_H_
+#define CAUSALFORMER_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file
+/// Base class for neural network modules: a registry of learnable parameters
+/// and child modules, so optimizers can discover every parameter and the
+/// trainer can zero gradients between steps.
+
+namespace causalformer {
+namespace nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children (depth-first).
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical names ("child.weight").
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Zeroes gradient buffers of every parameter.
+  void ZeroGrad();
+
+  /// Total learnable scalar count.
+  int64_t NumParameters() const;
+
+ protected:
+  /// Registers (and returns) a learnable tensor. Sets requires_grad.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+
+  /// Registers a child whose parameters are reported with a name prefix.
+  /// The child must outlive this module (typically a member).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_MODULE_H_

@@ -1,0 +1,34 @@
+#ifndef CAUSALFORMER_NN_SERIALIZE_H_
+#define CAUSALFORMER_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+/// \file
+/// Binary checkpointing for modules. Parameters are stored by hierarchical
+/// name ("ffn1.weight"), so a checkpoint can be reloaded into any module with
+/// the same architecture — e.g. train a CausalityTransformer once, persist
+/// it, and run the causality detector later or in another process.
+///
+/// Format (little-endian):
+///   magic "CFPM" | u32 version | u64 param_count |
+///   per parameter: u64 name_len | name bytes | u32 ndim | u64 dims[ndim] |
+///                  f32 data[numel]
+
+namespace causalformer {
+namespace nn {
+
+/// Writes every named parameter of `module` to `path` (overwrites).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every parameter in the file must exist
+/// in the module with an identical shape; extra module parameters are an
+/// error too (the checkpoint must describe the same architecture).
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_NN_SERIALIZE_H_

@@ -1,0 +1,49 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+namespace causalformer {
+namespace optim {
+
+Adam::Adam(std::vector<Tensor> params, const AdamOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    if (!g.defined()) continue;
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      const float grad = pg[k];
+      m[k] = b1 * m[k] + (1.0f - b1) * grad;
+      v[k] = b2 * v[k] + (1.0f - b2) * grad * grad;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      float update = options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      if (options_.weight_decay > 0.0f) {
+        update += options_.lr * options_.weight_decay * pp[k];
+      }
+      pp[k] -= update;
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace causalformer

@@ -1,0 +1,45 @@
+#ifndef CAUSALFORMER_OPTIM_ADAM_H_
+#define CAUSALFORMER_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+/// \file
+/// Adam (Kingma & Ba) with bias correction and optional decoupled weight
+/// decay (AdamW when weight_decay > 0). The paper optimises the
+/// causality-aware transformer with Adam + early stopping.
+
+namespace causalformer {
+namespace optim {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, const AdamOptions& options);
+  Adam(std::vector<Tensor> params, float lr)
+      : Adam(std::move(params), AdamOptions{.lr = lr}) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  AdamOptions options_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace optim
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OPTIM_ADAM_H_

@@ -1,0 +1,3 @@
+// early_stopping.h is header-only; this file anchors the translation unit so
+// the target has a consistent source list.
+#include "optim/early_stopping.h"

@@ -1,0 +1,45 @@
+#ifndef CAUSALFORMER_OPTIM_EARLY_STOPPING_H_
+#define CAUSALFORMER_OPTIM_EARLY_STOPPING_H_
+
+#include <cstdint>
+#include <limits>
+
+/// \file
+/// Patience-based early stopping on a monitored loss, as used by the paper's
+/// training scheme ("optimized by Adam with the early stop strategy").
+
+namespace causalformer {
+namespace optim {
+
+class EarlyStopping {
+ public:
+  /// Stops after `patience` consecutive epochs without an improvement of at
+  /// least `min_delta` over the best observed loss.
+  explicit EarlyStopping(int patience = 10, double min_delta = 1e-5)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Records an epoch loss; returns true if training should stop.
+  bool Update(double loss) {
+    if (loss < best_ - min_delta_) {
+      best_ = loss;
+      bad_epochs_ = 0;
+    } else {
+      ++bad_epochs_;
+    }
+    return bad_epochs_ >= patience_;
+  }
+
+  double best() const { return best_; }
+  int bad_epochs() const { return bad_epochs_; }
+
+ private:
+  int patience_;
+  double min_delta_;
+  double best_ = std::numeric_limits<double>::infinity();
+  int bad_epochs_ = 0;
+};
+
+}  // namespace optim
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OPTIM_EARLY_STOPPING_H_

@@ -1,0 +1,44 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    CF_CHECK(p.defined());
+    CF_CHECK(p.requires_grad()) << "optimizer parameter must require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  CF_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const auto& p : params_) {
+    const Tensor g = p.grad();
+    if (!g.defined()) continue;
+    const float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) sq += double(pg[i]) * pg[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (auto& p : params_) {
+      Tensor g = p.grad();
+      if (!g.defined()) continue;
+      float* pg = g.data();
+      for (int64_t i = 0; i < g.numel(); ++i) pg[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace causalformer

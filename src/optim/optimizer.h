@@ -1,0 +1,41 @@
+#ifndef CAUSALFORMER_OPTIM_OPTIMIZER_H_
+#define CAUSALFORMER_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file
+/// First-order optimizers over a fixed parameter list. Parameters are tensor
+/// handles sharing storage with the model, so Step() updates the model in
+/// place. Gradients are read from each parameter's grad buffer.
+
+namespace causalformer {
+namespace optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Scales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+}  // namespace optim
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,37 @@
+#include "optim/sgd.h"
+
+namespace causalformer {
+namespace optim {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const Tensor g = p.grad();
+    if (!g.defined()) continue;
+    float* pp = p.data();
+    const float* pg = g.data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      float* v = velocity_[i].data();
+      for (int64_t k = 0; k < n; ++k) {
+        v[k] = momentum_ * v[k] + pg[k];
+        pp[k] -= lr_ * v[k];
+      }
+    } else {
+      for (int64_t k = 0; k < n; ++k) pp[k] -= lr_ * pg[k];
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace causalformer

@@ -1,0 +1,32 @@
+#ifndef CAUSALFORMER_OPTIM_SGD_H_
+#define CAUSALFORMER_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+/// \file
+/// Stochastic gradient descent with optional classical momentum.
+
+namespace causalformer {
+namespace optim {
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace optim
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OPTIM_SGD_H_

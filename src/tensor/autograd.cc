@@ -1,0 +1,111 @@
+#include "tensor/autograd.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace causalformer {
+
+Tensor MakeOp(const std::string& name, std::vector<Tensor> inputs, Tensor out,
+              VjpFn vjp) {
+  CF_CHECK(out.defined());
+  bool needs_grad = false;
+  for (const auto& in : inputs) {
+    if (in.defined() && in.requires_grad()) {
+      needs_grad = true;
+      break;
+    }
+  }
+  if (needs_grad) {
+    auto node = std::make_shared<Node>();
+    node->op = name;
+    node->inputs = std::move(inputs);
+    node->vjp = std::move(vjp);
+    out.set_requires_grad(true);
+    out.set_grad_fn(std::move(node));
+  }
+  return out;
+}
+
+std::vector<Tensor> ReverseTopoOrder(const Tensor& root) {
+  CF_CHECK(root.defined());
+  std::vector<Tensor> post_order;
+  std::unordered_set<internal::TensorImpl*> visited;
+
+  // Iterative DFS (graphs can be deep, e.g. LSTM over long sequences).
+  struct Frame {
+    Tensor tensor;
+    size_t next_input = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root});
+  visited.insert(root.impl());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& fn = frame.tensor.grad_fn();
+    if (fn == nullptr || frame.next_input >= fn->inputs.size()) {
+      post_order.push_back(frame.tensor);
+      stack.pop_back();
+      continue;
+    }
+    const Tensor& input = fn->inputs[frame.next_input++];
+    if (input.defined() && visited.insert(input.impl()).second) {
+      stack.push_back({input});
+    }
+  }
+  // Post-order lists inputs before consumers; reverse so consumers come first.
+  std::vector<Tensor> order(post_order.rbegin(), post_order.rend());
+  return order;
+}
+
+void RunBackward(const Tensor& root, const Tensor& seed) {
+  CF_CHECK(root.defined());
+  CF_CHECK(seed.defined());
+  CF_CHECK(seed.shape() == root.shape())
+      << "seed shape " << seed.shape().ToString() << " vs root "
+      << root.shape().ToString();
+  if (!root.requires_grad()) return;
+
+  std::unordered_map<internal::TensorImpl*, Tensor> cotangents;
+  cotangents[root.impl()] = seed.Clone();
+
+  for (const Tensor& t : ReverseTopoOrder(root)) {
+    auto it = cotangents.find(t.impl());
+    if (it == cotangents.end()) continue;  // no gradient flows here
+    const Tensor cot = it->second;
+    if (t.requires_grad()) {
+      // Retain gradients on intermediates too: the detector reads them.
+      const_cast<Tensor&>(t).AccumulateGrad(cot);
+    }
+    const auto& fn = t.grad_fn();
+    if (fn == nullptr) continue;
+    const std::vector<Tensor> input_cots = fn->vjp(t, cot);
+    CF_CHECK_EQ(input_cots.size(), fn->inputs.size())
+        << "vjp arity mismatch in op " << fn->op;
+    for (size_t i = 0; i < fn->inputs.size(); ++i) {
+      const Tensor& input = fn->inputs[i];
+      const Tensor& g = input_cots[i];
+      if (!input.defined() || !g.defined()) continue;
+      if (!input.requires_grad() && input.grad_fn() == nullptr) continue;
+      CF_CHECK(g.shape() == input.shape())
+          << "vjp shape mismatch in op " << fn->op << ": input "
+          << input.shape().ToString() << " got " << g.shape().ToString();
+      // Clone on first insert: a vjp may return an alias of its own cotangent
+      // (e.g. Add), and accumulating in place would corrupt shared buffers.
+      auto [slot, inserted] = cotangents.try_emplace(input.impl(), Tensor());
+      if (inserted) {
+        slot->second = g.Clone();
+      } else {
+        // Accumulate into the existing cotangent buffer.
+        Tensor& acc = slot->second;
+        float* dst = acc.data();
+        const float* src = g.data();
+        const int64_t n = acc.numel();
+        for (int64_t k = 0; k < n; ++k) dst[k] += src[k];
+      }
+    }
+  }
+}
+
+}  // namespace causalformer

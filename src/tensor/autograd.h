@@ -1,0 +1,57 @@
+#ifndef CAUSALFORMER_TENSOR_AUTOGRAD_H_
+#define CAUSALFORMER_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file
+/// Define-by-run reverse-mode automatic differentiation.
+///
+/// Each differentiable op calls MakeOp() with a vector-Jacobian-product (VJP)
+/// closure: given the op's output value and an output cotangent, the closure
+/// returns one cotangent per input (an undefined Tensor marks a
+/// non-differentiable input). RunBackward() walks the tape in reverse
+/// topological order and accumulates gradients into every tensor that
+/// requires them — including intermediates, which the causality detector
+/// reads (attention matrices) for gradient modulation.
+///
+/// The same tape drives regression relevance propagation: Eq. (17) of the
+/// paper, R_in = x ⊙ (∂f/∂x)ᵀ s with s = R_out / f_out, reuses exactly these
+/// VJP closures (see interpret/relevance.h).
+
+namespace causalformer {
+
+/// VJP: (output value, output cotangent) -> cotangent per input.
+using VjpFn =
+    std::function<std::vector<Tensor>(const Tensor& out, const Tensor& cot)>;
+
+/// A recorded op on the tape, owned by its output tensor.
+struct Node {
+  std::string op;              ///< op name, for debugging and relevance hooks
+  std::vector<Tensor> inputs;  ///< inputs in call order
+  VjpFn vjp;                   ///< reverse rule
+};
+
+/// Wires `out` as the result of op `name` over `inputs`: if any input requires
+/// grad, marks `out` as requiring grad and attaches a Node with the given VJP.
+/// Returns `out` for chaining.
+Tensor MakeOp(const std::string& name, std::vector<Tensor> inputs, Tensor out,
+              VjpFn vjp);
+
+/// Tensors reachable from `root` through grad_fn edges, in an order where
+/// every tensor appears before any of its inputs (reverse topological order
+/// of the data-flow DAG). `root` is first.
+std::vector<Tensor> ReverseTopoOrder(const Tensor& root);
+
+/// Runs reverse-mode accumulation from `root` seeded with `seed` (same shape
+/// as `root`). Gradients are accumulated into impl->grad of every tensor with
+/// requires_grad — leaves and intermediates alike.
+void RunBackward(const Tensor& root, const Tensor& seed);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_TENSOR_AUTOGRAD_H_

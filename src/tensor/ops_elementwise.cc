@@ -1,0 +1,238 @@
+#include <cmath>
+#include <functional>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+
+namespace {
+
+// Applies fn(a_i, b_i) with NumPy broadcasting. Fast paths: identical shapes
+// and scalar operands; general path walks output indices with stride-0 for
+// broadcast dimensions.
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
+                       const std::function<float(float, float)>& fn) {
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out = Tensor::Zeros(out_shape);
+  float* o = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = out_shape.numel();
+
+  if (a.shape() == b.shape()) {
+    for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  if (a.numel() == 1) {
+    const float va = pa[0];
+    for (int64_t i = 0; i < n; ++i) o[i] = fn(va, pb[i]);
+    return out;
+  }
+  if (b.numel() == 1) {
+    const float vb = pb[0];
+    for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], vb);
+    return out;
+  }
+
+  // General case: per-dimension strides, 0 where the operand broadcasts.
+  const int nd = out_shape.ndim();
+  std::vector<int64_t> sa(nd, 0), sb(nd, 0), idx(nd, 0);
+  {
+    const auto stra = ContiguousStrides(a.shape());
+    const auto strb = ContiguousStrides(b.shape());
+    for (int i = 1; i <= nd; ++i) {
+      if (i <= a.ndim() && a.shape()[a.ndim() - i] != 1) {
+        sa[nd - i] = stra[a.ndim() - i];
+      }
+      if (i <= b.ndim() && b.shape()[b.ndim() - i] != 1) {
+        sb[nd - i] = strb[b.ndim() - i];
+      }
+    }
+  }
+  int64_t oa = 0, ob = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    o[i] = fn(pa[oa], pb[ob]);
+    // Odometer increment over the output index.
+    for (int d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+// Elementwise unary with VJP dX = dfn(x, y) * cot.
+Tensor UnaryOp(const std::string& name, const Tensor& x,
+               const std::function<float(float)>& fn,
+               const std::function<float(float, float)>& dfn_xy) {
+  Tensor out = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(px[i]);
+  return MakeOp(name, {x}, out,
+                [x, dfn_xy](const Tensor& y, const Tensor& cot) {
+                  Tensor gx = Tensor::Zeros(x.shape());
+                  const float* px = x.data();
+                  const float* py = y.data();
+                  const float* pc = cot.data();
+                  float* pg = gx.data();
+                  const int64_t n = x.numel();
+                  for (int64_t i = 0; i < n; ++i) {
+                    pg[i] = dfn_xy(px[i], py[i]) * pc[i];
+                  }
+                  return std::vector<Tensor>{gx};
+                });
+}
+
+}  // namespace
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  CF_CHECK(BroadcastableTo(target, t.shape()))
+      << "cannot reduce " << t.shape().ToString() << " to " << target.ToString();
+  Tensor out = Tensor::Zeros(target);
+  float* po = out.data();
+  const float* pt = t.data();
+  const int nd = t.ndim();
+  // Output strides aligned to t's trailing dims; 0 where target broadcasts.
+  std::vector<int64_t> so(nd, 0), idx(nd, 0);
+  const auto stro = ContiguousStrides(target);
+  for (int i = 1; i <= nd; ++i) {
+    if (i <= target.ndim() && target[target.ndim() - i] != 1) {
+      so[nd - i] = stro[target.ndim() - i];
+    }
+  }
+  const int64_t n = t.numel();
+  int64_t oo = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[oo] += pt[i];
+    for (int d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      oo += so[d];
+      if (idx[d] < t.shape()[d]) break;
+      oo -= so[d] * t.shape()[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+  return MakeOp("add", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
+    return std::vector<Tensor>{ReduceToShape(cot, a.shape()),
+                               ReduceToShape(cot, b.shape())};
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+  return MakeOp("sub", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
+    Tensor gb = Tensor::Zeros(cot.shape());
+    const float* pc = cot.data();
+    float* pg = gb.data();
+    for (int64_t i = 0; i < cot.numel(); ++i) pg[i] = -pc[i];
+    return std::vector<Tensor>{ReduceToShape(cot, a.shape()),
+                               ReduceToShape(gb, b.shape())};
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+  return MakeOp("mul", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
+    Tensor ga_full = BroadcastBinary(cot, b, [](float c, float y) { return c * y; });
+    Tensor gb_full = BroadcastBinary(cot, a, [](float c, float x) { return c * x; });
+    return std::vector<Tensor>{ReduceToShape(ga_full, a.shape()),
+                               ReduceToShape(gb_full, b.shape())};
+  });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+  return MakeOp("div", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
+    Tensor ga_full = BroadcastBinary(cot, b, [](float c, float y) { return c / y; });
+    Tensor tmp = BroadcastBinary(a, b, [](float x, float y) { return -x / (y * y); });
+    Tensor gb_full = BroadcastBinary(cot, tmp, [](float c, float t) { return c * t; });
+    return std::vector<Tensor>{ReduceToShape(ga_full, a.shape()),
+                               ReduceToShape(gb_full, b.shape())};
+  });
+}
+
+Tensor Neg(const Tensor& x) {
+  return UnaryOp("neg", x, [](float v) { return -v; },
+                 [](float, float) { return -1.0f; });
+}
+
+Tensor Scale(const Tensor& x, float c) {
+  return UnaryOp("scale", x, [c](float v) { return c * v; },
+                 [c](float, float) { return c; });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  return UnaryOp("add_scalar", x, [c](float v) { return v + c; },
+                 [](float, float) { return 1.0f; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp("exp", x, [](float v) { return std::exp(v); },
+                 [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  return UnaryOp("log", x, [](float v) { return std::log(v); },
+                 [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return UnaryOp("sqrt", x, [](float v) { return std::sqrt(v); },
+                 [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Abs(const Tensor& x) {
+  return UnaryOp("abs", x, [](float v) { return std::fabs(v); },
+                 [](float v, float) { return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Square(const Tensor& x) {
+  return UnaryOp("square", x, [](float v) { return v * v; },
+                 [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp("tanh", x, [](float v) { return std::tanh(v); },
+                 [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp("sigmoid", x,
+                 [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+                 [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp("relu", x, [](float v) { return v > 0.0f ? v : 0.0f; },
+                 [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return UnaryOp("leaky_relu", x,
+                 [slope](float v) { return v > 0.0f ? v : slope * v; },
+                 [slope](float v, float) { return v > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Pow(const Tensor& x, float exponent) {
+  return UnaryOp("pow", x,
+                 [exponent](float v) { return std::pow(v, exponent); },
+                 [exponent](float v, float) {
+                   return exponent * std::pow(v, exponent - 1.0f);
+                 });
+}
+
+}  // namespace causalformer

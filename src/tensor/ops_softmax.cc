@@ -1,0 +1,65 @@
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace causalformer {
+
+Tensor Softmax(const Tensor& x, int axis) {
+  int ax = axis;
+  if (ax < 0) ax += x.ndim();
+  CF_CHECK_GE(ax, 0);
+  CF_CHECK_LT(ax, x.ndim());
+
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < ax; ++i) outer *= x.shape()[i];
+  for (int i = ax + 1; i < x.ndim(); ++i) inner *= x.shape()[i];
+  const int64_t len = x.shape()[ax];
+
+  Tensor out = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      const int64_t base = o * len * inner + in;
+      float max_v = px[base];
+      for (int64_t l = 1; l < len; ++l) {
+        max_v = std::max(max_v, px[base + l * inner]);
+      }
+      float sum = 0.0f;
+      for (int64_t l = 0; l < len; ++l) {
+        const float e = std::exp(px[base + l * inner] - max_v);
+        po[base + l * inner] = e;
+        sum += e;
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t l = 0; l < len; ++l) po[base + l * inner] *= inv;
+    }
+  }
+
+  return MakeOp(
+      "softmax", {x}, out,
+      [outer, inner, len](const Tensor& y, const Tensor& cot) {
+        // dX = y * (cot - sum(cot * y, axis)).
+        Tensor g = Tensor::Zeros(y.shape());
+        const float* py = y.data();
+        const float* pc = cot.data();
+        float* pg = g.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t in = 0; in < inner; ++in) {
+            const int64_t base = o * len * inner + in;
+            float dot = 0.0f;
+            for (int64_t l = 0; l < len; ++l) {
+              dot += pc[base + l * inner] * py[base + l * inner];
+            }
+            for (int64_t l = 0; l < len; ++l) {
+              const int64_t k = base + l * inner;
+              pg[k] = py[k] * (pc[k] - dot);
+            }
+          }
+        }
+        return std::vector<Tensor>{g};
+      });
+}
+
+}  // namespace causalformer

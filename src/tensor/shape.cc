@@ -1,0 +1,65 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace causalformer {
+
+int64_t Shape::dim(int i) const {
+  if (i < 0) i += ndim();
+  CF_CHECK_GE(i, 0);
+  CF_CHECK_LT(i, ndim());
+  return dims_[i];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (const int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.ndim());
+  int64_t acc = 1;
+  for (int i = shape.ndim() - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+bool BroadcastableTo(const Shape& from, const Shape& to) {
+  if (from.ndim() > to.ndim()) return false;
+  for (int i = 1; i <= from.ndim(); ++i) {
+    const int64_t f = from[from.ndim() - i];
+    const int64_t t = to[to.ndim() - i];
+    if (f != t && f != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int nd = std::max(a.ndim(), b.ndim());
+  std::vector<int64_t> out(nd);
+  for (int i = 1; i <= nd; ++i) {
+    const int64_t da = i <= a.ndim() ? a[a.ndim() - i] : 1;
+    const int64_t db = i <= b.ndim() ? b[b.ndim() - i] : 1;
+    CF_CHECK(da == db || da == 1 || db == 1)
+        << "shapes not broadcastable: " << a.ToString() << " vs " << b.ToString();
+    out[nd - i] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace causalformer

@@ -1,0 +1,52 @@
+#ifndef CAUSALFORMER_TENSOR_SHAPE_H_
+#define CAUSALFORMER_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+/// \file
+/// Tensor shapes and broadcasting rules (NumPy semantics: align trailing
+/// dimensions; a dimension of size 1 broadcasts against any size).
+
+namespace causalformer {
+
+/// An immutable-by-convention list of dimension sizes.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  int64_t operator[](int i) const { return dim(i); }
+
+  /// Total element count (1 for a scalar / rank-0 shape).
+  int64_t numel() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[3, 4, 5]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+/// Row-major (C-order) strides for a contiguous tensor of this shape.
+std::vector<int64_t> ContiguousStrides(const Shape& shape);
+
+/// True if `from` can broadcast to `to` (aligning trailing dims).
+bool BroadcastableTo(const Shape& from, const Shape& to);
+
+/// The broadcast result shape of two operands; aborts if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_TENSOR_SHAPE_H_

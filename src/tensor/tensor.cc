@@ -1,0 +1,197 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tensor/autograd.h"
+#include "util/logging.h"
+
+namespace causalformer {
+
+namespace {
+
+std::shared_ptr<internal::TensorImpl> NewImpl(const Shape& shape,
+                                              bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return WrapImpl(NewImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = NewImpl(shape, requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  CF_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel())
+      << "FromVector size mismatch for shape " << shape.ToString();
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector(Shape{}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, bool requires_grad) {
+  CF_CHECK(rng != nullptr);
+  auto impl = NewImpl(shape, requires_grad);
+  for (auto& v : impl->data) v = static_cast<float>(rng->Normal());
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::Rand(const Shape& shape, float lo, float hi, Rng* rng,
+                    bool requires_grad) {
+  CF_CHECK(rng != nullptr);
+  auto impl = NewImpl(shape, requires_grad);
+  for (auto& v : impl->data) v = static_cast<float>(rng->Uniform(lo, hi));
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t = Zeros(Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) t.data()[i * n + i] = 1.0f;
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  CF_CHECK(defined()) << "shape() on undefined tensor";
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  CF_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CF_CHECK(defined());
+  return impl_->data.data();
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  CF_CHECK_EQ(static_cast<int>(idx.size()), ndim());
+  const auto strides = ContiguousStrides(shape());
+  int64_t offset = 0;
+  int d = 0;
+  for (const int64_t i : idx) {
+    CF_CHECK_GE(i, 0);
+    CF_CHECK_LT(i, shape()[d]);
+    offset += i * strides[d];
+    ++d;
+  }
+  return impl_->data[static_cast<size_t>(offset)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+float Tensor::item() const {
+  CF_CHECK_EQ(numel(), 1) << "item() on tensor with shape " << shape().ToString();
+  return impl_->data[0];
+}
+
+std::string Tensor::ToString(int max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << shape().ToString() << " [";
+  const int64_t n = std::min<int64_t>(numel(), max_per_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  CF_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+Tensor Tensor::grad() const {
+  CF_CHECK(defined());
+  if (!impl_->grad) return Tensor();
+  return WrapImpl(impl_->grad);
+}
+
+void Tensor::AccumulateGrad(const Tensor& g) {
+  CF_CHECK(defined());
+  CF_CHECK(g.defined());
+  CF_CHECK(g.shape() == shape())
+      << "grad shape " << g.shape().ToString() << " vs " << shape().ToString();
+  if (!impl_->grad) {
+    impl_->grad = std::make_shared<internal::TensorImpl>();
+    impl_->grad->shape = shape();
+    impl_->grad->data.assign(static_cast<size_t>(numel()), 0.0f);
+  }
+  float* dst = impl_->grad->data.data();
+  const float* src = g.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::ZeroGrad() {
+  CF_CHECK(defined());
+  if (impl_->grad) {
+    std::fill(impl_->grad->data.begin(), impl_->grad->data.end(), 0.0f);
+  }
+}
+
+const std::shared_ptr<Node>& Tensor::grad_fn() const {
+  CF_CHECK(defined());
+  return impl_->grad_fn;
+}
+
+void Tensor::set_grad_fn(std::shared_ptr<Node> node) {
+  CF_CHECK(defined());
+  impl_->grad_fn = std::move(node);
+}
+
+void Tensor::Backward() const {
+  CF_CHECK_EQ(numel(), 1) << "Backward() without seed requires a scalar output";
+  Backward(Tensor::Ones(shape()));
+}
+
+void Tensor::Backward(const Tensor& seed) const { RunBackward(*this, seed); }
+
+Tensor Tensor::Detach() const {
+  CF_CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy of values; cheap relative to safety
+  impl->requires_grad = false;
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+}  // namespace causalformer

@@ -1,0 +1,120 @@
+#ifndef CAUSALFORMER_TENSOR_TENSOR_H_
+#define CAUSALFORMER_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+/// \file
+/// Dense float32 tensor with value-handle semantics (copies share storage,
+/// like torch.Tensor) and hooks for reverse-mode automatic differentiation.
+///
+/// Tensors are always contiguous in row-major (C) order. The autograd tape is
+/// define-by-run: every differentiable op (see tensor/ops.h) records a Node
+/// holding its inputs and a vector-Jacobian-product closure. Backward() walks
+/// the tape; the same tape is reused by the interpretation module to perform
+/// regression relevance propagation (see interpret/relevance.h).
+
+namespace causalformer {
+
+struct Node;  // defined in tensor/autograd.h
+
+namespace internal {
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  bool requires_grad = false;
+  std::shared_ptr<TensorImpl> grad;  // lazily created, same shape
+  std::shared_ptr<Node> grad_fn;     // op that produced this tensor (if any)
+};
+
+}  // namespace internal
+
+class Tensor {
+ public:
+  /// An undefined (null) tensor; defined() is false.
+  Tensor() = default;
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// Scalar (rank-0) tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// i.i.d. N(0, 1) entries.
+  static Tensor Randn(const Shape& shape, Rng* rng, bool requires_grad = false);
+  /// i.i.d. Uniform[lo, hi) entries.
+  static Tensor Rand(const Shape& shape, float lo, float hi, Rng* rng,
+                     bool requires_grad = false);
+  /// Identity matrix of size n x n.
+  static Tensor Eye(int64_t n);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int ndim() const { return shape().ndim(); }
+  int64_t dim(int i) const { return shape().dim(i); }
+  int64_t numel() const { return shape().numel(); }
+
+  float* data();
+  const float* data() const;
+
+  /// Checked multi-dimensional element access (rank must match arity).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Value of a 1-element tensor.
+  float item() const;
+
+  std::string ToString(int max_per_dim = 8) const;
+
+  /// Identity key for maps over the autograd tape.
+  internal::TensorImpl* impl() const { return impl_.get(); }
+
+  // ---- Autograd ------------------------------------------------------------
+
+  bool requires_grad() const;
+  /// Marks this tensor as a leaf requiring gradients. Returns *this.
+  Tensor& set_requires_grad(bool value);
+
+  /// The accumulated gradient (undefined Tensor if none yet).
+  Tensor grad() const;
+  /// Adds `g` into the gradient buffer (creating it on first use).
+  void AccumulateGrad(const Tensor& g);
+  void ZeroGrad();
+
+  const std::shared_ptr<Node>& grad_fn() const;
+  void set_grad_fn(std::shared_ptr<Node> node);
+
+  /// Reverse-mode differentiation from this (scalar) tensor.
+  void Backward() const;
+  /// Reverse-mode differentiation with an explicit output cotangent.
+  void Backward(const Tensor& seed) const;
+
+  /// Same storage, detached from the tape (no grad_fn, no requires_grad).
+  Tensor Detach() const;
+  /// Deep copy of the data (detached).
+  Tensor Clone() const;
+
+  bool operator==(const Tensor& other) const { return impl_ == other.impl_; }
+
+ private:
+  friend Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl);
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Internal: wraps an impl into a Tensor handle.
+Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_TENSOR_TENSOR_H_

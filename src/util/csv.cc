@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace causalformer {
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  if (!header.empty()) {
+    out << StrJoin(header, ",") << '\n';
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << StrFormat("%.9g", row[i]);
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::vector<double>>> ReadCsv(const std::string& path,
+                                                   bool skip_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (StrTrim(line).empty()) continue;
+    std::vector<double> row;
+    for (const auto& field : StrSplit(line, ',')) {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || errno == ERANGE) {
+        return Status::InvalidArgument("non-numeric CSV field: '" + field + "'");
+      }
+      row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace causalformer

@@ -1,0 +1,26 @@
+#ifndef CAUSALFORMER_UTIL_CSV_H_
+#define CAUSALFORMER_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Minimal CSV I/O for exporting generated datasets and discovered graphs so
+/// results can be inspected or plotted outside the binary.
+
+namespace causalformer {
+
+/// Writes a row-major matrix (rows x cols) as CSV. Overwrites the file.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<double>>& rows,
+                const std::vector<std::string>& header = {});
+
+/// Reads a numeric CSV. If `skip_header` is true the first line is dropped.
+StatusOr<std::vector<std::vector<double>>> ReadCsv(const std::string& path,
+                                                   bool skip_header = false);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_CSV_H_

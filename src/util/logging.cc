@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace causalformer {
+namespace {
+
+const char* SeverityName(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  static const LogSeverity severity = [] {
+    const char* env = std::getenv("CF_LOG_LEVEL");
+    if (env == nullptr) return LogSeverity::kInfo;
+    const int level = std::atoi(env);
+    if (level <= 0) return LogSeverity::kDebug;
+    if (level >= 4) return LogSeverity::kFatal;
+    return static_cast<LogSeverity>(level);
+  }();
+  return severity;
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << SeverityName(severity) << " " << (base ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace causalformer

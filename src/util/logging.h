@@ -1,0 +1,88 @@
+#ifndef CAUSALFORMER_UTIL_LOGGING_H_
+#define CAUSALFORMER_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal logging and assertion facility in the style of glog.
+///
+/// Usage:
+///   CF_LOG(INFO) << "training epoch " << epoch;
+///   CF_CHECK(x > 0) << "x must be positive, got " << x;
+///   CF_CHECK_EQ(a, b);
+///
+/// Per the project style (no exceptions in library code), CHECK failures log the
+/// failing condition with file/line context and abort the process.
+
+namespace causalformer {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Returns the minimum severity that will be emitted. Controlled by the
+/// CF_LOG_LEVEL environment variable (0=DEBUG .. 3=ERROR); defaults to INFO.
+LogSeverity MinLogSeverity();
+
+/// Stream-style log message that emits on destruction. FATAL messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream when the severity is below the active threshold.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace causalformer
+
+#define CF_LOG_INTERNAL(severity)                                              \
+  ::causalformer::LogMessage(::causalformer::LogSeverity::severity, __FILE__, \
+                             __LINE__)                                          \
+      .stream()
+
+#define CF_LOG(severity)                                                 \
+  (::causalformer::LogSeverity::severity < ::causalformer::MinLogSeverity()) \
+      ? (void)0                                                          \
+      : ::causalformer::LogMessageVoidify() & CF_LOG_INTERNAL(severity)
+
+#define CF_CHECK(condition)                                     \
+  (condition) ? (void)0                                         \
+              : ::causalformer::LogMessageVoidify() &           \
+                    CF_LOG_INTERNAL(kFatal)                     \
+                        << "Check failed: " #condition " "
+
+#define CF_CHECK_OP(op, a, b)                                            \
+  ((a)op(b)) ? (void)0                                                   \
+             : ::causalformer::LogMessageVoidify() &                     \
+                   CF_LOG_INTERNAL(kFatal) << "Check failed: " #a " " #op \
+                                           " " #b " (" << (a) << " vs " \
+                                           << (b) << ") "
+
+#define CF_CHECK_EQ(a, b) CF_CHECK_OP(==, a, b)
+#define CF_CHECK_NE(a, b) CF_CHECK_OP(!=, a, b)
+#define CF_CHECK_LT(a, b) CF_CHECK_OP(<, a, b)
+#define CF_CHECK_LE(a, b) CF_CHECK_OP(<=, a, b)
+#define CF_CHECK_GT(a, b) CF_CHECK_OP(>, a, b)
+#define CF_CHECK_GE(a, b) CF_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define CF_DCHECK(condition) CF_CHECK(true || (condition))
+#else
+#define CF_DCHECK(condition) CF_CHECK(condition)
+#endif
+
+#endif  // CAUSALFORMER_UTIL_LOGGING_H_

@@ -1,0 +1,102 @@
+#ifndef CAUSALFORMER_UTIL_STATUS_H_
+#define CAUSALFORMER_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+/// \file
+/// Lightweight Status / StatusOr for recoverable errors (file I/O, parsing).
+/// Programming errors use CF_CHECK instead.
+
+namespace causalformer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kOutOfRange,
+};
+
+/// A success-or-error result carrying a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error Status. Dereferencing a non-ok StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                  // NOLINT
+    CF_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CF_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    CF_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    CF_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define CF_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::causalformer::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_STATUS_H_

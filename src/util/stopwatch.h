@@ -1,0 +1,29 @@
+#ifndef CAUSALFORMER_UTIL_STOPWATCH_H_
+#define CAUSALFORMER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock stopwatch used by the trainer and the benchmark harness.
+
+namespace causalformer {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_STOPWATCH_H_

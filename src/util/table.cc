@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace {
+
+// Display width ignoring UTF-8 continuation bytes (so "±" counts as one column).
+size_t DisplayWidth(const std::string& s) {
+  size_t w = 0;
+  for (const unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+
+std::string PadTo(const std::string& s, size_t width) {
+  std::string out = s;
+  const size_t w = DisplayWidth(s);
+  if (w < width) out.append(width - w, ' ');
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CF_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  CF_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = DisplayWidth(headers_[c]);
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += PadTo(headers_[c], widths[c]);
+    if (c + 1 < headers_.size()) out += "  ";
+  }
+  out += '\n';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) out += "  ";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += PadTo(row[c], widths[c]);
+      if (c + 1 < row.size()) out += "  ";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::ToMarkdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& cell : row) out += " " + cell + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace causalformer

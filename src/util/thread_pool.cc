@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace {
+// True on pool worker threads; ParallelFor then runs inline to avoid a
+// worker blocking in Wait() on tasks that only it could run.
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  CF_CHECK_GT(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 4;
+    if (const char* env = std::getenv("CF_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) n = v;
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::Global();
+  const int workers = pool.num_threads();
+  if (t_in_worker || workers <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t chunks = std::min<int64_t>(workers, max_chunks);
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * chunk_size;
+    const int64_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    pool.Schedule([&fn, begin, end] { fn(begin, end); });
+  }
+  pool.Wait();
+}
+
+}  // namespace causalformer

@@ -1,0 +1,59 @@
+#ifndef CAUSALFORMER_UTIL_THREAD_POOL_H_
+#define CAUSALFORMER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size thread pool plus a ParallelFor helper used by the heavy
+/// tensor kernels (matmul, causal convolution). The pool is created lazily and
+/// shared process-wide; set CF_NUM_THREADS to override the worker count
+/// (CF_NUM_THREADS=1 disables parallelism, useful for debugging).
+
+namespace causalformer {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until all scheduled tasks have finished.
+  void Wait();
+
+  /// Process-wide pool (created on first use).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  int64_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(begin, end) over [0, n) split into roughly equal chunks across the
+/// global pool. Falls back to a single inline call when n is small or the pool
+/// has one thread. `grain` is the minimum chunk size worth parallelising.
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_THREAD_POOL_H_

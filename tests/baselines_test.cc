@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/clstm.h"
+#include "baselines/cmlp.h"
+#include "baselines/cuts.h"
+#include "baselines/dvgnn.h"
+#include "baselines/method.h"
+#include "baselines/tcdf.h"
+#include "baselines/var_granger.h"
+#include "data/timeseries.h"
+#include "graph/metrics.h"
+
+namespace causalformer {
+namespace {
+
+using baselines::BuildLaggedDesign;
+using baselines::LaggedDesign;
+using baselines::MethodKind;
+using baselines::MethodResult;
+
+// S0 -> S1 at a configurable lag, strong coupling, weak noise.
+data::Dataset StrongPair(Rng* rng, int lag, int64_t length = 500) {
+  const int64_t burn = 20;
+  std::vector<float> x0(length + burn, 0.0f), x1(length + burn, 0.0f);
+  for (int64_t t = 1; t < length + burn; ++t) {
+    x0[t] = 0.2f * x0[t - 1] + 0.9f * static_cast<float>(rng->Normal());
+    const float drive = t >= lag ? x0[t - lag] : 0.0f;
+    x1[t] = 0.2f * x1[t - 1] + 1.3f * drive +
+            0.2f * static_cast<float>(rng->Normal());
+  }
+  Tensor series = Tensor::Zeros(Shape{2, length});
+  for (int64_t t = 0; t < length; ++t) {
+    series.at({0, t}) = x0[t + burn];
+    series.at({1, t}) = x1[t + burn];
+  }
+  data::StandardizeSeries(series);
+  CausalGraph truth(2);
+  truth.AddEdge(0, 1, lag);
+  truth.AddEdge(0, 0, 1);
+  truth.AddEdge(1, 1, 1);
+  return data::Dataset("pair", std::move(series), std::move(truth));
+}
+
+TEST(LaggedDesignTest, LayoutMatchesDocumentedOrder) {
+  Tensor s = Tensor::FromVector(Shape{2, 6}, {0, 1, 2, 3, 4, 5,
+                                              10, 11, 12, 13, 14, 15});
+  const LaggedDesign d = BuildLaggedDesign(s, 3);
+  EXPECT_EQ(d.inputs.shape(), (Shape{3, 6}));
+  EXPECT_EQ(d.targets.shape(), (Shape{3, 2}));
+  // Sample 0 is t=3: lags of series 0 are [2,1,0]; of series 1 [12,11,10].
+  EXPECT_FLOAT_EQ(d.inputs.at({0, 0}), 2.0f);   // series 0, lag 1
+  EXPECT_FLOAT_EQ(d.inputs.at({0, 1}), 1.0f);   // series 0, lag 2
+  EXPECT_FLOAT_EQ(d.inputs.at({0, 2}), 0.0f);   // series 0, lag 3
+  EXPECT_FLOAT_EQ(d.inputs.at({0, 3}), 12.0f);  // series 1, lag 1
+  EXPECT_FLOAT_EQ(d.targets.at({0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(d.targets.at({0, 1}), 13.0f);
+}
+
+TEST(CmlpTest, RecoversStrongCauseAndLag) {
+  Rng rng(31);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/2);
+  baselines::CmlpOptions opt;
+  opt.epochs = 150;
+  baselines::Cmlp cmlp(opt);
+  const MethodResult res = cmlp.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_TRUE(res.graph.HasEdge(0, 1));
+  EXPECT_TRUE(res.has_delays);
+  EXPECT_EQ(res.delays[0][1], 2);
+}
+
+TEST(ClstmTest, RecoversStrongCause) {
+  Rng rng(32);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/1, 400);
+  baselines::ClstmOptions opt;
+  opt.epochs = 15;
+  baselines::Clstm clstm(opt);
+  const MethodResult res = clstm.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_FALSE(res.has_delays);
+}
+
+TEST(TcdfTest, RecoversStrongCauseAndLag) {
+  Rng rng(33);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/2);
+  baselines::TcdfOptions opt;
+  opt.epochs = 200;
+  baselines::Tcdf tcdf(opt);
+  const MethodResult res = tcdf.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_TRUE(res.has_delays);
+  EXPECT_EQ(res.delays[0][1], 2);
+}
+
+TEST(DvgnnTest, RecoversStrongCause) {
+  Rng rng(34);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/1);
+  baselines::DvgnnOptions opt;
+  opt.epochs = 150;
+  baselines::Dvgnn dvgnn(opt);
+  const MethodResult res = dvgnn.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_FALSE(res.has_delays);
+}
+
+TEST(CutsTest, RecoversStrongCauseDespiteMissingData) {
+  Rng rng(35);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/1);
+  baselines::CutsOptions opt;
+  opt.epochs = 150;
+  opt.missing_fraction = 0.15;
+  baselines::Cuts cuts(opt);
+  const MethodResult res = cuts.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_FALSE(res.has_delays);
+}
+
+TEST(VarGrangerTest, RecoversStrongCauseAndLagExactly) {
+  Rng rng(37);
+  const data::Dataset ds = StrongPair(&rng, /*lag=*/3);
+  baselines::VarGranger var;
+  const MethodResult res = var.Discover(ds.series, &rng);
+  EXPECT_GT(res.scores.at(0, 1), res.scores.at(1, 0));
+  EXPECT_TRUE(res.graph.HasEdge(0, 1));
+  EXPECT_TRUE(res.has_delays);
+  EXPECT_EQ(res.delays[0][1], 3);
+}
+
+TEST(VarGrangerTest, IsDeterministic) {
+  Rng rng(38);
+  const data::Dataset ds = StrongPair(&rng, 1, 300);
+  baselines::VarGranger var;
+  Rng r1(1), r2(2);
+  const MethodResult a = var.Discover(ds.series, &r1);
+  const MethodResult b = var.Discover(ds.series, &r2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(a.scores.at(i, j), b.scores.at(i, j));
+    }
+  }
+}
+
+TEST(VarGrangerTest, SelfDependenceDetected) {
+  // A purely autoregressive pair: only self-loops should score high.
+  Rng rng(39);
+  const int64_t len = 400;
+  Tensor series = Tensor::Zeros(Shape{2, len});
+  float a0 = 0.0f, a1 = 0.0f;
+  for (int64_t t = 0; t < len; ++t) {
+    a0 = 0.8f * a0 + 0.4f * static_cast<float>(rng.Normal());
+    a1 = 0.8f * a1 + 0.4f * static_cast<float>(rng.Normal());
+    series.at({0, t}) = a0;
+    series.at({1, t}) = a1;
+  }
+  data::StandardizeSeries(series);
+  baselines::VarGranger var;
+  const MethodResult res = var.Discover(series, &rng);
+  EXPECT_GT(res.scores.at(0, 0), res.scores.at(1, 0));
+  EXPECT_GT(res.scores.at(1, 1), res.scores.at(0, 1));
+}
+
+TEST(MethodFactoryTest, CreatesEveryKind) {
+  for (const MethodKind kind :
+       {MethodKind::kCmlp, MethodKind::kClstm, MethodKind::kTcdf,
+        MethodKind::kDvgnn, MethodKind::kCuts}) {
+    auto method = baselines::CreateMethod(kind, /*fast=*/true);
+    ASSERT_NE(method, nullptr);
+    EXPECT_EQ(method->name(), baselines::ToString(kind));
+  }
+}
+
+TEST(MethodFactoryTest, FastModeStillDiscovers) {
+  Rng rng(36);
+  const data::Dataset ds = StrongPair(&rng, 1, 250);
+  for (const MethodKind kind :
+       {MethodKind::kCmlp, MethodKind::kTcdf, MethodKind::kDvgnn,
+        MethodKind::kCuts}) {
+    Rng run_rng = rng.Split();
+    auto method = baselines::CreateMethod(kind, /*fast=*/true);
+    const MethodResult res = method->Discover(ds.series, &run_rng);
+    EXPECT_EQ(res.graph.num_series(), 2) << baselines::ToString(kind);
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        EXPECT_TRUE(std::isfinite(res.scores.at(i, j)))
+            << baselines::ToString(kind);
+      }
+    }
+  }
+}
+
+TEST(FinalizeResultTest, FillsDefaultDelays) {
+  MethodResult res(2);
+  res.scores.set(0, 1, 0.9);
+  res.scores.set(1, 1, 0.1);
+  res.scores.set(0, 0, 0.8);
+  res.scores.set(1, 0, 0.05);
+  baselines::FinalizeResult(&res);
+  ASSERT_TRUE(res.graph.HasEdge(0, 1));
+  EXPECT_EQ(res.graph.FindEdge(0, 1)->delay, 1);  // default when unestimated
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/fmri_sim.h"
+#include "data/lorenz96.h"
+#include "data/sst_sim.h"
+#include "data/synthetic.h"
+#include "data/timeseries.h"
+#include "data/windowing.h"
+
+namespace causalformer {
+namespace {
+
+using data::Dataset;
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  Tensor s = Tensor::FromVector(Shape{2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  data::StandardizeSeries(s);
+  for (int64_t i = 0; i < 2; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t t = 0; t < 4; ++t) mean += s.at({i, t});
+    mean /= 4;
+    for (int64_t t = 0; t < 4; ++t) {
+      var += (s.at({i, t}) - mean) * (s.at({i, t}) - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(StandardizeTest, ConstantSeriesStaysFinite) {
+  Tensor s = Tensor::Full(Shape{1, 5}, 7.0f);
+  data::StandardizeSeries(s);
+  for (int64_t t = 0; t < 5; ++t) {
+    EXPECT_TRUE(std::isfinite(s.at({0, t})));
+    EXPECT_NEAR(s.at({0, t}), 0.0f, 1e-6);
+  }
+}
+
+TEST(MinMaxTest, ScalesToUnitInterval) {
+  Tensor s = Tensor::FromVector(Shape{1, 4}, {2, 4, 6, 10});
+  data::MinMaxScaleSeries(s);
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(s.at({0, 3}), 1.0f);
+  EXPECT_FLOAT_EQ(s.at({0, 1}), 0.25f);
+}
+
+class SyntheticStructureTest
+    : public testing::TestWithParam<data::SyntheticStructure> {};
+
+TEST_P(SyntheticStructureTest, GeneratesExpectedShapeAndTruth) {
+  Rng rng(42);
+  data::SyntheticOptions opt;
+  opt.length = 300;
+  const Dataset ds = data::GenerateSynthetic(GetParam(), opt, &rng);
+  const int expected_n =
+      GetParam() == data::SyntheticStructure::kDiamond ? 4 : 3;
+  EXPECT_EQ(ds.num_series(), expected_n);
+  EXPECT_EQ(ds.length(), 300);
+  // Ground truth must contain all self-loops.
+  for (int i = 0; i < expected_n; ++i) EXPECT_TRUE(ds.truth.HasEdge(i, i));
+  // Ground truth matches the structural skeleton (ignoring delays).
+  const CausalGraph skeleton = StructureSkeleton(GetParam());
+  EXPECT_EQ(ds.truth.num_edges(), skeleton.num_edges());
+  for (const auto& e : skeleton.edges()) {
+    EXPECT_TRUE(ds.truth.HasEdge(e.from, e.to))
+        << "missing " << e.from << "->" << e.to;
+  }
+  // Delays within [1, max_lag].
+  for (const auto& e : ds.truth.edges()) {
+    EXPECT_GE(e.delay, 1);
+    EXPECT_LE(e.delay, opt.max_lag);
+  }
+  // Data is standardised and finite.
+  for (int64_t i = 0; i < ds.series.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(ds.series.data()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, SyntheticStructureTest,
+    testing::Values(data::SyntheticStructure::kDiamond,
+                    data::SyntheticStructure::kMediator,
+                    data::SyntheticStructure::kVStructure,
+                    data::SyntheticStructure::kFork),
+    [](const auto& info) {
+      return data::ToString(info.param) == "v-structure"
+                 ? std::string("v_structure")
+                 : data::ToString(info.param);
+    });
+
+TEST(SyntheticTest, CauseActuallyDrivesEffect) {
+  // With strong coupling and weak noise, the cause's lagged values must
+  // correlate with the effect far more than the reverse direction.
+  Rng rng(7);
+  data::SyntheticOptions opt;
+  opt.length = 2000;
+  opt.noise_std = 0.3;
+  opt.max_lag = 1;
+  opt.nonlinear = false;
+  const Dataset ds =
+      data::GenerateSynthetic(data::SyntheticStructure::kFork, opt, &rng);
+  auto corr_lag1 = [&](int a, int b) {  // corr(x_a[t-1], x_b[t])
+    double num = 0.0, da = 0.0, db = 0.0;
+    for (int64_t t = 1; t < ds.length(); ++t) {
+      const double xa = ds.series.at({a, t - 1});
+      const double xb = ds.series.at({b, t});
+      num += xa * xb;
+      da += xa * xa;
+      db += xb * xb;
+    }
+    return num / std::sqrt(da * db);
+  };
+  // Fork: 0 -> 1 and 0 -> 2.
+  EXPECT_GT(std::fabs(corr_lag1(0, 1)), 0.3);
+  EXPECT_GT(std::fabs(corr_lag1(0, 2)), 0.3);
+}
+
+TEST(SyntheticTest, SeedsGiveDistinctRealisations) {
+  Rng r1(1), r2(2);
+  data::SyntheticOptions opt;
+  opt.length = 100;
+  const Dataset a =
+      data::GenerateSynthetic(data::SyntheticStructure::kDiamond, opt, &r1);
+  const Dataset b =
+      data::GenerateSynthetic(data::SyntheticStructure::kDiamond, opt, &r2);
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.series.numel(); ++i) {
+    if (a.series.data()[i] != b.series.data()[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Lorenz96Test, ShapeTruthAndChaos) {
+  Rng rng(3);
+  data::Lorenz96Options opt;
+  opt.num_series = 10;
+  opt.length = 500;
+  const Dataset ds = data::GenerateLorenz96(opt, &rng);
+  EXPECT_EQ(ds.num_series(), 10);
+  EXPECT_EQ(ds.length(), 500);
+  // Each node has exactly 4 parents: i-2, i-1, i+1, self.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ds.truth.HasEdge((i + 1) % 10, i));
+    EXPECT_TRUE(ds.truth.HasEdge((i + 9) % 10, i));
+    EXPECT_TRUE(ds.truth.HasEdge((i + 8) % 10, i));
+    EXPECT_TRUE(ds.truth.HasEdge(i, i));
+    EXPECT_FALSE(ds.truth.HasEdge((i + 2) % 10, i));
+  }
+  EXPECT_EQ(ds.truth.num_edges(), 40);
+  // Standardised output must vary (the attractor is chaotic, not fixed).
+  double var = 0.0;
+  for (int64_t t = 0; t < ds.length(); ++t) {
+    var += ds.series.at({0, t}) * ds.series.at({0, t});
+  }
+  EXPECT_GT(var / ds.length(), 0.5);
+}
+
+TEST(Lorenz96Test, BoundedTrajectories) {
+  Rng rng(4);
+  data::Lorenz96Options opt;
+  opt.length = 300;
+  opt.standardize = false;
+  const Dataset ds = data::GenerateLorenz96(opt, &rng);
+  for (int64_t i = 0; i < ds.series.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(ds.series.data()[i]));
+    EXPECT_LT(std::fabs(ds.series.data()[i]), 100.0f);
+  }
+}
+
+TEST(FmriTest, SubjectShapesAndTruth) {
+  Rng rng(5);
+  data::FmriOptions opt;
+  opt.num_nodes = 8;
+  opt.length = 150;
+  const Dataset ds = data::GenerateFmriSubject(opt, &rng);
+  EXPECT_EQ(ds.num_series(), 8);
+  EXPECT_EQ(ds.length(), 150);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ds.truth.HasEdge(i, i));
+  // No 2-cycles among non-self edges.
+  for (const auto& e : ds.truth.edges()) {
+    if (e.from != e.to) {
+      EXPECT_FALSE(ds.truth.HasEdge(e.to, e.from) &&
+                   ds.truth.HasEdge(e.from, e.to) && e.from > e.to)
+          << "2-cycle " << e.from << "<->" << e.to;
+    }
+  }
+}
+
+TEST(FmriTest, HrfKernelIsNormalizedAndPeaked) {
+  const auto hrf = data::HrfKernel(6);
+  ASSERT_EQ(hrf.size(), 6u);
+  double sum = 0.0;
+  for (const double v : hrf) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Peak near the beginning (2.5 s sampling, peak ~5 s -> index 1).
+  int peak = 0;
+  for (size_t i = 1; i < hrf.size(); ++i) {
+    if (hrf[i] > hrf[peak]) peak = static_cast<int>(i);
+  }
+  EXPECT_LE(peak, 2);
+}
+
+TEST(FmriTest, BenchmarkHasNetSimSizeMixture) {
+  Rng rng(6);
+  const auto subjects = data::GenerateFmriBenchmark(&rng, 80, 28);
+  ASSERT_EQ(subjects.size(), 28u);
+  int count5 = 0, count10 = 0, count15 = 0, count50 = 0;
+  for (const auto& s : subjects) {
+    if (s.num_series() == 5) ++count5;
+    if (s.num_series() == 10) ++count10;
+    if (s.num_series() == 15) ++count15;
+    if (s.num_series() == 50) ++count50;
+  }
+  EXPECT_EQ(count5, 15);
+  EXPECT_EQ(count10, 8);
+  EXPECT_EQ(count15, 4);
+  EXPECT_EQ(count50, 1);
+}
+
+TEST(SstTest, GridGeometryMatchesPaperRegion) {
+  Rng rng(7);
+  data::SstOptions opt;  // defaults: 20-70N, 0-80W at 4 degrees
+  opt.length = 30;
+  const data::SstDataset sst = data::GenerateSst(opt, &rng);
+  EXPECT_EQ(sst.grid.rows(), 12);
+  EXPECT_EQ(sst.grid.cols(), 20);
+  EXPECT_EQ(sst.data.num_series(), 240);
+  EXPECT_EQ(sst.data.length(), 30);
+  EXPECT_GT(sst.grid.lats.front(), 20.0);
+  EXPECT_LT(sst.grid.lats.back(), 70.0);
+}
+
+TEST(SstTest, CurrentFieldHasGyreSignature) {
+  Rng rng(8);
+  data::SstOptions opt;
+  opt.length = 10;
+  const data::SstDataset sst = data::GenerateSst(opt, &rng);
+  // Western mid-basin (Gulf Stream region ~38N, 65W): northward component.
+  // Eastern subtropical (Canary region ~30N, 15W): southward component.
+  auto v_at = [&](double lat, double lon) {
+    int best = 0;
+    double bestd = 1e18;
+    for (int c = 0; c < sst.grid.num_cells(); ++c) {
+      const double d = std::abs(sst.grid.lat_of(c) - lat) +
+                       std::abs(sst.grid.lon_of(c) - lon);
+      if (d < bestd) {
+        bestd = d;
+        best = c;
+      }
+    }
+    return sst.velocity[best].second;
+  };
+  EXPECT_GT(v_at(38.0, -65.0), 0.0);   // Gulf Stream flows north
+  EXPECT_LT(v_at(30.0, -15.0), 0.0);   // Canary current flows south
+  EXPECT_GT(v_at(62.0, -10.0), 0.0);   // Norway current flows north
+  EXPECT_LT(v_at(62.0, -50.0), 0.0);   // Greenland side flows south
+}
+
+TEST(SstTest, CurrentGraphEdgesFollowVelocity) {
+  Rng rng(9);
+  data::SstOptions opt;
+  opt.length = 10;
+  const data::SstDataset sst = data::GenerateSst(opt, &rng);
+  const CausalGraph truth =
+      data::CurrentFieldGraph(sst.grid, sst.velocity, 0.05);
+  int aligned = 0, total = 0;
+  for (const auto& e : truth.edges()) {
+    if (e.from == e.to) continue;
+    ++total;
+    const double dlat = sst.grid.lat_of(e.to) - sst.grid.lat_of(e.from);
+    const double v = sst.velocity[e.to].second;
+    // Edge direction should match the meridional flow sign when it moves.
+    if (dlat != 0.0 && v != 0.0 && (dlat > 0) == (v > 0)) ++aligned;
+    if (dlat == 0.0 || v == 0.0) ++aligned;  // zonal edges are neutral
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(aligned) / total, 0.8);
+}
+
+TEST(WindowingTest, MakeWindowsContents) {
+  Tensor s = Tensor::FromVector(Shape{2, 5}, {0, 1, 2, 3, 4, 10, 11, 12, 13, 14});
+  Tensor w = data::MakeWindows(s, 3, 1);
+  EXPECT_EQ(w.shape(), (Shape{3, 2, 3}));
+  EXPECT_FLOAT_EQ(w.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(w.at({1, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(w.at({2, 1, 2}), 14.0f);
+}
+
+TEST(WindowingTest, StrideSkipsWindows) {
+  Tensor s = Tensor::FromVector(Shape{1, 7}, {0, 1, 2, 3, 4, 5, 6});
+  Tensor w = data::MakeWindows(s, 3, 2);
+  EXPECT_EQ(w.dim(0), 3);  // starts at 0, 2, 4
+  EXPECT_FLOAT_EQ(w.at({2, 0, 0}), 4.0f);
+}
+
+TEST(WindowingTest, GatherSelectsRows) {
+  Tensor s = Tensor::FromVector(Shape{1, 6}, {0, 1, 2, 3, 4, 5});
+  Tensor w = data::MakeWindows(s, 2, 1);
+  Tensor g = data::GatherWindows(w, {4, 0});
+  EXPECT_EQ(g.shape(), (Shape{2, 1, 2}));
+  EXPECT_FLOAT_EQ(g.at({0, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(g.at({1, 0, 0}), 0.0f);
+}
+
+TEST(WindowingTest, BatchesCoverAllIndices) {
+  Rng rng(10);
+  const auto batches = data::MakeBatches(10, 3, &rng);
+  ASSERT_EQ(batches.size(), 4u);
+  std::vector<bool> seen(10, false);
+  for (const auto& b : batches) {
+    for (const int64_t i : b) seen[i] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WindowingTest, TrainValSplitIsDisjointAndOrdered) {
+  std::vector<int64_t> train, val;
+  data::SplitTrainVal(100, 0.2, &train, &val);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(val.size(), 20u);
+  EXPECT_EQ(val.front(), 80);
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace causalformer {
+namespace {
+
+using eval::DatasetKind;
+using eval::ExperimentBudget;
+using eval::MethodId;
+
+ExperimentBudget TinyBudget() {
+  ExperimentBudget b;
+  b.seeds = 2;
+  b.fmri_subjects = 2;
+  b.series_length = 150;
+  b.fmri_length = 80;
+  b.fast = true;
+  return b;
+}
+
+TEST(ExperimentTest, DatasetKindNames) {
+  EXPECT_EQ(ToString(DatasetKind::kDiamond), "Diamond");
+  EXPECT_EQ(ToString(DatasetKind::kFmri), "fMRI");
+  EXPECT_EQ(eval::AllDatasetKinds().size(), 6u);
+}
+
+TEST(ExperimentTest, MakeDatasetsHonoursSeeds) {
+  const auto ds = MakeDatasets(DatasetKind::kFork, TinyBudget(), 1);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].num_series(), 3);
+  EXPECT_EQ(ds[0].length(), 150);
+}
+
+TEST(ExperimentTest, FmriRowCyclesSizes) {
+  ExperimentBudget b = TinyBudget();
+  b.fmri_subjects = 3;
+  const auto ds = MakeDatasets(DatasetKind::kFmri, b, 2);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0].num_series(), 5);
+  EXPECT_EQ(ds[1].num_series(), 10);
+  EXPECT_EQ(ds[2].num_series(), 15);
+}
+
+TEST(ExperimentTest, ConfigMatchesPaperRegimes) {
+  const ExperimentBudget b = TinyBudget();
+  const auto diamond = CausalFormerConfigFor(DatasetKind::kDiamond, 4, b);
+  EXPECT_FLOAT_EQ(diamond.model.tau, 1.0f);
+  EXPECT_GT(diamond.train.lambda_k, 0.0f);
+  const auto fork = CausalFormerConfigFor(DatasetKind::kVStructure, 3, b);
+  EXPECT_FLOAT_EQ(fork.model.tau, 100.0f);
+  EXPECT_LT(fork.train.lambda_k, 1e-8f);
+  const auto lorenz = CausalFormerConfigFor(DatasetKind::kLorenz96, 10, b);
+  EXPECT_EQ(lorenz.detector.num_clusters, 3);   // m/n = 2/3
+  EXPECT_EQ(lorenz.detector.top_clusters, 2);
+  const auto fmri = CausalFormerConfigFor(DatasetKind::kFmri, 15, b);
+  EXPECT_FLOAT_EQ(fmri.train.lambda_k, 0.0f);   // paper removes penalties
+  EXPECT_FLOAT_EQ(fmri.model.tau, 100.0f);
+}
+
+TEST(RunnerTest, MethodIdNames) {
+  EXPECT_EQ(ToString(MethodId::kCausalFormer), "CausalFormer");
+  EXPECT_EQ(eval::AllMethodIds().size(), 6u);
+  EXPECT_EQ(eval::AllMethodIds().back(), MethodId::kCausalFormer);
+}
+
+TEST(RunnerTest, RunsBaselineOnForkRow) {
+  const ExperimentBudget b = TinyBudget();
+  const auto ds = MakeDatasets(DatasetKind::kFork, b, 3);
+  const eval::RunMetrics m = RunMethod(MethodId::kDvgnn, DatasetKind::kFork,
+                                       ds, b, /*seed=*/11);
+  ASSERT_EQ(m.f1.size(), 2u);
+  for (const double f1 : m.f1) {
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0);
+  }
+  EXPECT_FALSE(m.has_delays);
+}
+
+TEST(RunnerTest, RunsCausalFormerOnForkRow) {
+  const ExperimentBudget b = TinyBudget();
+  const auto ds = MakeDatasets(DatasetKind::kFork, b, 4);
+  const eval::RunMetrics m = RunMethod(
+      MethodId::kCausalFormer, DatasetKind::kFork, ds, b, /*seed=*/12);
+  ASSERT_EQ(m.f1.size(), 2u);
+  EXPECT_TRUE(m.has_delays);
+  ASSERT_EQ(m.pod.size(), 2u);
+}
+
+TEST(RunnerTest, AblationTogglesProduceMetrics) {
+  const ExperimentBudget b = TinyBudget();
+  auto ds = MakeDatasets(DatasetKind::kFork, b, 5);
+  ds.erase(ds.begin() + 1, ds.end());
+  eval::AblationSpec spec;
+  spec.use_gradient = false;
+  const eval::RunMetrics m = RunCausalFormerAblated(
+      DatasetKind::kFork, ds, b, /*seed=*/13, spec);
+  ASSERT_EQ(m.f1.size(), 1u);
+}
+
+TEST(ReportTest, MetricCellFormatsMeanStd) {
+  const std::string cell = eval::MetricCell({0.6, 0.8});
+  EXPECT_EQ(cell, "0.70\xC2\xB1"
+                  "0.10");
+}
+
+TEST(ReportTest, ClassifyEdgesMatchesConfusion) {
+  CausalGraph truth(3);
+  truth.AddEdge(0, 1);
+  truth.AddEdge(1, 2);
+  CausalGraph pred(3);
+  pred.AddEdge(0, 1);
+  pred.AddEdge(2, 0);
+  const auto cls = eval::ClassifyEdges(truth, pred);
+  ASSERT_EQ(cls.true_positives.size(), 1u);
+  EXPECT_EQ(cls.true_positives[0], "S0->S1");
+  ASSERT_EQ(cls.false_positives.size(), 1u);
+  EXPECT_EQ(cls.false_positives[0], "S2->S0");
+  ASSERT_EQ(cls.false_negatives.size(), 1u);
+  EXPECT_EQ(cls.false_negatives[0], "S1->S2");
+  const std::string rendered =
+      eval::RenderEdgeClassification("TCDF", 0.76, cls);
+  EXPECT_NE(rendered.find("TCDF"), std::string::npos);
+  EXPECT_NE(rendered.find("0.76"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causalformer

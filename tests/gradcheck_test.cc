@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+/// Finite-difference gradient checking for every differentiable op, run as a
+/// parameterised suite so each op/shape combination is a distinct test case.
+
+namespace causalformer {
+namespace {
+
+using ScalarFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+struct GradCheckCase {
+  std::string name;
+  std::vector<Shape> input_shapes;
+  ScalarFn fn;
+  // Some ops need positive inputs (log, sqrt).
+  bool positive_inputs = false;
+};
+
+void RunGradCheck(const GradCheckCase& c) {
+  Rng rng(99);
+  std::vector<Tensor> inputs;
+  for (const auto& shape : c.input_shapes) {
+    Tensor t = Tensor::Randn(shape, &rng, /*requires_grad=*/true);
+    if (c.positive_inputs) {
+      float* p = t.data();
+      for (int64_t i = 0; i < t.numel(); ++i) p[i] = std::fabs(p[i]) + 0.5f;
+    }
+    inputs.push_back(t);
+  }
+
+  // Analytic gradients.
+  Tensor out = c.fn(inputs);
+  ASSERT_EQ(out.numel(), 1) << c.name << " must produce a scalar";
+  out.Backward();
+
+  const float eps = 1e-2f;
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Tensor& x = inputs[k];
+    const Tensor analytic = x.grad();
+    ASSERT_TRUE(analytic.defined()) << c.name << " input " << k;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      const float orig = x.data()[i];
+      x.data()[i] = orig + eps;
+      const float up = c.fn(inputs).item();
+      x.data()[i] = orig - eps;
+      const float down = c.fn(inputs).item();
+      x.data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic.data()[i];
+      const float tol = 2e-2f * std::max(1.0f, std::fabs(numeric));
+      EXPECT_NEAR(got, numeric, tol)
+          << c.name << " input " << k << " element " << i;
+    }
+  }
+}
+
+class GradCheckTest : public testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) { RunGradCheck(GetParam()); }
+
+std::vector<GradCheckCase> MakeCases() {
+  std::vector<GradCheckCase> cases;
+  auto add = [](const char* name, std::vector<Shape> shapes, ScalarFn fn,
+                bool positive = false) {
+    return GradCheckCase{name, std::move(shapes), std::move(fn), positive};
+  };
+
+  cases.push_back(add("add_same_shape", {Shape{3, 2}, Shape{3, 2}},
+                      [](const auto& in) { return Sum(Add(in[0], in[1])); }));
+  cases.push_back(add("add_broadcast", {Shape{3, 2}, Shape{2}},
+                      [](const auto& in) {
+                        return Sum(Square(Add(in[0], in[1])));
+                      }));
+  cases.push_back(add("sub", {Shape{4}, Shape{4}}, [](const auto& in) {
+    return Sum(Square(Sub(in[0], in[1])));
+  }));
+  cases.push_back(add("mul_broadcast", {Shape{2, 3}, Shape{2, 1}},
+                      [](const auto& in) { return Sum(Mul(in[0], in[1])); }));
+  cases.push_back(add("div", {Shape{3}, Shape{3}},
+                      [](const auto& in) { return Sum(Div(in[0], in[1])); },
+                      /*positive=*/true));
+  cases.push_back(add("neg", {Shape{3}},
+                      [](const auto& in) { return Sum(Square(Neg(in[0]))); }));
+  cases.push_back(add("scale", {Shape{5}}, [](const auto& in) {
+    return Sum(Scale(in[0], 2.5f));
+  }));
+  cases.push_back(add("exp", {Shape{4}},
+                      [](const auto& in) { return Sum(Exp(in[0])); }));
+  cases.push_back(add("log", {Shape{4}},
+                      [](const auto& in) { return Sum(Log(in[0])); },
+                      /*positive=*/true));
+  cases.push_back(add("sqrt", {Shape{4}},
+                      [](const auto& in) { return Sum(Sqrt(in[0])); },
+                      /*positive=*/true));
+  cases.push_back(add("tanh", {Shape{6}},
+                      [](const auto& in) { return Sum(Tanh(in[0])); }));
+  cases.push_back(add("sigmoid", {Shape{6}},
+                      [](const auto& in) { return Sum(Sigmoid(in[0])); }));
+  cases.push_back(add("leaky_relu", {Shape{8}}, [](const auto& in) {
+    return Sum(Square(LeakyRelu(in[0], 0.1f)));
+  }));
+  cases.push_back(add("square", {Shape{5}},
+                      [](const auto& in) { return Sum(Square(in[0])); }));
+  cases.push_back(add("pow", {Shape{4}},
+                      [](const auto& in) { return Sum(Pow(in[0], 3.0f)); },
+                      /*positive=*/true));
+  cases.push_back(add("matmul_2d", {Shape{3, 4}, Shape{4, 2}},
+                      [](const auto& in) {
+                        return Sum(Square(MatMul(in[0], in[1])));
+                      }));
+  cases.push_back(add("matmul_batched", {Shape{2, 3, 4}, Shape{2, 4, 2}},
+                      [](const auto& in) {
+                        return Sum(MatMul(in[0], in[1]));
+                      }));
+  cases.push_back(add("matmul_batched_shared_rhs", {Shape{2, 3, 4}, Shape{4, 2}},
+                      [](const auto& in) {
+                        return Sum(Square(MatMul(in[0], in[1])));
+                      }));
+  cases.push_back(add("sum_axis0", {Shape{3, 4}}, [](const auto& in) {
+    return Sum(Square(Sum(in[0], 0)));
+  }));
+  cases.push_back(add("sum_axis1_keepdim", {Shape{3, 4}}, [](const auto& in) {
+    return Sum(Square(Sum(in[0], 1, true)));
+  }));
+  cases.push_back(add("mean_axis", {Shape{2, 5}}, [](const auto& in) {
+    return Sum(Square(Mean(in[0], 1)));
+  }));
+  cases.push_back(add("l1_norm", {Shape{6}},
+                      [](const auto& in) { return L1Norm(in[0]); },
+                      /*positive=*/true));
+  cases.push_back(add("reshape", {Shape{2, 6}}, [](const auto& in) {
+    return Sum(Square(Reshape(in[0], Shape{3, 4})));
+  }));
+  cases.push_back(add("transpose", {Shape{2, 3, 4}}, [](const auto& in) {
+    return Sum(Square(Transpose(in[0], 0, 2)));
+  }));
+  cases.push_back(add("slice", {Shape{4, 5}}, [](const auto& in) {
+    return Sum(Square(Slice(in[0], 1, 1, 4)));
+  }));
+  cases.push_back(add("concat", {Shape{2, 3}, Shape{2, 2}},
+                      [](const auto& in) {
+                        return Sum(Square(Concat({in[0], in[1]}, 1)));
+                      }));
+  cases.push_back(add("softmax", {Shape{3, 4}}, [](const auto& in) {
+    // Weighted sum makes the softmax jacobian non-trivial.
+    Tensor w = Tensor::FromVector(
+        Shape{3, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+    return Sum(Mul(Softmax(in[0], 1), w));
+  }));
+  cases.push_back(add("softmax_axis0", {Shape{3, 2}}, [](const auto& in) {
+    Tensor w = Tensor::FromVector(Shape{3, 2}, {1, -1, 2, -2, 3, -3});
+    return Sum(Mul(Softmax(in[0], 0), w));
+  }));
+  cases.push_back(add("composite_mlp", {Shape{4, 3}, Shape{3, 2}, Shape{2}},
+                      [](const auto& in) {
+                        Tensor h = Tanh(MatMul(in[0], in[1]));
+                        return Sum(Square(Add(h, in[2])));
+                      }));
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckTest, testing::ValuesIn(MakeCases()),
+                         [](const testing::TestParamInfo<GradCheckCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "graph/causal_graph.h"
+#include "graph/score_matrix.h"
+
+namespace causalformer {
+namespace {
+
+TEST(CausalGraphTest, AddFindRemove) {
+  CausalGraph g(3);
+  g.AddEdge(0, 1, 2, 0.9);
+  g.AddEdge(1, 1, 1);  // self-loop allowed
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  auto e = g.FindEdge(0, 1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->delay, 2);
+  EXPECT_DOUBLE_EQ(e->score, 0.9);
+  g.RemoveEdge(0, 1);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(CausalGraphTest, AddEdgeReplacesExisting) {
+  CausalGraph g(2);
+  g.AddEdge(0, 1, 1, 0.1);
+  g.AddEdge(0, 1, 5, 0.7);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.FindEdge(0, 1)->delay, 5);
+}
+
+TEST(CausalGraphTest, RemoveKeepsIndexConsistent) {
+  CausalGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.RemoveEdge(0, 1);  // swap-removal moves the last edge
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.FindEdge(2, 0)->from, 2);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(CausalGraphTest, AdjacencyRoundTrip) {
+  CausalGraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 2);
+  const auto adj = g.Adjacency();
+  EXPECT_TRUE(adj[0][2]);
+  EXPECT_TRUE(adj[2][2]);
+  EXPECT_FALSE(adj[1][0]);
+  CausalGraph g2 = CausalGraph::FromAdjacency(adj);
+  EXPECT_TRUE(g2.HasEdge(0, 2));
+  EXPECT_TRUE(g2.HasEdge(2, 2));
+  EXPECT_EQ(g2.num_edges(), 2);
+}
+
+TEST(CausalGraphTest, DotContainsEdgesAndDelays) {
+  CausalGraph g(2);
+  g.AddEdge(0, 1, 3);
+  const std::string dot = g.ToDot({"A", "B"});
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("d=3"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(CausalGraphTest, ToStringIsCompact) {
+  CausalGraph g(2);
+  g.AddEdge(1, 0, 2);
+  EXPECT_EQ(g.ToString(), "S1->S0(d=2)");
+}
+
+TEST(ScoreMatrixTest, SetGetAddIncoming) {
+  ScoreMatrix m(3);
+  m.set(0, 1, 0.5);
+  m.add(0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.75);
+  m.set(2, 1, 0.9);
+  const auto incoming = m.IncomingScores(1);
+  ASSERT_EQ(incoming.size(), 3u);
+  EXPECT_DOUBLE_EQ(incoming[0], 0.75);
+  EXPECT_DOUBLE_EQ(incoming[2], 0.9);
+}
+
+TEST(ScoreMatrixTest, NormalizeMinMax) {
+  ScoreMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(0, 1, 4.0);
+  m.set(1, 0, 6.0);
+  m.set(1, 1, 10.0);
+  m.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.25);
+}
+
+TEST(ScoreMatrixTest, NormalizeConstantMatrixIsNoop) {
+  ScoreMatrix m(2);
+  m.set(0, 0, 3.0);
+  m.set(0, 1, 3.0);
+  m.set(1, 0, 3.0);
+  m.set(1, 1, 3.0);
+  m.NormalizeMinMax();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+}
+
+TEST(GraphFromScoresTest, SelectsTopClusterPerTarget) {
+  // Target 0: strong cause 2; target 1: strong causes 0 and 1.
+  ScoreMatrix m(3);
+  m.set(0, 0, 0.05);
+  m.set(1, 0, 0.1);
+  m.set(2, 0, 0.9);
+  m.set(0, 1, 0.8);
+  m.set(1, 1, 0.85);
+  m.set(2, 1, 0.05);
+  m.set(0, 2, 0.0);
+  m.set(1, 2, 0.0);
+  m.set(2, 2, 0.95);
+  const CausalGraph g = GraphFromScores(m, ClusterSelectOptions{2, 1});
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+  EXPECT_TRUE(g.HasEdge(2, 2));
+}
+
+TEST(GraphFromScoresTest, UsesProvidedDelays) {
+  ScoreMatrix m(2);
+  m.set(0, 1, 0.9);
+  m.set(1, 1, 0.05);
+  m.set(0, 0, 0.9);
+  m.set(1, 0, 0.0);
+  std::vector<std::vector<int>> delays = {{4, 7}, {1, 1}};
+  const CausalGraph g = GraphFromScores(m, ClusterSelectOptions{2, 1}, &delays);
+  ASSERT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.FindEdge(0, 1)->delay, 7);
+  ASSERT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.FindEdge(0, 0)->delay, 4);
+}
+
+TEST(GraphFromThresholdTest, KeepsOnlyAboveThreshold) {
+  ScoreMatrix m(2);
+  m.set(0, 1, 0.6);
+  m.set(1, 0, 0.4);
+  const CausalGraph g = GraphFromThreshold(m, 0.5);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interpret/gradient_modulation.h"
+#include "interpret/relevance.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace causalformer {
+namespace {
+
+using interpret::PropagateRelevance;
+using interpret::RelevanceMap;
+using interpret::RelevanceOf;
+using interpret::RelevanceOptions;
+
+double SumOf(const Tensor& t) {
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) s += t.data()[i];
+  return s;
+}
+
+TEST(RelevanceTest, LinearLayerMatchesEq15ClosedForm) {
+  // out_j = sum_i x_i W_ij + b_j;  R_i = sum_j x_i W_ij R_j / out_j (Eq. 15).
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {2.0f, 3.0f}).set_requires_grad(true);
+  Tensor w = Tensor::FromVector(Shape{2, 2}, {1.0f, -1.0f, 0.5f, 2.0f})
+                 .set_requires_grad(true);
+  Tensor b = Tensor::FromVector(Shape{2}, {0.5f, 1.0f}).set_requires_grad(true);
+  Tensor out = Add(MatMul(x, w), b);
+  // out = [2*1+3*0.5+0.5, 2*(-1)+3*2+1] = [4.0, 5.0]
+  ASSERT_FLOAT_EQ(out.at({0, 0}), 4.0f);
+  ASSERT_FLOAT_EQ(out.at({0, 1}), 5.0f);
+
+  Tensor seed = Tensor::FromVector(Shape{1, 2}, {1.0f, 1.0f});
+  const RelevanceMap map = PropagateRelevance(out, seed);
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  // R_x0 = 2*1*1/4 + 2*(-1)*1/5 = 0.5 - 0.4 = 0.1
+  // R_x1 = 3*0.5/4 + 3*2/5     = 0.375 + 1.2 = 1.575
+  EXPECT_NEAR(rx.at({0, 0}), 0.1f, 1e-4);
+  EXPECT_NEAR(rx.at({0, 1}), 1.575f, 1e-4);
+
+  // Bias relevance (Eq. 16): R_b = b_j * R_j / out_j.
+  const Tensor rb = RelevanceOf(map, b);
+  ASSERT_TRUE(rb.defined());
+  EXPECT_NEAR(rb.at({0}), 0.5f / 4.0f, 1e-4);
+  EXPECT_NEAR(rb.at({1}), 1.0f / 5.0f, 1e-4);
+}
+
+TEST(RelevanceTest, WithoutBiasAbsorptionRoutesAllToData) {
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {2.0f, 3.0f}).set_requires_grad(true);
+  Tensor w = Tensor::FromVector(Shape{2, 2}, {1.0f, -1.0f, 0.5f, 2.0f})
+                 .set_requires_grad(true);
+  Tensor b = Tensor::FromVector(Shape{2}, {0.5f, 1.0f}).set_requires_grad(true);
+  Tensor h = MatMul(x, w);  // [3.5, 4.0]
+  Tensor out = Add(h, b);
+
+  RelevanceOptions opts;
+  opts.bias_absorption = false;
+  const RelevanceMap map =
+      PropagateRelevance(out, Tensor::Ones(out.shape()), opts);
+  // Bias receives nothing.
+  const Tensor rb = RelevanceOf(map, b);
+  if (rb.defined()) {
+    EXPECT_NEAR(SumOf(rb), 0.0, 1e-6);
+  }
+  // Data path: denominator is h (bias-free): R_x0 = 2/3.5 - 2/4.
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_NEAR(rx.at({0, 0}), 2.0f / 3.5f - 2.0f / 4.0f, 1e-4);
+}
+
+TEST(RelevanceTest, MatMulMatchesEq18) {
+  // R_A(n,k) = sum_m A_nk B_km R_nm / (AB)_nm  (Eq. 18).
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {3.0f, 1.0f, 1.0f, 2.0f})
+                 .set_requires_grad(true);
+  Tensor c = MatMul(a, b);  // [5, 5]
+  Tensor seed = Tensor::FromVector(Shape{1, 2}, {1.0f, 2.0f});
+  const RelevanceMap map = PropagateRelevance(c, seed);
+  const Tensor ra = RelevanceOf(map, a);
+  ASSERT_TRUE(ra.defined());
+  // R_a0 = a0*b00*R0/c0 + a0*b01*R1/c1 = 3/5 + 1*2/5 = 1.0
+  // R_a1 = a1*b10*R0/c0 + a1*b11*R1/c1 = 2/5 + 4*2/5 = 2.0
+  EXPECT_NEAR(ra.at({0, 0}), 1.0f, 1e-4);
+  EXPECT_NEAR(ra.at({0, 1}), 2.0f, 1e-4);
+  // Relevance is conserved through matmul onto each operand (Eq. 10 per path).
+  const Tensor rb = RelevanceOf(map, b);
+  ASSERT_TRUE(rb.defined());
+  EXPECT_NEAR(SumOf(ra), 3.0, 1e-4);
+  EXPECT_NEAR(SumOf(rb), 3.0, 1e-4);
+}
+
+TEST(RelevanceTest, RoutingOpsAreExact) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4}).set_requires_grad(true);
+  Tensor y = Transpose(Reshape(x, Shape{4, 1}), 0, 1);  // [1, 4]
+  Tensor seed = Tensor::FromVector(Shape{1, 4}, {10, 20, 30, 40});
+  const RelevanceMap map = PropagateRelevance(y, seed);
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_NEAR(rx.at({0, 0}), 10.0f, 1e-3);
+  EXPECT_NEAR(rx.at({1, 1}), 40.0f, 1e-3);
+}
+
+TEST(RelevanceTest, SliceDropsOutOfRangeRelevance) {
+  Tensor x = Tensor::FromVector(Shape{4}, {1, 2, 3, 4}).set_requires_grad(true);
+  Tensor y = Slice(x, 0, 1, 3);
+  const RelevanceMap map = PropagateRelevance(y, Tensor::Ones(y.shape()));
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_NEAR(rx.at({0}), 0.0f, 1e-6);
+  EXPECT_NEAR(rx.at({1}), 1.0f, 1e-4);
+  EXPECT_NEAR(rx.at({3}), 0.0f, 1e-6);
+}
+
+TEST(RelevanceTest, ReluPassThroughForActiveUnits) {
+  Tensor x = Tensor::FromVector(Shape{3}, {2.0f, -1.0f, 0.5f})
+                 .set_requires_grad(true);
+  Tensor y = Relu(x);
+  const RelevanceMap map = PropagateRelevance(y, Tensor::Ones(y.shape()));
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_NEAR(rx.at({0}), 1.0f, 1e-3);
+  EXPECT_NEAR(rx.at({1}), 0.0f, 1e-3);  // inactive unit gets none
+  EXPECT_NEAR(rx.at({2}), 1.0f, 1e-3);
+}
+
+TEST(RelevanceTest, LeakyReluPassThroughBothSides) {
+  Tensor x = Tensor::FromVector(Shape{2}, {2.0f, -2.0f}).set_requires_grad(true);
+  Tensor y = LeakyRelu(x, 0.1f);
+  const RelevanceMap map = PropagateRelevance(y, Tensor::Ones(y.shape()));
+  const Tensor rx = RelevanceOf(map, x);
+  // x * slope * R / (slope * x) = R on the negative side too.
+  EXPECT_NEAR(rx.at({0}), 1.0f, 1e-3);
+  EXPECT_NEAR(rx.at({1}), 1.0f, 1e-3);
+}
+
+TEST(RelevanceTest, ConservationThroughBiasFreeChain) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn(Shape{1, 4}, &rng, true);
+  // Keep values positive so no output sits near zero (stabiliser noise).
+  for (int64_t i = 0; i < 4; ++i) x.data()[i] = std::fabs(x.data()[i]) + 1.0f;
+  Tensor w1 = Tensor::Rand(Shape{4, 5}, 0.1f, 1.0f, &rng, true);
+  Tensor w2 = Tensor::Rand(Shape{5, 3}, 0.1f, 1.0f, &rng, true);
+  Tensor out = MatMul(Relu(MatMul(x, w1)), w2);
+  Tensor seed = Tensor::Ones(out.shape());
+  const RelevanceMap map = PropagateRelevance(out, seed);
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_NEAR(SumOf(rx), SumOf(seed), 1e-2);
+}
+
+TEST(RelevanceTest, SoftmaxRelevanceIsFinite) {
+  Rng rng(6);
+  Tensor x = Tensor::Randn(Shape{2, 5}, &rng, true);
+  Tensor y = Softmax(x, 1);
+  const RelevanceMap map = PropagateRelevance(y, Tensor::Ones(y.shape()));
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  for (int64_t i = 0; i < rx.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(rx.data()[i]));
+  }
+}
+
+TEST(RelevanceTest, SeedShapeMismatchIsFatal) {
+  Tensor x = Tensor::Ones(Shape{2}).set_requires_grad(true);
+  Tensor y = Scale(x, 2.0f);
+  EXPECT_DEATH(PropagateRelevance(y, Tensor::Ones(Shape{3})), "seed");
+}
+
+TEST(GradientModulationTest, Eq19Rectification) {
+  Tensor r = Tensor::FromVector(Shape{4}, {1.0f, -1.0f, 2.0f, 0.5f});
+  Tensor g = Tensor::FromVector(Shape{4}, {-2.0f, 3.0f, 0.0f, 1.0f});
+  Tensor s = interpret::ModulateByGradient(r, g);
+  EXPECT_FLOAT_EQ(s.at({0}), 2.0f);   // |−2| * 1
+  EXPECT_FLOAT_EQ(s.at({1}), 0.0f);   // negative relevance rectified
+  EXPECT_FLOAT_EQ(s.at({2}), 0.0f);   // zero gradient
+  EXPECT_FLOAT_EQ(s.at({3}), 0.5f);
+}
+
+TEST(GradientModulationTest, AblationVariants) {
+  Tensor r = Tensor::FromVector(Shape{2}, {-3.0f, 2.0f});
+  Tensor g = Tensor::FromVector(Shape{2}, {-4.0f, 0.5f});
+  Tensor ag = interpret::AbsGradientScore(g);
+  EXPECT_FLOAT_EQ(ag.at({0}), 4.0f);
+  Tensor rr = interpret::RectifiedRelevanceScore(r);
+  EXPECT_FLOAT_EQ(rr.at({0}), 0.0f);
+  EXPECT_FLOAT_EQ(rr.at({1}), 2.0f);
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/kmeans.h"
+#include "util/rng.h"
+
+namespace causalformer {
+namespace {
+
+TEST(KMeansTest, TwoObviousClusters) {
+  const std::vector<double> values = {0.01, 0.02, 0.03, 0.9, 0.95, 0.92};
+  const KMeans1dResult res = KMeans1d(values, 2);
+  ASSERT_EQ(res.centroids.size(), 2u);
+  EXPECT_LT(res.centroids[0], 0.1);
+  EXPECT_GT(res.centroids[1], 0.8);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(res.assignment[i], 0);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(res.assignment[i], 1);
+}
+
+TEST(KMeansTest, CentroidsAreAscending) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Uniform());
+  const KMeans1dResult res = KMeans1d(values, 4);
+  for (size_t c = 1; c < res.centroids.size(); ++c) {
+    EXPECT_LE(res.centroids[c - 1], res.centroids[c]);
+  }
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Normal());
+  const KMeans1dResult res = KMeans1d(values, 3);
+  for (size_t i = 0; i < values.size(); ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (size_t c = 0; c < res.centroids.size(); ++c) {
+      const double d = std::abs(values[i] - res.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int>(c);
+      }
+    }
+    EXPECT_EQ(res.assignment[i], best_c) << "value " << values[i];
+  }
+}
+
+TEST(KMeansTest, KClampsToDistinctValues) {
+  const std::vector<double> values = {1.0, 1.0, 2.0, 2.0};
+  const KMeans1dResult res = KMeans1d(values, 5);
+  EXPECT_LE(res.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SingleValueDegenerates) {
+  const std::vector<double> values = {3.0, 3.0, 3.0};
+  const KMeans1dResult res = KMeans1d(values, 2);
+  ASSERT_EQ(res.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.centroids[0], 3.0);
+}
+
+TEST(TopClusterTest, SelectsHighClassOnly) {
+  const std::vector<double> values = {0.05, 0.9, 0.07, 0.85, 0.02};
+  const std::vector<int> top = TopClusterIndices(values, 2, 1);
+  EXPECT_EQ(top, (std::vector<int>{1, 3}));
+}
+
+TEST(TopClusterTest, TopTwoOfThreeIsDenser) {
+  const std::vector<double> values = {0.05, 0.5, 0.9, 0.06, 0.55, 0.95};
+  const std::vector<int> top1 = TopClusterIndices(values, 3, 1);
+  const std::vector<int> top2 = TopClusterIndices(values, 3, 2);
+  EXPECT_LT(top1.size(), top2.size());
+  // Every index in top1 is also in top2 (monotone selection).
+  for (const int i : top1) {
+    EXPECT_NE(std::find(top2.begin(), top2.end(), i), top2.end());
+  }
+}
+
+TEST(TopClusterTest, AllEqualValuesSelectNothing) {
+  // A constant score vector carries no evidence; no edges should come out.
+  const std::vector<double> values = {0.3, 0.3, 0.3, 0.3};
+  EXPECT_TRUE(TopClusterIndices(values, 2, 1).empty());
+}
+
+class KMeansPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(KMeansPropertyTest, PartitionsAreContiguousInSortedOrder) {
+  // 1-D k-means optimal clusters are intervals; Lloyd preserves this from a
+  // sorted-quantile init.
+  Rng rng(GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.Uniform(0.0, 10.0));
+  const KMeans1dResult res = KMeans1d(values, 3);
+  // Sort by value and verify assignments are non-decreasing.
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  int prev = -1;
+  for (const size_t i : order) {
+    EXPECT_GE(res.assignment[i], prev);
+    prev = std::max(prev, res.assignment[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace causalformer

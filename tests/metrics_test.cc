@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.h"
+
+namespace causalformer {
+namespace {
+
+CausalGraph MakeTruth() {
+  CausalGraph g(3);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(0, 0, 1);  // self-loop
+  return g;
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  const CausalGraph truth = MakeTruth();
+  const PrfScores s = EvaluateGraph(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(MetricsTest, HandComputedConfusion) {
+  const CausalGraph truth = MakeTruth();
+  CausalGraph pred(3);
+  pred.AddEdge(0, 1, 2);  // TP
+  pred.AddEdge(2, 0, 1);  // FP
+  // missing (1,2) and (0,0): 2 FN
+  const ConfusionCounts c = CountEdges(truth, pred);
+  EXPECT_EQ(c.true_positives, 1);
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_EQ(c.false_negatives, 2);
+  const PrfScores s = ScoresFromCounts(c);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.f1, 2 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, ExcludeSelfLoops) {
+  const CausalGraph truth = MakeTruth();
+  CausalGraph pred(3);
+  pred.AddEdge(0, 0, 1);
+  const ConfusionCounts with_self = CountEdges(truth, pred, true);
+  EXPECT_EQ(with_self.true_positives, 1);
+  const ConfusionCounts without = CountEdges(truth, pred, false);
+  EXPECT_EQ(without.true_positives, 0);
+  EXPECT_EQ(without.false_negatives, 2);
+}
+
+TEST(MetricsTest, EmptyPredictionGivesZeroScores) {
+  const CausalGraph truth = MakeTruth();
+  const CausalGraph pred(3);
+  const PrfScores s = EvaluateGraph(truth, pred);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(MetricsTest, PodCountsOnlyTruePositives) {
+  const CausalGraph truth = MakeTruth();
+  CausalGraph pred(3);
+  pred.AddEdge(0, 1, 2);  // TP, delay correct
+  pred.AddEdge(1, 2, 3);  // TP, delay wrong
+  pred.AddEdge(2, 1, 9);  // FP: ignored by PoD
+  EXPECT_DOUBLE_EQ(PrecisionOfDelay(truth, pred), 0.5);
+}
+
+TEST(MetricsTest, PodPerfect) {
+  const CausalGraph truth = MakeTruth();
+  EXPECT_DOUBLE_EQ(PrecisionOfDelay(truth, truth), 1.0);
+}
+
+TEST(MetricsTest, PodNoTruePositivesIsZero) {
+  const CausalGraph truth = MakeTruth();
+  CausalGraph pred(3);
+  pred.AddEdge(2, 1, 1);
+  EXPECT_DOUBLE_EQ(PrecisionOfDelay(truth, pred), 0.0);
+}
+
+TEST(MetricsTest, AurocPerfectRanking) {
+  CausalGraph truth(2);
+  truth.AddEdge(0, 1);
+  ScoreMatrix scores(2);
+  scores.set(0, 1, 0.9);
+  scores.set(1, 0, 0.1);
+  scores.set(0, 0, 0.2);
+  scores.set(1, 1, 0.3);
+  EXPECT_DOUBLE_EQ(Auroc(truth, scores), 1.0);
+}
+
+TEST(MetricsTest, AurocRandomScoresNearHalf) {
+  CausalGraph truth(2);
+  truth.AddEdge(0, 1);
+  truth.AddEdge(1, 0);
+  ScoreMatrix scores(2);  // all zeros -> total ties
+  EXPECT_DOUBLE_EQ(Auroc(truth, scores), 0.5);
+}
+
+TEST(MetricsTest, AurocInvertedRankingIsZero) {
+  CausalGraph truth(2);
+  truth.AddEdge(0, 1);
+  ScoreMatrix scores(2);
+  scores.set(0, 1, 0.0);
+  scores.set(1, 0, 1.0);
+  scores.set(0, 0, 1.0);
+  scores.set(1, 1, 1.0);
+  EXPECT_DOUBLE_EQ(Auroc(truth, scores), 0.0);
+}
+
+TEST(MetricsTest, AuprcPerfect) {
+  CausalGraph truth(2);
+  truth.AddEdge(0, 1);
+  ScoreMatrix scores(2);
+  scores.set(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(Auprc(truth, scores), 1.0);
+}
+
+TEST(MetricsTest, MeanAndStd) {
+  const auto [mean, stddev] = MeanAndStd({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(mean, 2.5);
+  EXPECT_NEAR(stddev, std::sqrt(1.25), 1e-12);
+  const auto [m0, s0] = MeanAndStd({});
+  EXPECT_DOUBLE_EQ(m0, 0.0);
+  EXPECT_DOUBLE_EQ(s0, 0.0);
+}
+
+}  // namespace
+}  // namespace causalformer

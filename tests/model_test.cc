@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/causality_transformer.h"
+#include "core/trainer.h"
+#include "data/windowing.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace causalformer {
+namespace {
+
+using core::CausalityTransformer;
+using core::ForwardResult;
+using core::ModelOptions;
+
+ModelOptions SmallOptions(int64_t n = 3, int64_t t = 8) {
+  ModelOptions opt;
+  opt.num_series = n;
+  opt.window = t;
+  opt.d_model = 16;
+  opt.d_qk = 16;
+  opt.heads = 2;
+  opt.d_ffn = 16;
+  return opt;
+}
+
+TEST(ModelTest, ForwardShapes) {
+  Rng rng(1);
+  CausalityTransformer model(SmallOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{4, 3, 8}, &rng);
+  const ForwardResult out = model.Forward(x);
+  EXPECT_EQ(out.prediction.shape(), (Shape{4, 3, 8}));
+  ASSERT_EQ(out.attention.size(), 2u);
+  EXPECT_EQ(out.attention[0].shape(), (Shape{4, 3, 3}));
+  EXPECT_EQ(out.conv.shape(), (Shape{4, 3, 3, 8}));
+}
+
+TEST(ModelTest, AttentionRowsAreDistributions) {
+  Rng rng(2);
+  CausalityTransformer model(SmallOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8}, &rng);
+  const ForwardResult out = model.Forward(x);
+  for (const Tensor& a : out.attention) {
+    for (int64_t b = 0; b < a.dim(0); ++b) {
+      for (int64_t i = 0; i < a.dim(1); ++i) {
+        float sum = 0.0f;
+        for (int64_t j = 0; j < a.dim(2); ++j) {
+          const float v = a.at({b, i, j});
+          EXPECT_GE(v, 0.0f);
+          sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(ModelTest, SelfPresentValueDoesNotLeakThroughConv) {
+  // The diagonal right-shift hides X[i,t] from the conv channel (i,i,t).
+  Rng rng(3);
+  CausalityTransformer model(SmallOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{1, 3, 8}, &rng);
+  const ForwardResult base = model.Forward(x);
+  Tensor x2 = x.Clone();
+  x2.at({0, 1, 4}) += 3.0f;
+  const ForwardResult pert = model.Forward(x2);
+  for (int64_t t = 0; t <= 4; ++t) {
+    EXPECT_FLOAT_EQ(base.conv.at({0, 1, 1, t}), pert.conv.at({0, 1, 1, t}))
+        << "self conv leaked present value at t=" << t;
+  }
+}
+
+TEST(ModelTest, ParameterInventoryMatchesArchitecture) {
+  Rng rng(4);
+  const ModelOptions opt = SmallOptions(3, 8);
+  CausalityTransformer model(opt, &rng);
+  const auto named = model.NamedParameters();
+  // w_emb, b_emb, per-head wq/bq/wk/bk (2 heads -> 8), mask, kernel, w_o,
+  // ffn1 (w+b), ffn2 (w+b), output (w+b) = 2 + 8 + 3 + 6 = 19.
+  EXPECT_EQ(named.size(), 19u);
+  // Kernel is [N, N, T] in multi-kernel mode.
+  bool found_kernel = false;
+  for (const auto& [name, t] : named) {
+    if (name == "kernel") {
+      found_kernel = true;
+      EXPECT_EQ(t.shape(), (Shape{3, 3, 8}));
+    }
+  }
+  EXPECT_TRUE(found_kernel);
+}
+
+TEST(ModelTest, SharedKernelAblationShrinksKernel) {
+  Rng rng(5);
+  ModelOptions opt = SmallOptions(4, 8);
+  opt.multi_kernel = false;
+  CausalityTransformer model(opt, &rng);
+  EXPECT_EQ(model.kernel().shape(), (Shape{4, 1, 8}));
+  Tensor x = Tensor::Randn(Shape{2, 4, 8}, &rng);
+  EXPECT_EQ(model.Forward(x).prediction.shape(), (Shape{2, 4, 8}));
+}
+
+TEST(ModelTest, LossPenaltiesIncreaseLoss) {
+  Rng rng(6);
+  CausalityTransformer model(SmallOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8}, &rng);
+  const ForwardResult out = model.Forward(x);
+  const float plain = model.Loss(out, x, 0.0f, 0.0f).item();
+  const float with_k = model.Loss(out, x, 0.1f, 0.0f).item();
+  const float with_m = model.Loss(out, x, 0.0f, 0.1f).item();
+  EXPECT_GT(with_k, plain);
+  EXPECT_GT(with_m, plain);
+}
+
+TEST(ModelTest, LagPenaltyWeightsDistantTapsMore) {
+  Rng rng(7);
+  ModelOptions opt = SmallOptions();
+  opt.lag_penalty = 1.0f;
+  CausalityTransformer model(opt, &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8}, &rng);
+  const ForwardResult out = model.Forward(x);
+  // Lag weights are >= 1 everywhere, so the weighted penalty must dominate
+  // the plain lambda-scaled L1 of the same kernel.
+  const float weighted = model.Loss(out, x, 0.1f, 0.0f).item();
+  float l1 = 0.0f;
+  for (int64_t i = 0; i < model.kernel().numel(); ++i) {
+    l1 += std::fabs(model.kernel().data()[i]);
+  }
+  const float plain_mse = model.Loss(out, x, 0.0f, 0.0f).item();
+  EXPECT_GT(weighted, plain_mse + 0.1f * l1 - 1e-4f);
+}
+
+TEST(ModelTest, GradientsReachAllParameters) {
+  Rng rng(8);
+  CausalityTransformer model(SmallOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{4, 3, 8}, &rng);
+  const ForwardResult out = model.Forward(x);
+  model.Loss(out, x, 1e-4f, 1e-4f).Backward();
+  for (const auto& [name, p] : model.NamedParameters()) {
+    const Tensor g = p.grad();
+    ASSERT_TRUE(g.defined()) << name;
+    double norm = 0.0;
+    for (int64_t i = 0; i < g.numel(); ++i) norm += std::fabs(g.data()[i]);
+    EXPECT_GT(norm, 0.0) << "no gradient reached " << name;
+  }
+}
+
+TEST(TrainerTest, LossDecreasesOnSyntheticData) {
+  Rng rng(9);
+  data::SyntheticOptions dopt;
+  dopt.length = 200;
+  const data::Dataset ds =
+      data::GenerateSynthetic(data::SyntheticStructure::kFork, dopt, &rng);
+
+  core::ModelOptions mopt = SmallOptions(ds.num_series(), 8);
+  CausalityTransformer model(mopt, &rng);
+
+  // Loss before training.
+  Tensor windows = data::MakeWindows(ds.series, 8, 4);
+  const float before =
+      model.Loss(model.Forward(windows), windows, 0.0f, 0.0f).item();
+
+  core::TrainOptions topt;
+  topt.max_epochs = 15;
+  topt.stride = 4;
+  topt.lambda_k = 0.0f;
+  topt.lambda_m = 0.0f;
+  const core::TrainReport report =
+      core::TrainCausalityTransformer(&model, ds.series, topt, &rng);
+  EXPECT_GE(report.epochs_run, 1);
+
+  const float after =
+      model.Loss(model.Forward(windows), windows, 0.0f, 0.0f).item();
+  EXPECT_LT(after, before);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggersOnPlateau) {
+  Rng rng(10);
+  // Pure noise has nothing to learn: validation loss plateaus quickly.
+  Tensor noise = Tensor::Randn(Shape{3, 120}, &rng);
+  core::ModelOptions mopt = SmallOptions(3, 8);
+  CausalityTransformer model(mopt, &rng);
+  core::TrainOptions topt;
+  topt.max_epochs = 200;
+  topt.patience = 3;
+  topt.stride = 4;
+  const core::TrainReport report =
+      core::TrainCausalityTransformer(&model, noise, topt, &rng);
+  EXPECT_TRUE(report.early_stopped);
+  EXPECT_LT(report.epochs_run, 200);
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace causalformer {
+namespace {
+
+using nn::Conv1dCausal;
+using nn::Linear;
+using nn::Lstm;
+using nn::LstmCell;
+
+TEST(ModuleTest, ParameterRegistryCollectsChildren) {
+  Rng rng(1);
+  struct Net : nn::Module {
+    Net(Rng* rng) : a(3, 4, rng), b(4, 2, rng) {
+      RegisterModule("a", &a);
+      RegisterModule("b", &b);
+    }
+    Linear a, b;
+  } net(&rng);
+  const auto named = net.NamedParameters();
+  // a.weight, a.bias, b.weight, b.bias
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "a.weight");
+  EXPECT_EQ(net.NumParameters(), 3 * 4 + 4 + 4 * 2 + 2);
+  for (const auto& p : net.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(2);
+  Linear lin(2, 2, &rng);
+  Sum(lin.Forward(Tensor::Ones(Shape{3, 2}))).Backward();
+  ASSERT_TRUE(lin.weight().grad().defined());
+  EXPECT_NE(lin.weight().grad().at({0, 0}), 0.0f);
+  lin.ZeroGrad();
+  EXPECT_FLOAT_EQ(lin.weight().grad().at({0, 0}), 0.0f);
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  Rng rng(3);
+  Linear lin(2, 3, &rng);
+  // Overwrite weights for a deterministic check.
+  Tensor w = lin.weight();
+  for (int64_t i = 0; i < 6; ++i) w.data()[i] = static_cast<float>(i);
+  Tensor b = lin.bias();
+  for (int64_t i = 0; i < 3; ++i) b.data()[i] = 1.0f;
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  Tensor y = lin.Forward(x);
+  // y = [1,2] @ [[0,1,2],[3,4,5]] + 1 = [6+1, 9+1, 12+1]
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 7.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 10.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 2}), 13.0f);
+}
+
+TEST(LinearTest, SupportsBatchedThreeDInput) {
+  Rng rng(4);
+  Linear lin(5, 3, &rng);
+  Tensor y = lin.Forward(Tensor::Ones(Shape{2, 7, 5}));
+  EXPECT_EQ(y.shape(), (Shape{2, 7, 3}));
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(5);
+  Linear lin(2, 2, &rng, /*bias=*/false);
+  EXPECT_FALSE(lin.has_bias());
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Tensor y = lin.Forward(Tensor::Zeros(Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 0.0f);
+}
+
+TEST(InitTest, HeNormalHasExpectedScale) {
+  Rng rng(6);
+  Tensor w = nn::HeNormal(Shape{1000, 10}, 1000, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) sq += w.data()[i] * w.data()[i];
+  const double stddev = std::sqrt(sq / w.numel());
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 1000.0), 0.005);
+}
+
+TEST(InitTest, XavierUniformBounded) {
+  Rng rng(7);
+  Tensor w = nn::XavierUniform(Shape{50, 50}, 50, 50, &rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), bound);
+  }
+}
+
+TEST(DropoutTest, IdentityWhenNotTraining) {
+  Rng rng(8);
+  Tensor x = Tensor::Ones(Shape{10});
+  Tensor y = nn::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_EQ(y.impl(), x.impl());
+}
+
+TEST(DropoutTest, ScalesSurvivors) {
+  Rng rng(9);
+  Tensor x = Tensor::Ones(Shape{10000});
+  Tensor y = nn::Dropout(x, 0.5f, /*training=*/true, &rng);
+  double sum = 0.0;
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    sum += y.data()[i];
+    if (y.data()[i] == 0.0f) ++zeros;
+    else EXPECT_FLOAT_EQ(y.data()[i], 2.0f);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.5, 0.05);
+  EXPECT_NEAR(sum / y.numel(), 1.0, 0.1);
+}
+
+TEST(ClampTest, ValuesAndGradient) {
+  Tensor x =
+      Tensor::FromVector(Shape{4}, {-2, 0.5, 2, 0}).set_requires_grad(true);
+  Tensor y = nn::Clamp(x, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0}), -1.0f);
+  EXPECT_FLOAT_EQ(y.at({1}), 0.5f);
+  EXPECT_FLOAT_EQ(y.at({2}), 1.0f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 0.0f);  // clipped -> zero grad
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 1.0f);
+}
+
+TEST(GeluTest, KnownValues) {
+  Tensor x = Tensor::FromVector(Shape{3}, {-10.0f, 0.0f, 10.0f});
+  Tensor y = nn::Gelu(x);
+  EXPECT_NEAR(y.at({0}), 0.0f, 1e-3);
+  EXPECT_NEAR(y.at({1}), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at({2}), 10.0f, 1e-3);
+}
+
+TEST(LstmTest, ShapesAndStateEvolution) {
+  Rng rng(10);
+  LstmCell cell(3, 5, &rng);
+  auto state = cell.InitialState(2);
+  EXPECT_EQ(state.h.shape(), (Shape{2, 5}));
+  Tensor x = Tensor::Ones(Shape{2, 3});
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.shape(), (Shape{2, 5}));
+  // h must move away from zero given nonzero input.
+  float norm = 0.0f;
+  for (int64_t i = 0; i < next.h.numel(); ++i) {
+    norm += std::fabs(next.h.data()[i]);
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(LstmTest, SequenceOutputShape) {
+  Rng rng(11);
+  Lstm lstm(4, 6, &rng);
+  Tensor y = lstm.Forward(Tensor::Ones(Shape{3, 7, 4}));
+  EXPECT_EQ(y.shape(), (Shape{3, 7, 6}));
+}
+
+TEST(LstmTest, GradientFlowsToInputWeights) {
+  Rng rng(12);
+  Lstm lstm(2, 3, &rng);
+  Tensor x = Tensor::Randn(Shape{1, 5, 2}, &rng);
+  Sum(Square(lstm.Forward(x))).Backward();
+  const Tensor g = lstm.cell().w_ih().grad();
+  ASSERT_TRUE(g.defined());
+  float norm = 0.0f;
+  for (int64_t i = 0; i < g.numel(); ++i) norm += std::fabs(g.data()[i]);
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(Conv1dTest, CausalityOutputIgnoresFuture) {
+  Rng rng(13);
+  Conv1dCausal conv(1, 1, /*kernel=*/3, /*dilation=*/1, /*groups=*/1, &rng);
+  Tensor x = Tensor::Zeros(Shape{1, 1, 8});
+  Tensor y0 = conv.Forward(x);
+  // Perturb a future position; outputs before it must not change.
+  Tensor x2 = x.Clone();
+  x2.at({0, 0, 5}) = 10.0f;
+  Tensor y1 = conv.Forward(x2);
+  for (int64_t t = 0; t < 5; ++t) {
+    EXPECT_FLOAT_EQ(y0.at({0, 0, t}), y1.at({0, 0, t})) << "t=" << t;
+  }
+  EXPECT_NE(y0.at({0, 0, 5}), y1.at({0, 0, 5}));
+}
+
+TEST(Conv1dTest, ShiftRightExcludesPresent) {
+  Rng rng(14);
+  Conv1dCausal conv(1, 1, 3, 1, 1, &rng);
+  Tensor x = Tensor::Zeros(Shape{1, 1, 8});
+  Tensor base = conv.Forward(x, /*shift_right=*/true);
+  Tensor x2 = x.Clone();
+  x2.at({0, 0, 4}) = 5.0f;
+  Tensor pert = conv.Forward(x2, /*shift_right=*/true);
+  // With the shift, position 4 must not see its own value.
+  EXPECT_FLOAT_EQ(base.at({0, 0, 4}), pert.at({0, 0, 4}));
+  EXPECT_NE(base.at({0, 0, 5}), pert.at({0, 0, 5}));
+}
+
+TEST(Conv1dTest, DilationReachesFurtherBack) {
+  Rng rng(15);
+  Conv1dCausal conv(1, 1, /*kernel=*/2, /*dilation=*/3, /*groups=*/1, &rng,
+                    /*bias=*/false);
+  // Kernel taps: lag 0 and lag 3.
+  Tensor w = conv.weight();
+  w.data()[0] = 1.0f;  // tap at lag 3
+  w.data()[1] = 0.0f;  // tap at lag 0
+  Tensor x = Tensor::Zeros(Shape{1, 1, 8});
+  x.at({0, 0, 2}) = 1.0f;
+  Tensor y = conv.Forward(x);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 5}), 1.0f);  // echoed 3 steps later
+  EXPECT_FLOAT_EQ(y.at({0, 0, 2}), 0.0f);
+}
+
+TEST(Conv1dTest, DepthwiseGroupsKeepChannelsIndependent) {
+  Rng rng(16);
+  Conv1dCausal conv(2, 2, 3, 1, /*groups=*/2, &rng, /*bias=*/false);
+  Tensor x = Tensor::Zeros(Shape{1, 2, 6});
+  x.at({0, 0, 2}) = 1.0f;  // only channel 0 carries signal
+  Tensor y = conv.Forward(x);
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_FLOAT_EQ(y.at({0, 1, t}), 0.0f) << "channel crosstalk at t=" << t;
+  }
+}
+
+TEST(Conv1dTest, GradCheckSmall) {
+  Rng rng(17);
+  Tensor x = Tensor::Randn(Shape{1, 2, 5}, &rng, true);
+  Tensor w = Tensor::Randn(Shape{2, 2, 3}, &rng, true);
+  Tensor b = Tensor::Randn(Shape{2}, &rng, true);
+  auto f = [&]() {
+    return Sum(Square(nn::CausalConv1d(x, w, b, 1, 1, false)));
+  };
+  Tensor loss = f();
+  loss.Backward();
+  const float eps = 1e-2f;
+  auto check = [&](Tensor& t) {
+    const Tensor g = t.grad();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float orig = t.data()[i];
+      t.data()[i] = orig + eps;
+      const float up = f().item();
+      t.data()[i] = orig - eps;
+      const float down = f().item();
+      t.data()[i] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(g.data()[i], numeric,
+                  2e-2f * std::max(1.0f, std::fabs(numeric)));
+    }
+  };
+  check(x);
+  check(w);
+  check(b);
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/adam.h"
+#include "optim/early_stopping.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace causalformer {
+namespace {
+
+// Minimises f(x) = ||x - target||^2 and returns the final distance.
+template <typename Opt>
+double MinimizeQuadratic(Opt& opt, Tensor x, const Tensor& target, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    opt.ZeroGrad();
+    Sum(Square(Sub(x, target))).Backward();
+    opt.Step();
+  }
+  double dist = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const double d = x.data()[i] - target.data()[i];
+    dist += d * d;
+  }
+  return std::sqrt(dist);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::Full(Shape{4}, 5.0f, /*requires_grad=*/true);
+  Tensor target = Tensor::FromVector(Shape{4}, {1, -1, 2, 0});
+  optim::Sgd sgd({x}, /*lr=*/0.1f);
+  EXPECT_LT(MinimizeQuadratic(sgd, x, target, 200), 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Tensor target = Tensor::FromVector(Shape{1}, {3.0f});
+  Tensor x1 = Tensor::Zeros(Shape{1}, true);
+  Tensor x2 = Tensor::Zeros(Shape{1}, true);
+  optim::Sgd plain({x1}, 0.01f);
+  optim::Sgd momentum({x2}, 0.01f, 0.9f);
+  const double d_plain = MinimizeQuadratic(plain, x1, target, 50);
+  const double d_momentum = MinimizeQuadratic(momentum, x2, target, 50);
+  EXPECT_LT(d_momentum, d_plain);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::Full(Shape{6}, -4.0f, true);
+  Tensor target = Tensor::FromVector(Shape{6}, {1, 2, 3, -1, -2, -3});
+  optim::Adam adam({x}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(adam, x, target, 400), 1e-2);
+}
+
+TEST(AdamTest, HandlesSparseGradientScales) {
+  // Badly scaled quadratic: Adam's per-coordinate scaling should cope.
+  Tensor x = Tensor::FromVector(Shape{2}, {5.0f, 5.0f}).set_requires_grad(true);
+  Tensor scales = Tensor::FromVector(Shape{2}, {100.0f, 0.01f});
+  optim::Adam adam({x}, 0.2f);
+  for (int s = 0; s < 600; ++s) {
+    adam.ZeroGrad();
+    Sum(Mul(scales, Square(x))).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 0.05f);
+  EXPECT_NEAR(x.data()[1], 0.0f, 0.35f);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::Full(Shape{1}, 1.0f, true);
+  optim::Adam adam({x},
+                   optim::AdamOptions{.lr = 0.01f, .weight_decay = 0.5f});
+  for (int s = 0; s < 100; ++s) {
+    adam.ZeroGrad();
+    // Zero data gradient: only decay acts.
+    Sum(Scale(x, 0.0f)).Backward();
+    adam.Step();
+  }
+  EXPECT_LT(x.data()[0], 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Tensor x = Tensor::Zeros(Shape{3}, true);
+  Tensor g = Tensor::FromVector(Shape{3}, {3.0f, 4.0f, 0.0f});
+  x.AccumulateGrad(g);  // norm 5
+  optim::Sgd sgd({x}, 0.1f);
+  const double pre = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-5);
+  double post = 0.0;
+  for (int64_t i = 0; i < 3; ++i) {
+    post += x.grad().data()[i] * x.grad().data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(post), 1.0, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormNoopUnderLimit) {
+  Tensor x = Tensor::Zeros(Shape{2}, true);
+  x.AccumulateGrad(Tensor::FromVector(Shape{2}, {0.3f, 0.4f}));
+  optim::Sgd sgd({x}, 0.1f);
+  sgd.ClipGradNorm(10.0);
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 0.3f);
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceExhausted) {
+  optim::EarlyStopping stop(3, 1e-6);
+  EXPECT_FALSE(stop.Update(1.0));
+  EXPECT_FALSE(stop.Update(0.5));   // improvement
+  EXPECT_FALSE(stop.Update(0.6));   // bad 1
+  EXPECT_FALSE(stop.Update(0.55));  // bad 2
+  EXPECT_TRUE(stop.Update(0.7));    // bad 3 -> stop
+  EXPECT_DOUBLE_EQ(stop.best(), 0.5);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsCounter) {
+  optim::EarlyStopping stop(2);
+  EXPECT_FALSE(stop.Update(1.0));
+  EXPECT_FALSE(stop.Update(1.1));  // bad 1
+  EXPECT_FALSE(stop.Update(0.9));  // improvement resets
+  EXPECT_FALSE(stop.Update(1.0));  // bad 1
+  EXPECT_TRUE(stop.Update(1.0));   // bad 2
+}
+
+TEST(EarlyStoppingTest, MinDeltaGuardsTinyImprovements) {
+  optim::EarlyStopping stop(2, /*min_delta=*/0.1);
+  EXPECT_FALSE(stop.Update(1.0));
+  EXPECT_FALSE(stop.Update(0.95));  // under min_delta -> bad 1
+  EXPECT_TRUE(stop.Update(0.94));   // bad 2 -> stop
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/causality_transformer.h"
+#include "interpret/relevance.h"
+#include "tensor/ops.h"
+
+/// Integration coverage for the paper's central mechanism: regression
+/// relevance propagation through the *entire* causality-aware transformer —
+/// output layer, feed-forward, multi-head aggregation, attention softmax,
+/// attention combination, causal convolution — down to the attention
+/// matrices, the convolution kernels, and the input window.
+
+namespace causalformer {
+namespace {
+
+using core::CausalityTransformer;
+using core::ForwardResult;
+using core::ModelOptions;
+using interpret::PropagateRelevance;
+using interpret::RelevanceMap;
+using interpret::RelevanceOf;
+
+ModelOptions TinyOptions() {
+  ModelOptions opt;
+  opt.num_series = 3;
+  opt.window = 6;
+  opt.d_model = 8;
+  opt.d_qk = 8;
+  opt.heads = 2;
+  opt.d_ffn = 8;
+  return opt;
+}
+
+Tensor OneHotSeed(const Shape& shape, int64_t target) {
+  Tensor seed = Tensor::Zeros(shape);
+  const int64_t batch = shape[0];
+  const int64_t t = shape[2];
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t k = 0; k < t; ++k) seed.at({b, target, k}) = 1.0f;
+  }
+  return seed;
+}
+
+double AbsSum(const Tensor& t) {
+  double s = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) s += std::fabs(t.data()[i]);
+  return s;
+}
+
+class FullModelRelevanceTest : public testing::TestWithParam<int> {};
+
+TEST_P(FullModelRelevanceTest, RelevanceReachesEveryInterpretedTensor) {
+  Rng rng(GetParam());
+  CausalityTransformer model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{4, 3, 6}, &rng).set_requires_grad(true);
+  const ForwardResult fwd = model.Forward(x);
+  const Tensor seed = OneHotSeed(fwd.prediction.shape(), /*target=*/1);
+  const RelevanceMap map = PropagateRelevance(fwd.prediction, seed);
+
+  // The detector reads the attention matrices and the kernel parameter;
+  // relevance must reach all of them with nonzero mass.
+  for (const Tensor& a : fwd.attention) {
+    const Tensor r = RelevanceOf(map, a);
+    ASSERT_TRUE(r.defined());
+    EXPECT_EQ(r.shape(), a.shape());
+    EXPECT_GT(AbsSum(r), 0.0);
+  }
+  const Tensor rk = RelevanceOf(map, model.kernel());
+  ASSERT_TRUE(rk.defined());
+  EXPECT_EQ(rk.shape(), model.kernel().shape());
+  EXPECT_GT(AbsSum(rk), 0.0);
+
+  // The input window itself also receives relevance (complete decomposition).
+  const Tensor rx = RelevanceOf(map, x);
+  ASSERT_TRUE(rx.defined());
+  EXPECT_GT(AbsSum(rx), 0.0);
+
+  // Every propagated value is finite.
+  for (const auto& [impl, r] : map) {
+    (void)impl;
+    for (int64_t i = 0; i < r.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(r.data()[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullModelRelevanceTest,
+                         testing::Values(1, 2, 3, 4));
+
+TEST(FullModelRelevanceTest, DifferentTargetsGiveDifferentDecompositions) {
+  Rng rng(9);
+  CausalityTransformer model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 6}, &rng);
+  const ForwardResult fwd = model.Forward(x);
+  const RelevanceMap m0 = PropagateRelevance(
+      fwd.prediction, OneHotSeed(fwd.prediction.shape(), 0));
+  const RelevanceMap m2 = PropagateRelevance(
+      fwd.prediction, OneHotSeed(fwd.prediction.shape(), 2));
+  const Tensor r0 = RelevanceOf(m0, model.kernel());
+  const Tensor r2 = RelevanceOf(m2, model.kernel());
+  ASSERT_TRUE(r0.defined());
+  ASSERT_TRUE(r2.defined());
+  double diff = 0.0;
+  for (int64_t i = 0; i < r0.numel(); ++i) {
+    diff += std::fabs(r0.data()[i] - r2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(FullModelRelevanceTest, ZeroSeedGivesZeroRelevance) {
+  Rng rng(10);
+  CausalityTransformer model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 6}, &rng);
+  const ForwardResult fwd = model.Forward(x);
+  const RelevanceMap map = PropagateRelevance(
+      fwd.prediction, Tensor::Zeros(fwd.prediction.shape()));
+  const Tensor rk = RelevanceOf(map, model.kernel());
+  ASSERT_TRUE(rk.defined());
+  EXPECT_NEAR(AbsSum(rk), 0.0, 1e-9);
+}
+
+TEST(FullModelRelevanceTest, SeedScalesRelevanceLinearly) {
+  // RRP is linear in the seed: doubling R^(L) doubles every decomposition.
+  Rng rng(11);
+  CausalityTransformer model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 6}, &rng);
+  const ForwardResult fwd = model.Forward(x);
+  const Tensor seed = OneHotSeed(fwd.prediction.shape(), 1);
+  Tensor seed2 = seed.Clone();
+  for (int64_t i = 0; i < seed2.numel(); ++i) seed2.data()[i] *= 2.0f;
+
+  const Tensor r1 = RelevanceOf(PropagateRelevance(fwd.prediction, seed),
+                                model.kernel());
+  const Tensor r2 = RelevanceOf(PropagateRelevance(fwd.prediction, seed2),
+                                model.kernel());
+  for (int64_t i = 0; i < r1.numel(); ++i) {
+    EXPECT_NEAR(r2.data()[i], 2.0f * r1.data()[i],
+                1e-4f + 1e-3f * std::fabs(r1.data()[i]));
+  }
+}
+
+TEST(FullModelRelevanceTest, RepeatedPropagationIsDeterministic) {
+  Rng rng(12);
+  CausalityTransformer model(TinyOptions(), &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 6}, &rng);
+  const ForwardResult fwd = model.Forward(x);
+  const Tensor seed = OneHotSeed(fwd.prediction.shape(), 0);
+  const Tensor a = RelevanceOf(PropagateRelevance(fwd.prediction, seed),
+                               model.kernel());
+  const Tensor b = RelevanceOf(PropagateRelevance(fwd.prediction, seed),
+                               model.kernel());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace causalformer

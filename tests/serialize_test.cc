@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/causality_transformer.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace causalformer {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripRestoresExactValues) {
+  Rng rng(1);
+  nn::Linear original(4, 3, &rng);
+  const std::string path = TempPath("linear.cfpm");
+  ASSERT_TRUE(SaveParameters(original, path).ok());
+
+  Rng rng2(999);  // different init
+  nn::Linear restored(4, 3, &rng2);
+  ASSERT_TRUE(LoadParameters(&restored, path).ok());
+  for (int64_t i = 0; i < original.weight().numel(); ++i) {
+    EXPECT_EQ(restored.weight().data()[i], original.weight().data()[i]);
+  }
+  for (int64_t i = 0; i < original.bias().numel(); ++i) {
+    EXPECT_EQ(restored.bias().data()[i], original.bias().data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RestoredModelPredictsIdentically) {
+  Rng rng(2);
+  core::ModelOptions opt;
+  opt.num_series = 3;
+  opt.window = 8;
+  opt.d_model = 16;
+  opt.d_qk = 16;
+  opt.heads = 2;
+  opt.d_ffn = 16;
+  core::CausalityTransformer model(opt, &rng);
+  const std::string path = TempPath("transformer.cfpm");
+  ASSERT_TRUE(SaveParameters(model, path).ok());
+
+  Rng rng2(777);
+  core::CausalityTransformer restored(opt, &rng2);
+  ASSERT_TRUE(LoadParameters(&restored, path).ok());
+
+  Rng drng(3);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8}, &drng);
+  const Tensor a = model.Forward(x).prediction;
+  const Tensor b = restored.Forward(x).prediction;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchIsRejected) {
+  Rng rng(4);
+  nn::Linear small(2, 2, &rng);
+  const std::string path = TempPath("mismatch.cfpm");
+  ASSERT_TRUE(SaveParameters(small, path).ok());
+  nn::Linear big(3, 3, &rng);
+  const Status st = LoadParameters(&big, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ArchitectureMismatchIsRejected) {
+  Rng rng(5);
+  nn::Linear with_bias(2, 2, &rng);
+  const std::string path = TempPath("arch.cfpm");
+  ASSERT_TRUE(SaveParameters(with_bias, path).ok());
+  nn::Linear no_bias(2, 2, &rng, /*bias=*/false);
+  EXPECT_FALSE(LoadParameters(&no_bias, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileIsRejected) {
+  const std::string path = TempPath("garbage.cfpm");
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  Rng rng(6);
+  nn::Linear lin(2, 2, &rng);
+  const Status st = LoadParameters(&lin, path);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(7);
+  nn::Linear lin(2, 2, &rng);
+  EXPECT_EQ(LoadParameters(&lin, "/nonexistent/ckpt.cfpm").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, TruncatedFileIsRejected) {
+  Rng rng(8);
+  nn::Linear lin(4, 4, &rng);
+  const std::string path = TempPath("trunc.cfpm");
+  ASSERT_TRUE(SaveParameters(lin, path).ok());
+  // Truncate to half size.
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  EXPECT_FALSE(LoadParameters(&lin, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace causalformer {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformIntIsUnbiasedOverSmallRange) {
+  Rng rng(13);
+  int counts[5] = {0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 3);
+  }
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(19);
+  Rng child = parent.Split();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(parent.Next());
+    seen.insert(child.Next());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad dims"), std::string::npos);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,,c");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringUtilTest, MeanStdRendering) {
+  EXPECT_EQ(MeanStd(0.68, 0.08), "0.68\xC2\xB1"
+                                 "0.08");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"Dataset", "F1"});
+  t.AddRow({"Diamond", "0.68"});
+  t.AddRow({"V-structure", "0.77"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Dataset"), std::string::npos);
+  EXPECT_NE(s.find("V-structure"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("-------"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownShape) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 10, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(8, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(100, 10, [&](int64_t bb, int64_t ee) {
+        total.fetch_add(ee - bb);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(0, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/cf_csv_test.csv";
+  const std::vector<std::vector<double>> rows = {{1.5, -2.0}, {3.25, 4.0}};
+  ASSERT_TRUE(WriteCsv(path, rows, {"x", "y"}).ok());
+  auto readback = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_TRUE(readback.ok());
+  ASSERT_EQ(readback->size(), 2u);
+  EXPECT_DOUBLE_EQ((*readback)[0][0], 1.5);
+  EXPECT_DOUBLE_EQ((*readback)[1][1], 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto r = ReadCsv("/nonexistent/place/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  const std::string path = testing::TempDir() + "/cf_csv_bad.csv";
+  {
+    std::vector<std::vector<double>> rows = {{1.0}};
+    ASSERT_TRUE(WriteCsv(path, rows).ok());
+    FILE* f = std::fopen(path.c_str(), "a");
+    std::fputs("oops,1\n", f);
+    std::fclose(f);
+  }
+  auto r = ReadCsv(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace causalformer

@@ -1,0 +1,213 @@
+// Serving-layer throughput/latency benchmark: closed-loop clients fire
+// discovery queries at an InferenceEngine over one registered checkpoint and
+// we report requests/sec plus p50/p99 latency at concurrency 1, 4 and 16,
+// for both a cold cache (every query computes, micro-batching carries the
+// load) and a hot cache (repeats of a small working set).
+//
+// Results are printed as a table and written to BENCH_serve.json.
+//
+// Environment knobs: CF_BENCH_QUERIES (per concurrency level, default 150),
+// CF_BENCH_DISTINCT (cold working set size, default 32), CF_FAST=1 (smoke).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "data/windowing.h"
+#include "serve/inference_engine.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cf = causalformer;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* value = std::getenv(name)) {
+    const int v = std::atoi(value);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct RunResult {
+  int concurrency = 0;
+  bool hot = false;
+  int queries = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int max_batch = 0;
+  uint64_t cache_hits = 0;
+};
+
+// Closed-loop: `concurrency` client threads each issue queries back-to-back
+// until the shared budget is exhausted.
+RunResult RunLoad(cf::serve::ModelRegistry* registry,
+                  const std::vector<cf::Tensor>& batches, int concurrency,
+                  int total_queries, bool hot) {
+  cf::serve::EngineOptions eopts;
+  eopts.cache_capacity = hot ? 256 : 0;
+  cf::serve::InferenceEngine engine(registry, eopts);
+
+  if (hot) {
+    // Pre-warm: one pass over the working set.
+    for (const auto& windows : batches) {
+      cf::serve::DiscoveryRequest request;
+      request.model = "bench";
+      request.windows = windows;
+      const auto response = engine.Discover(std::move(request));
+      if (!response.status.ok()) std::abort();
+    }
+  }
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(total_queries));
+
+  cf::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> local;
+      for (int i = next.fetch_add(1); i < total_queries;
+           i = next.fetch_add(1)) {
+        cf::serve::DiscoveryRequest request;
+        request.model = "bench";
+        request.windows = batches[static_cast<size_t>(i) % batches.size()];
+        cf::Stopwatch timer;
+        const auto response = engine.Discover(std::move(request));
+        if (!response.status.ok()) std::abort();
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  RunResult result;
+  result.concurrency = concurrency;
+  result.hot = hot;
+  result.queries = total_queries;
+  result.seconds = wall.ElapsedSeconds();
+  result.rps = total_queries / result.seconds;
+  result.p50_ms = Percentile(latencies, 0.50) * 1e3;
+  result.p99_ms = Percentile(latencies, 0.99) * 1e3;
+  result.max_batch = engine.batcher_stats().max_batch;
+  result.cache_hits = engine.cache_stats().hits;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("CF_FAST") != nullptr;
+  const int queries = EnvInt("CF_BENCH_QUERIES", fast ? 40 : 150);
+  const int distinct = EnvInt("CF_BENCH_DISTINCT", fast ? 8 : 32);
+
+  std::printf("serve throughput benchmark: %d queries/level, %d distinct "
+              "window batches\n",
+              queries, distinct);
+
+  // One small trained model, served for the whole run.
+  cf::Rng rng(99);
+  cf::data::SyntheticOptions data_opt;
+  data_opt.length = 400;
+  const auto dataset = GenerateSynthetic(cf::data::SyntheticStructure::kDiamond,
+                                         data_opt, &rng);
+  cf::core::ModelOptions mopt;
+  mopt.num_series = dataset.num_series();
+  mopt.window = 8;
+  mopt.d_model = 16;
+  mopt.d_qk = 16;
+  mopt.heads = 2;
+  mopt.d_ffn = 16;
+  auto model = std::make_unique<cf::core::CausalityTransformer>(mopt, &rng);
+  cf::core::TrainOptions topt;
+  topt.max_epochs = fast ? 2 : 5;
+  topt.stride = 2;
+  TrainCausalityTransformer(model.get(), dataset.series, topt, &rng, nullptr);
+
+  cf::serve::ModelRegistry registry;
+  if (!registry.Register("bench", std::move(model)).ok()) return 1;
+
+  const cf::Tensor windows =
+      cf::data::MakeWindows(dataset.series, mopt.window, 1);
+  std::vector<cf::Tensor> batches;
+  for (int i = 0; i < distinct; ++i) {
+    std::vector<int64_t> idx;
+    for (int64_t k = 0; k < 4; ++k) {
+      idx.push_back((i * 11 + k * 5) % windows.dim(0));
+    }
+    batches.push_back(cf::data::GatherWindows(windows, idx));
+  }
+
+  std::vector<RunResult> results;
+  for (const bool hot : {false, true}) {
+    for (const int concurrency : {1, 4, 16}) {
+      results.push_back(
+          RunLoad(&registry, batches, concurrency, queries, hot));
+      const RunResult& r = results.back();
+      std::fprintf(stderr,
+                   "  [%s c=%2d] %.1f req/s p50=%.2fms p99=%.2fms "
+                   "max_batch=%d hits=%llu\n",
+                   r.hot ? "hot " : "cold", r.concurrency, r.rps, r.p50_ms,
+                   r.p99_ms, r.max_batch,
+                   static_cast<unsigned long long>(r.cache_hits));
+    }
+  }
+
+  cf::Table table({"cache", "concurrency", "req/s", "p50 ms", "p99 ms",
+                   "max batch", "cache hits"});
+  for (const auto& r : results) {
+    table.AddRow({r.hot ? "hot" : "cold", std::to_string(r.concurrency),
+                  cf::StrFormat("%.1f", r.rps), cf::StrFormat("%.2f", r.p50_ms),
+                  cf::StrFormat("%.2f", r.p99_ms),
+                  std::to_string(r.max_batch),
+                  std::to_string(static_cast<unsigned long long>(r.cache_hits))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"serve_throughput\",\n"
+                     "  \"queries_per_level\": %d,\n  \"runs\": [\n",
+               queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(json,
+                 "    {\"cache\": \"%s\", \"concurrency\": %d, "
+                 "\"requests_per_sec\": %.2f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"max_batch\": %d, \"cache_hits\": %llu}%s\n",
+                 r.hot ? "hot" : "cold", r.concurrency, r.rps, r.p50_ms,
+                 r.p99_ms, r.max_batch,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

@@ -86,6 +86,106 @@ Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
       });
 }
 
+Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
+                                    const std::vector<int>& row_groups,
+                                    bool shared_kernel) {
+  CF_CHECK_EQ(x.ndim(), 3) << "x must be [B, N, T]";
+  CF_CHECK_EQ(kernel.ndim(), 4) << "grouped kernel must be [G, N, N|1, T]";
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t steps = x.dim(2);
+  const int64_t groups = kernel.dim(0);
+  CF_CHECK_EQ(kernel.dim(1), n);
+  CF_CHECK_EQ(kernel.dim(2), shared_kernel ? 1 : n);
+  CF_CHECK_EQ(kernel.dim(3), steps);
+  CF_CHECK_EQ(static_cast<int64_t>(row_groups.size()), batch);
+  for (const int g : row_groups) {
+    CF_CHECK_GE(g, 0);
+    CF_CHECK_LT(g, groups);
+  }
+
+  const int64_t kdim2 = kernel.dim(2);
+  Tensor out = Tensor::Zeros(Shape{batch, n, n, steps});
+  {
+    const float* px = x.data();
+    const float* pk = kernel.data();
+    float* po = out.data();
+    ParallelFor(batch * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
+      for (int64_t bi = begin; bi < end; ++bi) {
+        const int64_t b = bi / n;
+        const int64_t i = bi % n;
+        const int64_t g = row_groups[b];
+        const float* xrow = px + (b * n + i) * steps;
+        for (int64_t j = 0; j < n; ++j) {
+          const int64_t kj = shared_kernel ? 0 : j;
+          const float* krow = pk + ((g * n + i) * kdim2 + kj) * steps;
+          float* orow = po + ((b * n + i) * n + j) * steps;
+          for (int64_t t = 0; t < steps; ++t) {
+            float acc = 0.0f;
+            for (int64_t tau = 0; tau <= t; ++tau) {
+              acc += krow[steps - 1 - (t - tau)] * xrow[tau];
+            }
+            orow[t] = acc / static_cast<float>(t + 1);
+          }
+        }
+      }
+    });
+  }
+
+  return MakeOp(
+      "grouped_multi_kernel_causal_conv", {x, kernel}, out,
+      [x, kernel, row_groups, shared_kernel](const Tensor&, const Tensor& cot) {
+        const int64_t batch = x.dim(0);
+        const int64_t n = x.dim(1);
+        const int64_t steps = x.dim(2);
+        const int64_t kdim2 = kernel.dim(2);
+        const int64_t groups = kernel.dim(0);
+        Tensor gx = Tensor::Zeros(x.shape());
+        Tensor gk = Tensor::Zeros(kernel.shape());
+        const float* px = x.data();
+        const float* pk = kernel.data();
+        const float* pc = cot.data();
+        float* pgx = gx.data();
+        float* pgk = gk.data();
+        // Parallel over (group, source) pairs: every gk row (g, i, *) and gx
+        // row (b, i) with row_groups[b] == g is touched by exactly one pair,
+        // and each group's rows are visited in ascending b — the same
+        // per-element accumulation order as a standalone per-request
+        // backward, keeping the batched-equals-sequential guarantee bitwise.
+        std::vector<std::vector<int64_t>> group_rows(
+            static_cast<size_t>(groups));
+        for (int64_t b = 0; b < batch; ++b) {
+          group_rows[static_cast<size_t>(row_groups[b])].push_back(b);
+        }
+        ParallelFor(groups * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
+          for (int64_t gi = begin; gi < end; ++gi) {
+            const int64_t g = gi / n;
+            const int64_t i = gi % n;
+            for (const int64_t b : group_rows[static_cast<size_t>(g)]) {
+              const float* xrow = px + (b * n + i) * steps;
+              float* gxrow = pgx + (b * n + i) * steps;
+              for (int64_t j = 0; j < n; ++j) {
+                const int64_t kj = shared_kernel ? 0 : j;
+                const float* krow = pk + ((g * n + i) * kdim2 + kj) * steps;
+                float* gkrow = pgk + ((g * n + i) * kdim2 + kj) * steps;
+                const float* crow = pc + ((b * n + i) * n + j) * steps;
+                for (int64_t t = 0; t < steps; ++t) {
+                  const float c = crow[t] / static_cast<float>(t + 1);
+                  if (c == 0.0f) continue;
+                  for (int64_t tau = 0; tau <= t; ++tau) {
+                    const int64_t tap = steps - 1 - (t - tau);
+                    gxrow[tau] += krow[tap] * c;
+                    gkrow[tap] += xrow[tau] * c;
+                  }
+                }
+              }
+            }
+          }
+        });
+        return std::vector<Tensor>{gx, gk};
+      });
+}
+
 Tensor ShiftRightDiagonal(const Tensor& conv) {
   CF_CHECK_EQ(conv.ndim(), 4) << "conv must be [B, N, N, T]";
   const int64_t batch = conv.dim(0);

@@ -29,6 +29,16 @@ namespace core {
 Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
                              bool shared_kernel = false);
 
+/// Grouped variant for batched serving: `kernel` is [G, N, N|1, T] (typically
+/// a TileBatch of the learned kernel) and `row_groups[b]` names the kernel
+/// group of batch row b. Forward values equal the ungrouped op row for row;
+/// the point is the tape: the VJP yields a *per-group* kernel cotangent, so a
+/// batched backward pass recovers, for every request in the batch, exactly
+/// the kernel gradient (and relevance) a standalone run would produce.
+Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
+                                    const std::vector<int>& row_groups,
+                                    bool shared_kernel = false);
+
 /// Right-shifts the diagonal slices X̂[b,i,i,:] by one time slot (Eq. 4).
 Tensor ShiftRightDiagonal(const Tensor& conv);
 

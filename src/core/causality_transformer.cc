@@ -55,15 +55,34 @@ ForwardResult CausalityTransformer::Forward(const Tensor& x) const {
   CF_CHECK_EQ(x.dim(1), options_.num_series);
   CF_CHECK_EQ(x.dim(2), options_.window);
 
+  // Multi-kernel causal convolution (Eq. 3) + self right-shift (Eq. 4).
+  Tensor conv = MultiKernelCausalConv(x, kernel_, !options_.multi_kernel);
+  return ForwardFromConv(x, ShiftRightDiagonal(conv));
+}
+
+ForwardResult CausalityTransformer::ForwardGrouped(
+    const Tensor& x, const std::vector<int>& row_groups,
+    int num_groups) const {
+  CF_CHECK_EQ(x.ndim(), 3) << "expected [B, N, T]";
+  CF_CHECK_EQ(x.dim(1), options_.num_series);
+  CF_CHECK_EQ(x.dim(2), options_.window);
+  CF_CHECK_GT(num_groups, 0);
+
+  const Tensor kernel_groups = TileBatch(kernel_, num_groups);
+  Tensor conv = GroupedMultiKernelCausalConv(x, kernel_groups, row_groups,
+                                             !options_.multi_kernel);
+  ForwardResult result = ForwardFromConv(x, ShiftRightDiagonal(conv));
+  result.kernel_groups = kernel_groups;
+  return result;
+}
+
+ForwardResult CausalityTransformer::ForwardFromConv(const Tensor& x,
+                                                    Tensor conv) const {
   ForwardResult result;
+  result.conv = conv;
 
   // Time-series embedding (Eq. 2): X_emb = X W_emb + b_emb, used by Q/K only.
   const Tensor x_emb = Add(MatMul(x, w_emb_), b_emb_);  // [B, N, d]
-
-  // Multi-kernel causal convolution (Eq. 3) + self right-shift (Eq. 4).
-  Tensor conv = MultiKernelCausalConv(x, kernel_, !options_.multi_kernel);
-  conv = ShiftRightDiagonal(conv);  // [B, N, N, T]
-  result.conv = conv;
 
   // Multi-variate causal attention (Eq. 5-6), h heads (Eq. 7).
   const float inv_scale =

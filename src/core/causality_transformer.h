@@ -49,6 +49,11 @@ struct ForwardResult {
   Tensor prediction;              ///< [B, N, T]
   std::vector<Tensor> attention;  ///< per head: [B, N, N] (softmax output)
   Tensor conv;                    ///< [B, N, N, T] after diagonal shift
+  /// Grouped forward only: the per-group tiled convolution kernel
+  /// [G, N, N|1, T]. Gradients/relevance of group g come exclusively from
+  /// batch rows assigned to g, which is what lets the batched detector read
+  /// per-request kernel scores out of one shared backward pass.
+  Tensor kernel_groups;
 };
 
 class CausalityTransformer : public nn::Module {
@@ -57,6 +62,16 @@ class CausalityTransformer : public nn::Module {
 
   /// x: [B, N, T] -> prediction and interpretable intermediates.
   ForwardResult Forward(const Tensor& x) const;
+
+  /// Forward for the serving detector: batch rows are partitioned into
+  /// `num_groups` request groups (`row_groups[b]` = group of row b) and the
+  /// convolution kernel is tiled per group (see ForwardResult::kernel_groups).
+  /// Per-row predictions are identical to Forward(); only the tape differs.
+  /// Const-correct and re-entrant: no member tensor is written, so any number
+  /// of threads may run (grouped) forwards on one model concurrently.
+  ForwardResult ForwardGrouped(const Tensor& x,
+                               const std::vector<int>& row_groups,
+                               int num_groups) const;
 
   /// Eq. (9): MSE over slots 1..T-1 plus L1 penalties.
   Tensor Loss(const ForwardResult& result, const Tensor& x, float lambda_k,
@@ -67,6 +82,9 @@ class CausalityTransformer : public nn::Module {
   const Tensor& mask() const { return mask_; }
 
  private:
+  /// Embedding + attention + FFN on top of an already-built convolution.
+  ForwardResult ForwardFromConv(const Tensor& x, Tensor conv) const;
+
   ModelOptions options_;
   Tensor w_emb_, b_emb_;            // [T, d], [d]
   std::vector<Tensor> w_q_, b_q_;   // per head: [d, d_qk], [d_qk]

@@ -27,18 +27,20 @@ Tensor CombineScores(const Tensor& relevance, const Tensor& gradient,
   return interpret::RectifiedRelevanceScore(r);
 }
 
-// Mean over batch (axis 0) of a [B, N, N] tensor -> [N, N] raw buffer view.
-std::vector<double> BatchMeanMatrix(const Tensor& t) {
-  const int64_t b = t.dim(0);
+// Mean over batch rows [begin, end) of a [B, N, N] tensor -> [N, N] raw
+// buffer. Rows are summed in ascending order from zero so the result for a
+// sub-range matches a standalone run over exactly those rows.
+std::vector<double> BatchMeanMatrixRange(const Tensor& t, int64_t begin,
+                                         int64_t end) {
   const int64_t n = t.dim(1);
   std::vector<double> out(static_cast<size_t>(n) * n, 0.0);
   const float* p = t.data();
-  for (int64_t bi = 0; bi < b; ++bi) {
+  for (int64_t bi = begin; bi < end; ++bi) {
     for (int64_t k = 0; k < n * n; ++k) {
       out[static_cast<size_t>(k)] += p[bi * n * n + k];
     }
   }
-  for (auto& v : out) v /= static_cast<double>(b);
+  for (auto& v : out) v /= static_cast<double>(end - begin);
   return out;
 }
 
@@ -55,74 +57,112 @@ int DelayFromTap(int64_t window, int64_t tap, bool self_loop) {
 DetectionResult DetectCausalGraph(const CausalityTransformer& model,
                                   const Tensor& windows,
                                   const DetectorOptions& options) {
-  CF_CHECK_EQ(windows.ndim(), 3) << "expected [B, N, T]";
+  // Single-request case of the batched detector: one implementation of the
+  // Section-4.2 scoring, and this entry point inherits its re-entrancy (no
+  // shared .grad buffers are touched).
+  std::vector<DetectionResult> results =
+      DetectCausalGraphBatched(model, {windows}, options);
+  CF_CHECK_EQ(results.size(), 1u);
+  return std::move(results[0]);
+}
+
+std::vector<DetectionResult> DetectCausalGraphBatched(
+    const CausalityTransformer& model,
+    const std::vector<Tensor>& window_batches,
+    const DetectorOptions& options) {
+  std::vector<DetectionResult> results;
+  if (window_batches.empty()) return results;
+
   const ModelOptions& mopt = model.options();
   const int n = static_cast<int>(mopt.num_series);
   const int64_t t_window = mopt.window;
-  CF_CHECK_EQ(windows.dim(1), n);
-  CF_CHECK_EQ(windows.dim(2), t_window);
+  const int num_requests = static_cast<int>(window_batches.size());
 
-  // Interpretation batch: first max_windows windows.
-  const int64_t use = std::min<int64_t>(windows.dim(0), options.max_windows);
-  std::vector<int64_t> idx(use);
-  for (int64_t i = 0; i < use; ++i) idx[i] = i;
-  const Tensor x = data::GatherWindows(windows, idx);
+  // Per request: truncate to the interpretation budget, then stack all
+  // requests into one batch with a row -> request map.
+  std::vector<Tensor> parts;
+  std::vector<int64_t> offsets(num_requests, 0);
+  std::vector<int64_t> counts(num_requests, 0);
+  std::vector<int> row_groups;
+  int64_t total_rows = 0;
+  for (int r = 0; r < num_requests; ++r) {
+    const Tensor& w = window_batches[r];
+    CF_CHECK_EQ(w.ndim(), 3) << "expected [B, N, T]";
+    CF_CHECK_EQ(w.dim(1), n);
+    CF_CHECK_EQ(w.dim(2), t_window);
+    const int64_t use = std::min<int64_t>(w.dim(0), options.max_windows);
+    CF_CHECK_GT(use, 0);
+    std::vector<int64_t> idx(use);
+    for (int64_t i = 0; i < use; ++i) idx[i] = i;
+    parts.push_back(data::GatherWindows(w, idx));
+    offsets[r] = total_rows;
+    counts[r] = use;
+    total_rows += use;
+    row_groups.insert(row_groups.end(), static_cast<size_t>(use), r);
+  }
+  const Tensor x = num_requests == 1 ? parts[0] : Concat(parts, /*axis=*/0);
 
-  DetectionResult result(n);
-  const ForwardResult fwd = model.Forward(x);
-  const Tensor kernel = model.kernel();
+  results.reserve(num_requests);
+  for (int r = 0; r < num_requests; ++r) results.emplace_back(n);
+
+  const ForwardResult fwd = model.ForwardGrouped(x, row_groups, num_requests);
   const bool shared = !mopt.multi_kernel;
+  const int64_t kdim2 = fwd.kernel_groups.dim(2);
 
-  // Accumulated kernel scores per target: [from][to] -> best tap.
-  auto kernel_row = [&](const Tensor& score_k, int from, int to) {
+  // Tap row of the grouped kernel-score tensor [G, N, N|1, T].
+  auto kernel_row = [&](const Tensor& score_k, int group, int from, int to) {
     const int64_t kj = shared ? 0 : to;
-    const float* p = score_k.data() +
-                     (static_cast<int64_t>(from) * score_k.dim(1) + kj) *
-                         t_window;
-    return p;
+    return score_k.data() +
+           ((static_cast<int64_t>(group) * n + from) * kdim2 + kj) * t_window;
+  };
+  auto best_tap = [&](const float* taps) {
+    int64_t best = 0;
+    for (int64_t k = 1; k < t_window; ++k) {
+      if (taps[k] > taps[best]) best = k;
+    }
+    return best;
   };
 
   if (!options.use_interpretation) {
-    // Ablation "w/o interpretation": attention weights and raw |K| are the
-    // causal scores.
+    // Ablation "w/o interpretation": attention weights and raw |K| scores.
     for (const Tensor& a : fwd.attention) {
-      const std::vector<double> mean = BatchMeanMatrix(a);
-      for (int to = 0; to < n; ++to) {
-        for (int from = 0; from < n; ++from) {
-          result.scores.add(from, to,
-                            mean[static_cast<size_t>(to) * n + from] /
-                                static_cast<double>(fwd.attention.size()));
+      for (int r = 0; r < num_requests; ++r) {
+        const std::vector<double> mean =
+            BatchMeanMatrixRange(a, offsets[r], offsets[r] + counts[r]);
+        for (int to = 0; to < n; ++to) {
+          for (int from = 0; from < n; ++from) {
+            results[r].scores.add(
+                from, to,
+                mean[static_cast<size_t>(to) * n + from] /
+                    static_cast<double>(fwd.attention.size()));
+          }
         }
       }
     }
-    const Tensor abs_k = interpret::AbsGradientScore(kernel);
-    for (int to = 0; to < n; ++to) {
-      for (int from = 0; from < n; ++from) {
-        const float* taps = kernel_row(abs_k, from, to);
-        int64_t best = 0;
-        for (int64_t k = 1; k < t_window; ++k) {
-          if (taps[k] > taps[best]) best = k;
+    const Tensor abs_k = interpret::AbsGradientScore(fwd.kernel_groups);
+    for (int r = 0; r < num_requests; ++r) {
+      for (int to = 0; to < n; ++to) {
+        for (int from = 0; from < n; ++from) {
+          const int64_t best = best_tap(kernel_row(abs_k, r, from, to));
+          results[r].delays[from][to] =
+              DelayFromTap(t_window, best, from == to);
         }
-        result.delays[from][to] = DelayFromTap(t_window, best, from == to);
       }
     }
   } else {
-    // Full detector: per-target one-hot seeds, gradients + RRP.
+    // Full detector: per-target one-hot seeds over every request's rows; one
+    // gradient map + one relevance walk per target serves the whole batch.
     for (int target = 0; target < n; ++target) {
       Tensor seed = Tensor::Zeros(fwd.prediction.shape());
       {
         float* ps = seed.data();
-        const int64_t b = fwd.prediction.dim(0);
-        for (int64_t bi = 0; bi < b; ++bi) {
+        for (int64_t bi = 0; bi < total_rows; ++bi) {
           float* row = ps + (bi * n + target) * t_window;
           for (int64_t t = 0; t < t_window; ++t) row[t] = 1.0f;
         }
       }
 
-      // Fresh gradients on the tensors we read.
-      const_cast<Tensor&>(kernel).ZeroGrad();
-      for (const Tensor& a : fwd.attention) const_cast<Tensor&>(a).ZeroGrad();
-      fwd.prediction.Backward(seed);
+      const GradientMap grads = ComputeGradients(fwd.prediction, seed);
 
       interpret::RelevanceOptions ropts;
       ropts.epsilon = options.epsilon;
@@ -130,43 +170,44 @@ DetectionResult DetectCausalGraph(const CausalityTransformer& model,
       const interpret::RelevanceMap relevance =
           interpret::PropagateRelevance(fwd.prediction, seed, ropts);
 
-      // Attention scores: E over heads and batch of (|grad| ⊙ R)_+, then the
-      // target's row selects its causes (S(A)[i]_{i,:}).
-      std::vector<double> row(n, 0.0);
+      // Attention scores (S(A)[target]) per request.
       for (const Tensor& a : fwd.attention) {
         const Tensor s =
-            CombineScores(interpret::RelevanceOf(relevance, a), a.grad(),
-                          a.shape(), options);
-        const std::vector<double> mean = BatchMeanMatrix(s);
-        for (int from = 0; from < n; ++from) {
-          row[from] += mean[static_cast<size_t>(target) * n + from];
+            CombineScores(interpret::RelevanceOf(relevance, a),
+                          GradientOf(grads, a), a.shape(), options);
+        for (int r = 0; r < num_requests; ++r) {
+          const std::vector<double> mean =
+              BatchMeanMatrixRange(s, offsets[r], offsets[r] + counts[r]);
+          for (int from = 0; from < n; ++from) {
+            results[r].scores.add(
+                from, target,
+                mean[static_cast<size_t>(target) * n + from] /
+                    static_cast<double>(fwd.attention.size()));
+          }
         }
-      }
-      for (int from = 0; from < n; ++from) {
-        result.scores.set(from, target,
-                          row[from] /
-                              static_cast<double>(fwd.attention.size()));
       }
 
-      // Kernel scores -> delays for edges into this target (Eq. 20).
-      const Tensor s_k =
-          CombineScores(interpret::RelevanceOf(relevance, kernel),
-                        kernel.grad(), kernel.shape(), options);
-      for (int from = 0; from < n; ++from) {
-        const float* taps = kernel_row(s_k, from, target);
-        int64_t best = 0;
-        for (int64_t k = 1; k < t_window; ++k) {
-          if (taps[k] > taps[best]) best = k;
+      // Kernel scores -> delays (Eq. 20), per request via the kernel group.
+      const Tensor s_k = CombineScores(
+          interpret::RelevanceOf(relevance, fwd.kernel_groups),
+          GradientOf(grads, fwd.kernel_groups), fwd.kernel_groups.shape(),
+          options);
+      for (int r = 0; r < num_requests; ++r) {
+        for (int from = 0; from < n; ++from) {
+          const int64_t best = best_tap(kernel_row(s_k, r, from, target));
+          results[r].delays[from][target] =
+              DelayFromTap(t_window, best, from == target);
         }
-        result.delays[from][target] =
-            DelayFromTap(t_window, best, from == target);
       }
     }
   }
 
   const ClusterSelectOptions copts{options.num_clusters, options.top_clusters};
-  result.graph = GraphFromScores(result.scores, copts, &result.delays);
-  return result;
+  for (int r = 0; r < num_requests; ++r) {
+    results[r].graph =
+        GraphFromScores(results[r].scores, copts, &results[r].delays);
+  }
+  return results;
 }
 
 }  // namespace core

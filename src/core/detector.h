@@ -49,10 +49,31 @@ struct DetectionResult {
       : scores(n), delays(n, std::vector<int>(n, 0)), graph(n) {}
 };
 
-/// Runs detection on `windows` ([B, N, T]) with the trained model.
+/// Runs detection on `windows` ([B, N, T]) with the trained model. A thin
+/// wrapper over the single-request case of DetectCausalGraphBatched, sharing
+/// its implementation and re-entrancy guarantees.
 DetectionResult DetectCausalGraph(const CausalityTransformer& model,
                                   const Tensor& windows,
                                   const DetectorOptions& options = {});
+
+/// Detection for several independent window batches (each [B_i, N, T])
+/// against one trained model, coalesced into a single shared forward pass and
+/// one backward + relevance walk per target series. Used by the serving
+/// layer's micro-batcher.
+///
+/// Guarantees:
+///  * Exactness — element i of the result equals DetectCausalGraphBatched
+///    (model, {window_batches[i]}, options) bit for bit, regardless of what
+///    else rides in the batch: no model op mixes batch rows, and the grouped
+///    kernel path (ForwardGrouped) keeps per-request parameter gradients and
+///    relevance separate.
+///  * Re-entrancy — gradients go to a per-call map (ComputeGradients), never
+///    into shared .grad buffers, and no model state is written, so any number
+///    of threads may detect on the same model concurrently.
+std::vector<DetectionResult> DetectCausalGraphBatched(
+    const CausalityTransformer& model,
+    const std::vector<Tensor>& window_batches,
+    const DetectorOptions& options = {});
 
 }  // namespace core
 }  // namespace causalformer

@@ -1,0 +1,139 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+DiscoveryResponse Rejection(Status status) {
+  DiscoveryResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+// Two requests may share one batched pass iff the detector would treat them
+// interchangeably: same model handle, identical options, same window
+// geometry (batch length may differ).
+bool Compatible(const BatchItem& a, const BatchItem& b) {
+  return a.request.model == b.request.model &&
+         SameDetectorOptions(a.request.options, b.request.options) &&
+         a.request.windows.dim(1) == b.request.windows.dim(1) &&
+         a.request.windows.dim(2) == b.request.windows.dim(2);
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const BatcherOptions& options, ExecuteFn execute)
+    : options_(options), execute_(std::move(execute)) {
+  CF_CHECK_GT(options_.max_batch_requests, 0);
+  CF_CHECK_GT(options_.max_batch_windows, 0);
+  CF_CHECK_GT(options_.max_in_flight_batches, 0);
+  CF_CHECK(execute_ != nullptr);
+  executors_.reserve(options_.max_in_flight_batches);
+  for (int i = 0; i < options_.max_in_flight_batches; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+MicroBatcher::~MicroBatcher() {
+  std::vector<BatchItem> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    orphans.reserve(queue_.size());
+    while (!queue_.empty()) {
+      orphans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  work_cv_.notify_all();
+  // Joining the executors is the in-flight barrier: each finishes its current
+  // batch (resolving its promises) before exiting.
+  for (auto& executor : executors_) executor.join();
+  for (auto& item : orphans) {
+    item.promise.set_value(
+        Rejection(Status::FailedPrecondition("batcher shutting down")));
+  }
+}
+
+std::future<DiscoveryResponse> MicroBatcher::Submit(DiscoveryRequest request,
+                                                    CacheKey key) {
+  BatchItem item;
+  item.request = std::move(request);
+  item.key = std::move(key);
+  std::future<DiscoveryResponse> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.rejected;
+      item.promise.set_value(
+          Rejection(Status::FailedPrecondition("batcher shutting down")));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue) {
+      ++stats_.rejected;
+      item.promise.set_value(Rejection(Status::FailedPrecondition(
+          "request queue full (" + std::to_string(options_.max_queue) + ")")));
+      return future;
+    }
+    ++stats_.requests;
+    queue_.push_back(std::move(item));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::vector<BatchItem> MicroBatcher::CollectBatchLocked() {
+  std::vector<BatchItem> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const BatchItem& head = batch.front();
+  int64_t windows_taken =
+      std::min<int64_t>(head.request.windows.dim(0),
+                        head.request.options.max_windows);
+  for (auto it = queue_.begin();
+       it != queue_.end() &&
+       static_cast<int>(batch.size()) < options_.max_batch_requests;) {
+    const int64_t cost = std::min<int64_t>(it->request.windows.dim(0),
+                                           it->request.options.max_windows);
+    if (Compatible(head, *it) &&
+        windows_taken + cost <= options_.max_batch_windows) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+      windows_taken += cost;
+    } else {
+      ++it;
+    }
+  }
+  ++stats_.batches;
+  stats_.max_batch = std::max(stats_.max_batch, static_cast<int>(batch.size()));
+  if (batch.size() > 1) stats_.coalesced += batch.size();
+  return batch;
+}
+
+void MicroBatcher::ExecutorLoop() {
+  for (;;) {
+    std::vector<BatchItem> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      batch = CollectBatchLocked();
+    }
+    execute_(std::move(batch));
+  }
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace causalformer

@@ -1,0 +1,108 @@
+#ifndef CAUSALFORMER_SERVE_BATCHER_H_
+#define CAUSALFORMER_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/score_cache.h"
+#include "serve/types.h"
+#include "util/stopwatch.h"
+
+/// \file
+/// Micro-batching request queue.
+///
+/// Concurrent discovery queries against the same model are coalesced into one
+/// batched forward + backward pass (core::DetectCausalGraphBatched), which
+/// amortises the per-pass fixed cost (tape construction, n backward walks)
+/// across every rider. Batching is adaptive with no timed linger: while every
+/// executor is busy, newly arriving requests pile up in the queue, so batches
+/// grow exactly when the service is saturated and a lone request is
+/// dispatched immediately when it is not — the standard continuous-batching
+/// behaviour of model servers.
+///
+/// Batches execute on dedicated executor threads (not on the global
+/// ThreadPool): a pool worker running a batch would force every nested
+/// ParallelFor in the tensor kernels to run inline, serialising the maths.
+/// From an executor thread the kernels fan out across the whole pool, and
+/// the per-call latch in ParallelFor makes concurrent executors safe.
+
+namespace causalformer {
+namespace serve {
+
+/// One queued request plus its completion promise and bookkeeping.
+struct BatchItem {
+  DiscoveryRequest request;
+  CacheKey key;  ///< precomputed by the engine; reused for the cache fill
+  std::promise<DiscoveryResponse> promise;
+  Stopwatch since_submit;  ///< started at Submit() for end-to-end latency
+};
+
+struct BatcherOptions {
+  /// Most requests coalesced into one batched pass.
+  int max_batch_requests = 16;
+  /// Cap on the summed interpretation windows of one batch (memory bound:
+  /// the combined tape holds activations for every row).
+  int64_t max_batch_windows = 256;
+  /// Queued (not yet dispatched) request bound; Submit rejects beyond it.
+  size_t max_queue = 1024;
+  /// Executor threads, i.e. batches allowed to execute concurrently. Safe at
+  /// any value: batched detection is re-entrant per model.
+  int max_in_flight_batches = 2;
+};
+
+class MicroBatcher {
+ public:
+  /// Executes one coalesced batch and fulfils every item's promise. Runs on
+  /// a dedicated executor thread.
+  using ExecuteFn = std::function<void(std::vector<BatchItem>)>;
+
+  MicroBatcher(const BatcherOptions& options, ExecuteFn execute);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a request; the future resolves when its batch completes. A full
+  /// queue or a shutting-down batcher resolves immediately with an error.
+  std::future<DiscoveryResponse> Submit(DiscoveryRequest request,
+                                        CacheKey key);
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t batches = 0;
+    uint64_t coalesced = 0;  ///< requests that rode in a batch of size > 1
+    int max_batch = 0;       ///< largest batch dispatched so far
+    uint64_t rejected = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Executor loop: pop a coalesced batch, run execute_, repeat.
+  void ExecutorLoop();
+  /// Pops the head plus every compatible queued request (same model, same
+  /// options, same window geometry) within the batch caps. Holds mu_.
+  std::vector<BatchItem> CollectBatchLocked();
+
+  BatcherOptions options_;
+  ExecuteFn execute_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<BatchItem> queue_;
+  bool shutdown_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_BATCHER_H_

@@ -1,0 +1,130 @@
+#include "serve/inference_engine.h"
+
+#include <utility>
+
+#include "core/detector.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+std::future<DiscoveryResponse> Ready(DiscoveryResponse response) {
+  std::promise<DiscoveryResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+DiscoveryResponse ErrorResponse(Status status) {
+  DiscoveryResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelRegistry* registry,
+                                 const EngineOptions& options)
+    : registry_(registry),
+      cache_(options.cache_capacity),
+      batcher_(options.batcher,
+               [this](std::vector<BatchItem> items) {
+                 ExecuteBatch(std::move(items));
+               }) {
+  CF_CHECK(registry != nullptr);
+}
+
+std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
+    DiscoveryRequest request) {
+  Stopwatch latency;
+  if (!request.windows.defined() || request.windows.ndim() != 3 ||
+      request.windows.dim(0) < 1) {
+    return Ready(ErrorResponse(
+        Status::InvalidArgument("windows must be a [B, N, T] batch, B >= 1")));
+  }
+  const auto model = registry_->Get(request.model);
+  if (model == nullptr) {
+    return Ready(ErrorResponse(
+        Status::NotFound("model '" + request.model + "' is not registered")));
+  }
+  const core::ModelOptions& mopt = model->options();
+  if (request.windows.dim(1) != mopt.num_series ||
+      request.windows.dim(2) != mopt.window) {
+    return Ready(ErrorResponse(Status::InvalidArgument(
+        "window geometry [" + std::to_string(request.windows.dim(1)) + ", " +
+        std::to_string(request.windows.dim(2)) + "] does not match model [" +
+        std::to_string(mopt.num_series) + ", " + std::to_string(mopt.window) +
+        "]")));
+  }
+  // Detector options come from the wire too; anything the detector would
+  // CF_CHECK must be rejected here, or one bad request aborts the service.
+  const core::DetectorOptions& dopt = request.options;
+  if (dopt.max_windows < 1 || dopt.num_clusters < 1 || dopt.top_clusters < 1 ||
+      dopt.top_clusters > dopt.num_clusters || !(dopt.epsilon > 0.0f)) {
+    return Ready(ErrorResponse(Status::InvalidArgument(
+        "invalid detector options: require max_windows >= 1, "
+        "1 <= top_clusters <= num_clusters, epsilon > 0")));
+  }
+
+  CacheKey key;
+  key.model = request.model;
+  key.windows = HashWindows(request.windows);
+  key.options = EncodeDetectorOptions(request.options);
+
+  if (auto cached = cache_.Get(key)) {
+    DiscoveryResponse response;
+    response.result = std::move(cached);
+    response.cache_hit = true;
+    response.latency_seconds = latency.ElapsedSeconds();
+    return Ready(std::move(response));
+  }
+  return batcher_.Submit(std::move(request), std::move(key));
+}
+
+DiscoveryResponse InferenceEngine::Discover(DiscoveryRequest request) {
+  return SubmitAsync(std::move(request)).get();
+}
+
+Status InferenceEngine::UnloadModel(const std::string& name) {
+  CF_RETURN_IF_ERROR(registry_->Unload(name));
+  cache_.EraseModel(name);
+  return Status::Ok();
+}
+
+void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
+  CF_CHECK(!items.empty());
+  // Resolve the model once per batch; it may have been unloaded since
+  // submission, in which case every rider fails cleanly.
+  const auto model = registry_->Get(items.front().request.model);
+  if (model == nullptr) {
+    for (auto& item : items) {
+      item.promise.set_value(ErrorResponse(Status::NotFound(
+          "model '" + item.request.model + "' was unloaded while queued")));
+    }
+    return;
+  }
+
+  std::vector<Tensor> window_batches;
+  window_batches.reserve(items.size());
+  for (const auto& item : items) window_batches.push_back(item.request.windows);
+
+  std::vector<core::DetectionResult> results = core::DetectCausalGraphBatched(
+      *model, window_batches, items.front().request.options);
+  CF_CHECK_EQ(results.size(), items.size());
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto shared =
+        std::make_shared<const core::DetectionResult>(std::move(results[i]));
+    cache_.Put(items[i].key, shared);
+    DiscoveryResponse response;
+    response.result = std::move(shared);
+    response.batch_size = static_cast<int>(items.size());
+    response.latency_seconds = items[i].since_submit.ElapsedSeconds();
+    items[i].promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace serve
+}  // namespace causalformer

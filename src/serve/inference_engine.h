@@ -1,0 +1,75 @@
+#ifndef CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_
+#define CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/score_cache.h"
+#include "serve/types.h"
+
+/// \file
+/// The batched causal-discovery inference engine: the long-lived service
+/// object that turns "construct, train, detect inline" into "load once,
+/// answer many queries concurrently".
+///
+/// Request path:
+///   SubmitAsync -> validate against the registry -> ScoreCache probe
+///     -> hit: resolved future, no model work at all
+///     -> miss: MicroBatcher queue -> coalesced DetectCausalGraphBatched
+///        on a thread-pool worker -> cache fill -> futures resolve.
+///
+/// Every layer below is immutable or internally synchronised, so any number
+/// of client threads may submit concurrently, for any mix of models.
+
+namespace causalformer {
+namespace serve {
+
+struct EngineOptions {
+  BatcherOptions batcher;
+  /// LRU entries kept per engine (0 disables caching).
+  size_t cache_capacity = 256;
+};
+
+class InferenceEngine {
+ public:
+  /// `registry` must outlive the engine.
+  explicit InferenceEngine(ModelRegistry* registry,
+                           const EngineOptions& options = {});
+  ~InferenceEngine() = default;
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Validates and enqueues one discovery query. Never blocks on model work:
+  /// rejections and cache hits resolve immediately, misses resolve when the
+  /// request's micro-batch completes.
+  std::future<DiscoveryResponse> SubmitAsync(DiscoveryRequest request);
+
+  /// Convenience synchronous wrapper around SubmitAsync.
+  DiscoveryResponse Discover(DiscoveryRequest request);
+
+  /// Unloads `name` from the registry and drops its cached scores.
+  Status UnloadModel(const std::string& name);
+
+  ModelRegistry& registry() { return *registry_; }
+  ScoreCache::Stats cache_stats() const { return cache_.stats(); }
+  MicroBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+
+ private:
+  /// Batch executor: runs the coalesced detection and resolves every rider.
+  void ExecuteBatch(std::vector<BatchItem> items);
+
+  ModelRegistry* registry_;
+  ScoreCache cache_;
+  MicroBatcher batcher_;  // last member: its threads touch cache_/registry_
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_

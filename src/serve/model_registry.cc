@@ -1,0 +1,93 @@
+#include "serve/model_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace causalformer {
+namespace serve {
+
+Status ModelRegistry::Load(const std::string& name, const std::string& path,
+                           const core::ModelOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  // Construct and load outside the lock; checkpoint I/O can be slow and must
+  // not stall Get() on the hot path. The init seed is irrelevant — every
+  // parameter is overwritten by the checkpoint or loading fails.
+  Rng init_rng(1);
+  auto model = std::make_unique<core::CausalityTransformer>(options, &init_rng);
+  CF_RETURN_IF_ERROR(nn::LoadParameters(model.get(), path));
+
+  Entry entry;
+  entry.info.name = name;
+  entry.info.checkpoint_path = path;
+  entry.info.options = options;
+  entry.info.num_parameters = model->NumParameters();
+  entry.model = std::shared_ptr<const core::CausalityTransformer>(
+      std::move(model));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("model '" + name +
+                                      "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::Register(
+    const std::string& name,
+    std::unique_ptr<core::CausalityTransformer> model) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must be non-null");
+  }
+  Entry entry;
+  entry.info.name = name;
+  entry.info.options = model->options();
+  entry.info.num_parameters = model->NumParameters();
+  entry.model = std::shared_ptr<const core::CausalityTransformer>(
+      std::move(model));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("model '" + name +
+                                      "' is already registered");
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<const core::CausalityTransformer> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second.model;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace causalformer

@@ -1,0 +1,77 @@
+#ifndef CAUSALFORMER_SERVE_MODEL_REGISTRY_H_
+#define CAUSALFORMER_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/causality_transformer.h"
+#include "util/status.h"
+
+/// \file
+/// Named checkpoint registry for the inference service.
+///
+/// Load() materialises a CausalityTransformer from a nn/serialize checkpoint
+/// once; Get() then hands out shared *immutable* handles, so any number of
+/// in-flight queries can run forwards on the same weights while an operator
+/// swaps or unloads models underneath them — an unloaded model stays alive
+/// until its last in-flight query drops the handle.
+
+namespace causalformer {
+namespace serve {
+
+/// Metadata of one registered model.
+struct ModelInfo {
+  std::string name;
+  std::string checkpoint_path;  ///< empty for models registered in-process
+  core::ModelOptions options;
+  int64_t num_parameters = 0;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads the checkpoint at `path` into a fresh model with the given
+  /// architecture and registers it under `name`. Fails if the name is taken
+  /// or the checkpoint doesn't match the architecture.
+  Status Load(const std::string& name, const std::string& path,
+              const core::ModelOptions& options);
+
+  /// Registers an already-constructed (typically just-trained) model without
+  /// a checkpoint round-trip. Takes ownership.
+  Status Register(const std::string& name,
+                  std::unique_ptr<core::CausalityTransformer> model);
+
+  /// Drops the registry's reference. In-flight queries holding the handle
+  /// keep the model alive until they finish.
+  Status Unload(const std::string& name);
+
+  /// The shared immutable model handle, or null when `name` is unknown.
+  std::shared_ptr<const core::CausalityTransformer> Get(
+      const std::string& name) const;
+
+  /// Metadata of every registered model, sorted by name.
+  std::vector<ModelInfo> List() const;
+
+  bool Has(const std::string& name) const { return Get(name) != nullptr; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::CausalityTransformer> model;
+    ModelInfo info;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,115 @@
+#include "serve/score_cache.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+// FNV-1a over a byte range, from a caller-chosen offset basis so two streams
+// with different bases act as independent hash functions.
+uint64_t Fnv1a(const void* data, size_t len, uint64_t basis) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = basis;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t kBasisLo = 14695981039346656037ULL;
+constexpr uint64_t kBasisHi = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+WindowHash HashWindows(const Tensor& windows) {
+  WindowHash h;
+  if (!windows.defined()) return h;
+  const auto& dims = windows.shape().dims();
+  const size_t dims_bytes = dims.size() * sizeof(int64_t);
+  const size_t data_bytes = static_cast<size_t>(windows.numel()) * sizeof(float);
+  h.lo = Fnv1a(windows.data(), data_bytes,
+               Fnv1a(dims.data(), dims_bytes, kBasisLo));
+  h.hi = Fnv1a(windows.data(), data_bytes,
+               Fnv1a(dims.data(), dims_bytes, kBasisHi));
+  return h;
+}
+
+std::string EncodeDetectorOptions(const core::DetectorOptions& options) {
+  std::ostringstream out;
+  out << "k" << options.num_clusters << "m" << options.top_clusters << "w"
+      << options.max_windows << "i" << options.use_interpretation << "r"
+      << options.use_relevance << "g" << options.use_gradient << "b"
+      << options.bias_absorption << "e" << options.epsilon;
+  return out.str();
+}
+
+ScoreCache::ScoreCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const core::DetectionResult> ScoreCache::Get(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ScoreCache::Put(const CacheKey& key,
+                     std::shared_ptr<const core::DetectionResult> result) {
+  if (capacity_ == 0 || result == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ScoreCache::EraseModel(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.model == model) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ScoreCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = index_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace causalformer

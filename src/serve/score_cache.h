@@ -1,0 +1,103 @@
+#ifndef CAUSALFORMER_SERVE_SCORE_CACHE_H_
+#define CAUSALFORMER_SERVE_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/detector.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Bounded LRU cache of detection results keyed by
+/// (model, window-content hash, detector options).
+///
+/// Discovery queries are expensive (N backward + relevance walks) and
+/// production traffic concentrates on hot windows — the newest sliding window
+/// of a monitored system is queried far more often than historical ones — so
+/// repeated queries skip recomputation entirely. Window identity is a 128-bit
+/// content hash (two independent FNV-1a streams over dims and data), options
+/// identity is an exact encoding, so false hits are vanishingly unlikely and
+/// cannot come from option differences.
+
+namespace causalformer {
+namespace serve {
+
+/// 128-bit content hash of a window tensor (shape + raw float bytes).
+struct WindowHash {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const WindowHash& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+WindowHash HashWindows(const Tensor& windows);
+
+/// Exact, human-readable encoding of every DetectorOptions field.
+std::string EncodeDetectorOptions(const core::DetectorOptions& options);
+
+struct CacheKey {
+  std::string model;
+  WindowHash windows;
+  std::string options;  ///< EncodeDetectorOptions output
+
+  bool operator==(const CacheKey& o) const {
+    return windows == o.windows && model == o.model && options == o.options;
+  }
+};
+
+class ScoreCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  explicit ScoreCache(size_t capacity);
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// The cached result (refreshing recency), or null on a miss.
+  std::shared_ptr<const core::DetectionResult> Get(const CacheKey& key);
+
+  /// Inserts or refreshes `result`; evicts the least recently used entry
+  /// when over capacity. A capacity of zero disables caching.
+  void Put(const CacheKey& key,
+           std::shared_ptr<const core::DetectionResult> result);
+
+  /// Drops every entry of `model` (on checkpoint unload/replace).
+  void EraseModel(const std::string& model);
+
+  void Clear();
+  Stats stats() const;
+
+ private:
+  struct KeyHasher {
+    size_t operator()(const CacheKey& key) const {
+      return static_cast<size_t>(key.windows.lo ^ (key.windows.hi >> 1) ^
+                                 std::hash<std::string>()(key.model));
+    }
+  };
+  using LruList =
+      std::list<std::pair<CacheKey, std::shared_ptr<const core::DetectionResult>>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<CacheKey, LruList::iterator, KeyHasher> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_SCORE_CACHE_H_

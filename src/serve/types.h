@@ -1,0 +1,59 @@
+#ifndef CAUSALFORMER_SERVE_TYPES_H_
+#define CAUSALFORMER_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file
+/// Request/response types of the causal-discovery inference service.
+///
+/// The serving access pattern is "one trained model, many windows/queries":
+/// a checkpoint is loaded once into the ModelRegistry, and every
+/// DiscoveryRequest names that model, carries a window batch, and gets back
+/// the Section-4.2 decomposition result (score matrix, delays, graph edges).
+
+namespace causalformer {
+namespace serve {
+
+/// One causal-discovery query against a registered model.
+struct DiscoveryRequest {
+  std::string model;             ///< registry name of the loaded checkpoint
+  Tensor windows;                ///< [B, N, T] window batch to interpret
+  core::DetectorOptions options; ///< detector knobs (clusters, ablations, ...)
+};
+
+/// The answer to one DiscoveryRequest.
+struct DiscoveryResponse {
+  Status status;  ///< non-ok: rejected (unknown model, full queue, shutdown)
+
+  /// The detection result (scores, delays, graph); shared because cached
+  /// entries are handed to many callers. Null when !status.ok().
+  std::shared_ptr<const core::DetectionResult> result;
+
+  bool cache_hit = false;      ///< answered from the ScoreCache
+  int batch_size = 0;          ///< requests coalesced into the executing batch
+  double latency_seconds = 0;  ///< submit-to-completion wall time
+};
+
+/// Equality of every field the detector's output depends on. Used to decide
+/// which queued requests may coalesce into one batched pass (hash collisions
+/// must not be able to merge requests with different options).
+inline bool SameDetectorOptions(const core::DetectorOptions& a,
+                                const core::DetectorOptions& b) {
+  return a.num_clusters == b.num_clusters && a.top_clusters == b.top_clusters &&
+         a.max_windows == b.max_windows &&
+         a.use_interpretation == b.use_interpretation &&
+         a.use_relevance == b.use_relevance &&
+         a.use_gradient == b.use_gradient &&
+         a.bias_absorption == b.bias_absorption && a.epsilon == b.epsilon;
+}
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_TYPES_H_

@@ -59,25 +59,20 @@ std::vector<Tensor> ReverseTopoOrder(const Tensor& root) {
   return order;
 }
 
-void RunBackward(const Tensor& root, const Tensor& seed) {
+GradientMap ComputeGradients(const Tensor& root, const Tensor& seed) {
   CF_CHECK(root.defined());
   CF_CHECK(seed.defined());
   CF_CHECK(seed.shape() == root.shape())
       << "seed shape " << seed.shape().ToString() << " vs root "
       << root.shape().ToString();
-  if (!root.requires_grad()) return;
-
-  std::unordered_map<internal::TensorImpl*, Tensor> cotangents;
+  GradientMap cotangents;
+  if (!root.requires_grad()) return cotangents;
   cotangents[root.impl()] = seed.Clone();
 
   for (const Tensor& t : ReverseTopoOrder(root)) {
     auto it = cotangents.find(t.impl());
     if (it == cotangents.end()) continue;  // no gradient flows here
     const Tensor cot = it->second;
-    if (t.requires_grad()) {
-      // Retain gradients on intermediates too: the detector reads them.
-      const_cast<Tensor&>(t).AccumulateGrad(cot);
-    }
     const auto& fn = t.grad_fn();
     if (fn == nullptr) continue;
     const std::vector<Tensor> input_cots = fn->vjp(t, cot);
@@ -105,6 +100,28 @@ void RunBackward(const Tensor& root, const Tensor& seed) {
         for (int64_t k = 0; k < n; ++k) dst[k] += src[k];
       }
     }
+  }
+  return cotangents;
+}
+
+Tensor GradientOf(const GradientMap& map, const Tensor& t) {
+  const auto it = map.find(t.impl());
+  if (it == map.end()) return Tensor();
+  return it->second;
+}
+
+void RunBackward(const Tensor& root, const Tensor& seed) {
+  if (!root.requires_grad()) return;
+  const GradientMap cotangents = ComputeGradients(root, seed);
+  // Reverse topo order guarantees a tensor's cotangent is complete before any
+  // of its inputs are reached, so the finished map holds exactly what the
+  // in-place walk used to accumulate — intermediates included, which the
+  // legacy detector path reads (attention matrices).
+  for (const Tensor& t : ReverseTopoOrder(root)) {
+    if (!t.requires_grad()) continue;
+    const auto it = cotangents.find(t.impl());
+    if (it == cotangents.end()) continue;
+    const_cast<Tensor&>(t).AccumulateGrad(it->second);
   }
 }
 

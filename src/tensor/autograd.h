@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -51,6 +52,20 @@ std::vector<Tensor> ReverseTopoOrder(const Tensor& root);
 /// as `root`). Gradients are accumulated into impl->grad of every tensor with
 /// requires_grad — leaves and intermediates alike.
 void RunBackward(const Tensor& root, const Tensor& seed);
+
+/// Gradient per tape tensor, keyed by tensor identity (same convention as
+/// interpret::RelevanceMap).
+using GradientMap = std::unordered_map<internal::TensorImpl*, Tensor>;
+
+/// Pure variant of RunBackward: returns the cotangent of every tensor reached
+/// on the tape instead of accumulating into shared impl->grad buffers. Because
+/// nothing on the tape (or in the model that built it) is written, any number
+/// of threads may differentiate forward passes of the *same* model
+/// concurrently — the property the serving layer's detector relies on.
+GradientMap ComputeGradients(const Tensor& root, const Tensor& seed);
+
+/// Looks up the gradient of `t`, or an undefined Tensor when none reached it.
+Tensor GradientOf(const GradientMap& map, const Tensor& t);
 
 }  // namespace causalformer
 

@@ -80,6 +80,11 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis);
 Tensor Unsqueeze(const Tensor& x, int axis);
 /// Removes a size-1 dimension at `axis`.
 Tensor Squeeze(const Tensor& x, int axis);
+/// Repeats x `count` times along a new leading axis: [d...] -> [count, d...].
+/// The VJP sums over that axis, so each repeat carries its own cotangent on
+/// the tape — the batched detector reads per-group parameter gradients from
+/// the tiled tensor while training-style backward still reaches the leaf.
+Tensor TileBatch(const Tensor& x, int64_t count);
 
 // ---- Softmax -------------------------------------------------------------------
 

@@ -177,4 +177,30 @@ Tensor Squeeze(const Tensor& x, int axis) {
   return Reshape(x, Shape(std::move(dims)));
 }
 
+Tensor TileBatch(const Tensor& x, int64_t count) {
+  CF_CHECK(x.defined());
+  CF_CHECK_GT(count, 0);
+  std::vector<int64_t> dims = x.shape().dims();
+  dims.insert(dims.begin(), count);
+  const Shape out_shape{std::vector<int64_t>(dims)};
+  Tensor out = Tensor::Zeros(out_shape);
+  const int64_t inner = x.numel();
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t c = 0; c < count; ++c) {
+    std::memcpy(po + c * inner, px, static_cast<size_t>(inner) * sizeof(float));
+  }
+  return MakeOp("tile_batch", {x}, out,
+                [x, count, inner](const Tensor&, const Tensor& cot) {
+                  Tensor g = Tensor::Zeros(x.shape());
+                  float* pg = g.data();
+                  const float* pc = cot.data();
+                  for (int64_t c = 0; c < count; ++c) {
+                    const float* src = pc + c * inner;
+                    for (int64_t i = 0; i < inner; ++i) pg[i] += src[i];
+                  }
+                  return std::vector<Tensor>{g};
+                });
+}
+
 }  // namespace causalformer

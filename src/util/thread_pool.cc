@@ -76,11 +76,39 @@ ThreadPool& ThreadPool::Global() {
   return *pool;
 }
 
+namespace {
+
+// Per-call completion latch. ParallelFor used to rely on ThreadPool::Wait(),
+// which blocks on the pool-wide pending count: with two concurrent callers
+// (e.g. the serving layer detecting on several models at once) each Wait()
+// also waited for the *other* caller's tasks, and under a continuous request
+// stream could block indefinitely. Each call now tracks only its own chunks.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t remaining;
+
+  explicit Latch(int64_t count) : remaining(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
+
 void ParallelFor(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn) {
   if (n <= 0) return;
   ThreadPool& pool = ThreadPool::Global();
   const int workers = pool.num_threads();
+  // Nested calls (a pool task fanning out again) run inline: every worker
+  // blocking in a latch wait on tasks only it could run would deadlock.
   if (t_in_worker || workers <= 1 || n <= grain) {
     fn(0, n);
     return;
@@ -88,13 +116,22 @@ void ParallelFor(int64_t n, int64_t grain,
   const int64_t max_chunks = (n + grain - 1) / grain;
   const int64_t chunks = std::min<int64_t>(workers, max_chunks);
   const int64_t chunk_size = (n + chunks - 1) / chunks;
-  for (int64_t c = 0; c < chunks; ++c) {
+  Latch latch(chunks - 1);
+  for (int64_t c = 1; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
     const int64_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    pool.Schedule([&fn, begin, end] { fn(begin, end); });
+    if (begin >= end) {
+      latch.CountDown();  // rounding left this chunk empty
+      continue;
+    }
+    pool.Schedule([&fn, &latch, begin, end] {
+      fn(begin, end);
+      latch.CountDown();
+    });
   }
-  pool.Wait();
+  // The caller works on the first chunk instead of idling in the wait.
+  fn(0, std::min(n, chunk_size));
+  latch.Wait();
 }
 
 }  // namespace causalformer

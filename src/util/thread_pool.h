@@ -30,7 +30,10 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until all scheduled tasks have finished.
+  /// Blocks until all scheduled tasks have finished — pool-wide, including
+  /// tasks scheduled by other threads. ParallelFor tracks its own chunks with
+  /// a per-call latch instead, so concurrent callers never wait on each other;
+  /// prefer that pattern for new code.
   void Wait();
 
   /// Process-wide pool (created on first use).
@@ -49,8 +52,11 @@ class ThreadPool {
 };
 
 /// Runs fn(begin, end) over [0, n) split into roughly equal chunks across the
-/// global pool. Falls back to a single inline call when n is small or the pool
-/// has one thread. `grain` is the minimum chunk size worth parallelising.
+/// global pool; the calling thread executes the first chunk itself and a
+/// per-call latch tracks the rest, so the call is safe from any number of
+/// concurrent threads and re-entrant (nested calls run inline on the caller).
+/// Falls back to a single inline call when n is small or the pool has one
+/// thread. `grain` is the minimum chunk size worth parallelising.
 void ParallelFor(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 

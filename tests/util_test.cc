@@ -179,6 +179,47 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 800);
 }
 
+TEST(ThreadPoolTest, DeeplyNestedParallelForRunsInline) {
+  // Detector-under-serving shape: pool task -> matmul -> ParallelFor again.
+  std::atomic<int64_t> total{0};
+  ParallelFor(4, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(4, 1, [&](int64_t bb, int64_t ee) {
+        for (int64_t j = bb; j < ee; ++j) {
+          ParallelFor(10, 1,
+                      [&](int64_t bbb, int64_t eee) { total += eee - bbb; });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 160);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersDoNotWaitOnEachOther) {
+  // Regression: ParallelFor used to block in ThreadPool::Wait() until the
+  // pool-wide pending count hit zero, so one caller's completion depended on
+  // every other thread's tasks. Hammer the pool from many threads at once;
+  // each call must see exactly its own range, and all must terminate.
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<int64_t>> sums(kThreads);
+  for (auto& s : sums) s = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      for (int it = 0; it < kIterations; ++it) {
+        ParallelFor(64, 4, [&sums, t](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) sums[t] += i;
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[t].load(), kIterations * (64 * 63 / 2));
+  }
+}
+
 TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   bool called = false;
   ParallelFor(0, 1, [&](int64_t, int64_t) { called = true; });

@@ -91,6 +91,10 @@ std::future<DiscoveryResponse> MicroBatcher::Submit(DiscoveryRequest request,
 
 std::vector<BatchItem> MicroBatcher::CollectBatchLocked() {
   std::vector<BatchItem> batch;
+  // The loop below caps batch.size() at max_batch_requests, so reserving that
+  // much up front guarantees the push_backs never reallocate and the `head`
+  // reference stays valid for the whole collection pass.
+  batch.reserve(static_cast<size_t>(options_.max_batch_requests));
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   const BatchItem& head = batch.front();

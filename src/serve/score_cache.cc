@@ -40,11 +40,18 @@ WindowHash HashWindows(const Tensor& windows) {
 }
 
 std::string EncodeDetectorOptions(const core::DetectorOptions& options) {
+  // Epsilon is encoded by its raw bit pattern: streaming the float with
+  // default ostream precision (6 significant digits) would collide options
+  // that differ only in later digits, breaking the "exact encoding" contract.
+  static_assert(sizeof(options.epsilon) == sizeof(uint32_t),
+                "epsilon bit encoding assumes a 32-bit float");
+  uint32_t epsilon_bits = 0;
+  std::memcpy(&epsilon_bits, &options.epsilon, sizeof(epsilon_bits));
   std::ostringstream out;
   out << "k" << options.num_clusters << "m" << options.top_clusters << "w"
       << options.max_windows << "i" << options.use_interpretation << "r"
       << options.use_relevance << "g" << options.use_gradient << "b"
-      << options.bias_absorption << "e" << options.epsilon;
+      << options.bias_absorption << "e" << epsilon_bits;
   return out.str();
 }
 

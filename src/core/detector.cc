@@ -152,6 +152,8 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
   } else {
     // Full detector: per-target one-hot seeds over every request's rows; one
     // gradient map + one relevance walk per target serves the whole batch.
+    // The tape's topo order is the same for every target, so walk it once.
+    const std::vector<Tensor> order = ReverseTopoOrder(fwd.prediction);
     for (int target = 0; target < n; ++target) {
       Tensor seed = Tensor::Zeros(fwd.prediction.shape());
       {
@@ -162,13 +164,13 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
         }
       }
 
-      const GradientMap grads = ComputeGradients(fwd.prediction, seed);
+      const GradientMap grads = ComputeGradients(fwd.prediction, seed, order);
 
       interpret::RelevanceOptions ropts;
       ropts.epsilon = options.epsilon;
       ropts.bias_absorption = options.bias_absorption;
       const interpret::RelevanceMap relevance =
-          interpret::PropagateRelevance(fwd.prediction, seed, ropts);
+          interpret::PropagateRelevance(fwd.prediction, seed, ropts, order);
 
       // Attention scores (S(A)[target]) per request.
       for (const Tensor& a : fwd.attention) {

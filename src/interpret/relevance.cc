@@ -60,6 +60,17 @@ bool IsBiasAdd(const Node& node) {
 RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
                                 const RelevanceOptions& options) {
   CF_CHECK(output.defined());
+  return PropagateRelevance(output, seed, options, ReverseTopoOrder(output));
+}
+
+RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
+                                const RelevanceOptions& options,
+                                const std::vector<Tensor>& order) {
+  CF_CHECK(output.defined());
+  // ReverseTopoOrder lists the root first; an order built for a different
+  // output would silently yield a near-empty map (the seed keys off output).
+  CF_CHECK(!order.empty() && order.front().impl() == output.impl())
+      << "order does not belong to output";
   CF_CHECK(seed.defined());
   CF_CHECK(seed.shape() == output.shape())
       << "relevance seed " << seed.shape().ToString() << " vs output "
@@ -68,7 +79,7 @@ RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
   RelevanceMap relevance;
   relevance[output.impl()] = seed.Clone();
 
-  for (const Tensor& t : ReverseTopoOrder(output)) {
+  for (const Tensor& t : order) {
     const auto it = relevance.find(t.impl());
     if (it == relevance.end()) continue;
     const Tensor r_out = it->second;

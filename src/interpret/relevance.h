@@ -2,6 +2,7 @@
 #define CAUSALFORMER_INTERPRET_RELEVANCE_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "tensor/autograd.h"
 #include "tensor/tensor.h"
@@ -53,6 +54,13 @@ using RelevanceMap = std::unordered_map<internal::TensorImpl*, Tensor>;
 /// convolution kernels.
 RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
                                 const RelevanceOptions& options = {});
+
+/// As above, but walks a caller-supplied ReverseTopoOrder(output) instead of
+/// recomputing it — for callers (the detector's per-target loop) that reuse
+/// one tape order across many seeds.
+RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
+                                const RelevanceOptions& options,
+                                const std::vector<Tensor>& order);
 
 /// Looks up the relevance of `t`, or an undefined Tensor when none reached it.
 Tensor RelevanceOf(const RelevanceMap& map, const Tensor& t);

@@ -18,10 +18,11 @@ DiscoveryResponse Rejection(Status status) {
 }
 
 // Two requests may share one batched pass iff the detector would treat them
-// interchangeably: same model handle, identical options, same window
-// geometry (batch length may differ).
+// interchangeably: same model handle (pointer identity, so requests validated
+// against different instances of a hot-swapped name never merge), identical
+// options, same window geometry (batch length may differ).
 bool Compatible(const BatchItem& a, const BatchItem& b) {
-  return a.request.model == b.request.model &&
+  return a.model == b.model && a.request.model == b.request.model &&
          SameDetectorOptions(a.request.options, b.request.options) &&
          a.request.windows.dim(1) == b.request.windows.dim(1) &&
          a.request.windows.dim(2) == b.request.windows.dim(2);
@@ -62,11 +63,13 @@ MicroBatcher::~MicroBatcher() {
   }
 }
 
-std::future<DiscoveryResponse> MicroBatcher::Submit(DiscoveryRequest request,
-                                                    CacheKey key) {
+std::future<DiscoveryResponse> MicroBatcher::Submit(
+    DiscoveryRequest request, CacheKey key,
+    std::shared_ptr<const core::CausalityTransformer> model) {
   BatchItem item;
   item.request = std::move(request);
   item.key = std::move(key);
+  item.model = std::move(model);
   std::future<DiscoveryResponse> future = item.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -91,22 +94,22 @@ std::future<DiscoveryResponse> MicroBatcher::Submit(DiscoveryRequest request,
 
 std::vector<BatchItem> MicroBatcher::CollectBatchLocked() {
   std::vector<BatchItem> batch;
-  // The loop below caps batch.size() at max_batch_requests, so reserving that
-  // much up front guarantees the push_backs never reallocate and the `head`
-  // reference stays valid for the whole collection pass.
   batch.reserve(static_cast<size_t>(options_.max_batch_requests));
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
-  const BatchItem& head = batch.front();
   int64_t windows_taken =
-      std::min<int64_t>(head.request.windows.dim(0),
-                        head.request.options.max_windows);
+      std::min<int64_t>(batch.front().request.windows.dim(0),
+                        batch.front().request.options.max_windows);
   for (auto it = queue_.begin();
        it != queue_.end() &&
        static_cast<int>(batch.size()) < options_.max_batch_requests;) {
     const int64_t cost = std::min<int64_t>(it->request.windows.dim(0),
                                            it->request.options.max_windows);
-    if (Compatible(head, *it) &&
+    // batch.front() is re-read each iteration: a held reference would dangle
+    // if a push_back ever reallocated (the reserve above makes that
+    // impossible today, but only as an optimization, not a correctness
+    // requirement).
+    if (Compatible(batch.front(), *it) &&
         windows_taken + cost <= options_.max_batch_windows) {
       batch.push_back(std::move(*it));
       it = queue_.erase(it);

@@ -6,11 +6,13 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/causality_transformer.h"
 #include "serve/score_cache.h"
 #include "serve/types.h"
 #include "util/stopwatch.h"
@@ -40,6 +42,12 @@ namespace serve {
 struct BatchItem {
   DiscoveryRequest request;
   CacheKey key;  ///< precomputed by the engine; reused for the cache fill
+  /// The validated model handle, pinned at submit. Executing against this
+  /// handle (never re-resolving by name) means a same-name hot-swap or unload
+  /// while the request is queued cannot change — or abort — what it runs
+  /// against: the registry's "unloaded model stays alive for in-flight
+  /// queries" contract extends to queued ones.
+  std::shared_ptr<const core::CausalityTransformer> model;
   std::promise<DiscoveryResponse> promise;
   Stopwatch since_submit;  ///< started at Submit() for end-to-end latency
 };
@@ -71,8 +79,14 @@ class MicroBatcher {
 
   /// Enqueues a request; the future resolves when its batch completes. A full
   /// queue or a shutting-down batcher resolves immediately with an error.
-  std::future<DiscoveryResponse> Submit(DiscoveryRequest request,
-                                        CacheKey key);
+  /// `model` is the handle the request was validated against; the executor
+  /// runs the batch on it directly. Deliberately no default: an executor that
+  /// expects the handle (InferenceEngine) would otherwise abort at runtime on
+  /// a call site that forgot it. Executors that resolve models themselves may
+  /// pass nullptr explicitly.
+  std::future<DiscoveryResponse> Submit(
+      DiscoveryRequest request, CacheKey key,
+      std::shared_ptr<const core::CausalityTransformer> model);
 
   struct Stats {
     uint64_t requests = 0;

@@ -44,7 +44,8 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
     return Ready(ErrorResponse(
         Status::InvalidArgument("windows must be a [B, N, T] batch, B >= 1")));
   }
-  const auto model = registry_->Get(request.model);
+  uint64_t generation = 0;
+  const auto model = registry_->Get(request.model, &generation);
   if (model == nullptr) {
     return Ready(ErrorResponse(
         Status::NotFound("model '" + request.model + "' is not registered")));
@@ -72,6 +73,7 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
   key.model = request.model;
   key.windows = HashWindows(request.windows);
   key.options = EncodeDetectorOptions(request.options);
+  key.generation = generation;
 
   if (auto cached = cache_.Get(key)) {
     DiscoveryResponse response;
@@ -80,7 +82,7 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
     response.latency_seconds = latency.ElapsedSeconds();
     return Ready(std::move(response));
   }
-  return batcher_.Submit(std::move(request), std::move(key));
+  return batcher_.Submit(std::move(request), std::move(key), model);
 }
 
 DiscoveryResponse InferenceEngine::Discover(DiscoveryRequest request) {
@@ -95,16 +97,13 @@ Status InferenceEngine::UnloadModel(const std::string& name) {
 
 void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
   CF_CHECK(!items.empty());
-  // Resolve the model once per batch; it may have been unloaded since
-  // submission, in which case every rider fails cleanly.
-  const auto model = registry_->Get(items.front().request.model);
-  if (model == nullptr) {
-    for (auto& item : items) {
-      item.promise.set_value(ErrorResponse(Status::NotFound(
-          "model '" + item.request.model + "' was unloaded while queued")));
-    }
-    return;
-  }
+  // Run on the handle pinned at submit, never a by-name re-resolve: a
+  // same-name hot-swap to a different architecture while requests were queued
+  // must not reach the detector's geometry CF_CHECKs (one mismatched batch
+  // would abort the whole service), and an unload must not fail queries that
+  // were already validated.
+  const auto model = items.front().model;
+  CF_CHECK(model != nullptr);
 
   std::vector<Tensor> window_batches;
   window_batches.reserve(items.size());

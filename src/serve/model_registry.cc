@@ -28,15 +28,7 @@ Status ModelRegistry::Load(const std::string& name, const std::string& path,
   entry.info.num_parameters = model->NumParameters();
   entry.model = std::shared_ptr<const core::CausalityTransformer>(
       std::move(model));
-
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = entries_.emplace(name, std::move(entry));
-  (void)it;
-  if (!inserted) {
-    return Status::FailedPrecondition("model '" + name +
-                                      "' is already registered");
-  }
-  return Status::Ok();
+  return Insert(std::move(entry));
 }
 
 Status ModelRegistry::Register(
@@ -54,8 +46,13 @@ Status ModelRegistry::Register(
   entry.info.num_parameters = model->NumParameters();
   entry.model = std::shared_ptr<const core::CausalityTransformer>(
       std::move(model));
+  return Insert(std::move(entry));
+}
 
+Status ModelRegistry::Insert(Entry entry) {
   std::lock_guard<std::mutex> lock(mu_);
+  entry.info.generation = next_generation_++;
+  const std::string name = entry.info.name;
   const auto [it, inserted] = entries_.emplace(name, std::move(entry));
   (void)it;
   if (!inserted) {
@@ -74,10 +71,11 @@ Status ModelRegistry::Unload(const std::string& name) {
 }
 
 std::shared_ptr<const core::CausalityTransformer> ModelRegistry::Get(
-    const std::string& name) const {
+    const std::string& name, uint64_t* generation) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
+  if (generation != nullptr) *generation = it->second.info.generation;
   return it->second.model;
 }
 

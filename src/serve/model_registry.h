@@ -29,6 +29,10 @@ struct ModelInfo {
   std::string checkpoint_path;  ///< empty for models registered in-process
   core::ModelOptions options;
   int64_t num_parameters = 0;
+  /// Strictly increasing across every registration in this registry, so two
+  /// models that held the same name at different times are distinguishable
+  /// (the engine's ScoreCache keys on it to survive same-name hot-swaps).
+  uint64_t generation = 0;
 };
 
 class ModelRegistry {
@@ -53,8 +57,9 @@ class ModelRegistry {
   Status Unload(const std::string& name);
 
   /// The shared immutable model handle, or null when `name` is unknown.
+  /// When non-null, `generation` (if given) receives the entry's generation.
   std::shared_ptr<const core::CausalityTransformer> Get(
-      const std::string& name) const;
+      const std::string& name, uint64_t* generation = nullptr) const;
 
   /// Metadata of every registered model, sorted by name.
   std::vector<ModelInfo> List() const;
@@ -67,8 +72,13 @@ class ModelRegistry {
     ModelInfo info;
   };
 
+  /// Registers `entry` under its info.name; the single place that enforces
+  /// the name-is-taken invariant for Load and Register alike.
+  Status Insert(Entry entry);
+
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+  uint64_t next_generation_ = 1;
 };
 
 }  // namespace serve

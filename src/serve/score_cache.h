@@ -13,7 +13,7 @@
 
 /// \file
 /// Bounded LRU cache of detection results keyed by
-/// (model, window-content hash, detector options).
+/// (model name + registry generation, window-content hash, detector options).
 ///
 /// Discovery queries are expensive (N backward + relevance walks) and
 /// production traffic concentrates on hot windows — the newest sliding window
@@ -44,9 +44,15 @@ struct CacheKey {
   std::string model;
   WindowHash windows;
   std::string options;  ///< EncodeDetectorOptions output
+  /// Registry generation of the model the query was validated against. A
+  /// same-name hot-swap bumps the generation, so results computed by queued
+  /// requests still pinned to the old model can never be served for the new
+  /// one (their Put lands under the old generation and ages out via LRU).
+  uint64_t generation = 0;
 
   bool operator==(const CacheKey& o) const {
-    return windows == o.windows && model == o.model && options == o.options;
+    return windows == o.windows && generation == o.generation &&
+           model == o.model && options == o.options;
   }
 };
 
@@ -82,6 +88,7 @@ class ScoreCache {
   struct KeyHasher {
     size_t operator()(const CacheKey& key) const {
       return static_cast<size_t>(key.windows.lo ^ (key.windows.hi >> 1) ^
+                                 (key.generation * 0x9E3779B97F4A7C15ULL) ^
                                  std::hash<std::string>()(key.model));
     }
   };

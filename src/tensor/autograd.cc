@@ -65,11 +65,28 @@ GradientMap ComputeGradients(const Tensor& root, const Tensor& seed) {
   CF_CHECK(seed.shape() == root.shape())
       << "seed shape " << seed.shape().ToString() << " vs root "
       << root.shape().ToString();
+  // Early out before paying for the tape walk; the preconditions above still
+  // fire so caller bugs (undefined root, wrong seed shape) stay diagnosable.
+  if (!root.requires_grad()) return GradientMap();
+  return ComputeGradients(root, seed, ReverseTopoOrder(root));
+}
+
+GradientMap ComputeGradients(const Tensor& root, const Tensor& seed,
+                             const std::vector<Tensor>& order) {
+  CF_CHECK(root.defined());
+  // ReverseTopoOrder lists the root first; an order built for a different
+  // root would silently yield a near-empty map (the seed keys off root).
+  CF_CHECK(!order.empty() && order.front().impl() == root.impl())
+      << "order does not belong to root";
+  CF_CHECK(seed.defined());
+  CF_CHECK(seed.shape() == root.shape())
+      << "seed shape " << seed.shape().ToString() << " vs root "
+      << root.shape().ToString();
   GradientMap cotangents;
   if (!root.requires_grad()) return cotangents;
   cotangents[root.impl()] = seed.Clone();
 
-  for (const Tensor& t : ReverseTopoOrder(root)) {
+  for (const Tensor& t : order) {
     auto it = cotangents.find(t.impl());
     if (it == cotangents.end()) continue;  // no gradient flows here
     const Tensor cot = it->second;
@@ -112,12 +129,16 @@ Tensor GradientOf(const GradientMap& map, const Tensor& t) {
 
 void RunBackward(const Tensor& root, const Tensor& seed) {
   if (!root.requires_grad()) return;
-  const GradientMap cotangents = ComputeGradients(root, seed);
+  // One tape traversal serves both the gradient computation and the
+  // accumulation walk below — this runs per training step, and the DFS with
+  // its hash-set bookkeeping is not free on deep tapes.
+  const std::vector<Tensor> order = ReverseTopoOrder(root);
+  const GradientMap cotangents = ComputeGradients(root, seed, order);
   // Reverse topo order guarantees a tensor's cotangent is complete before any
   // of its inputs are reached, so the finished map holds exactly what the
   // in-place walk used to accumulate — intermediates included, which the
   // legacy detector path reads (attention matrices).
-  for (const Tensor& t : ReverseTopoOrder(root)) {
+  for (const Tensor& t : order) {
     if (!t.requires_grad()) continue;
     const auto it = cotangents.find(t.impl());
     if (it == cotangents.end()) continue;

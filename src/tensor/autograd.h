@@ -64,6 +64,12 @@ using GradientMap = std::unordered_map<internal::TensorImpl*, Tensor>;
 /// concurrently — the property the serving layer's detector relies on.
 GradientMap ComputeGradients(const Tensor& root, const Tensor& seed);
 
+/// As above, but walks a caller-supplied ReverseTopoOrder(root) instead of
+/// recomputing it — for callers (RunBackward) that need the order themselves
+/// and would otherwise traverse the tape twice.
+GradientMap ComputeGradients(const Tensor& root, const Tensor& seed,
+                             const std::vector<Tensor>& order);
+
 /// Looks up the gradient of `t`, or an undefined Tensor when none reached it.
 Tensor GradientOf(const GradientMap& map, const Tensor& t);
 

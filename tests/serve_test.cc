@@ -45,6 +45,50 @@ Tensor RandomWindows(int64_t b, uint64_t seed) {
   return Tensor::Randn(Shape{b, 3, 8}, &rng);
 }
 
+// Parks every global ThreadPool worker until Release() (or destruction), so
+// detection kernels cannot progress and engine submissions stay queued — the
+// lever the batching and hot-swap tests use to control dispatch timing.
+// Releasing in the destructor keeps workers from blocking forever on dead
+// stack state when a test assertion fails mid-scope; the destructor also
+// waits for every hostage to leave the wait before the primitives go away.
+class PoolHostage {
+ public:
+  PoolHostage() : hostages_(ThreadPool::Global().num_threads()) {
+    for (int i = 0; i < hostages_; ++i) {
+      ThreadPool::Global().Schedule([this] {
+        ++blocked_;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [this] { return release_; });
+        }
+        ++exited_;
+      });
+    }
+    while (blocked_.load() < hostages_) std::this_thread::yield();
+  }
+
+  ~PoolHostage() {
+    Release();
+    while (exited_.load() < hostages_) std::this_thread::yield();
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      release_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  const int hostages_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool release_ = false;
+  std::atomic<int> blocked_{0};
+  std::atomic<int> exited_{0};
+};
+
 void ExpectSameDetection(const core::DetectionResult& a,
                          const core::DetectionResult& b) {
   const int n = a.scores.num_series();
@@ -299,19 +343,7 @@ TEST(InferenceEngineTest, BatchedResultsMatchSequential) {
 
   // Hold every pool worker hostage so all submissions queue behind the first
   // batch and must coalesce.
-  std::mutex mu;
-  std::condition_variable cv;
-  bool release = false;
-  std::atomic<int> blocked{0};
-  ThreadPool& pool = ThreadPool::Global();
-  for (int i = 0; i < pool.num_threads(); ++i) {
-    pool.Schedule([&] {
-      ++blocked;
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return release; });
-    });
-  }
-  while (blocked.load() < pool.num_threads()) std::this_thread::yield();
+  PoolHostage hostage;
 
   std::vector<std::future<DiscoveryResponse>> futures;
   for (int i = 0; i < kRequests; ++i) {
@@ -320,11 +352,7 @@ TEST(InferenceEngineTest, BatchedResultsMatchSequential) {
     request.windows = windows[i];
     futures.push_back(engine.SubmitAsync(std::move(request)));
   }
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    release = true;
-  }
-  cv.notify_all();
+  hostage.Release();
 
   std::vector<DiscoveryResponse> batched;
   for (auto& f : futures) batched.push_back(f.get());
@@ -373,6 +401,87 @@ TEST(InferenceEngineTest, ConcurrentSubmittersAllComplete) {
   EXPECT_EQ(ok.load(), kThreads * kPerThread);
 }
 
+TEST(InferenceEngineTest, HotSwapWhileQueuedRunsOnPinnedModel) {
+  // A 1-worker pool runs kernels inline (ParallelFor's workers<=1 branch), so
+  // requests would finish before the swap and nothing racy is exercised.
+  if (ThreadPool::Global().num_threads() <= 1) {
+    GTEST_SKIP() << "needs a multi-worker pool to hold requests queued";
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", TinyModel()).ok());
+  InferenceEngine engine(&registry);
+
+  // Hold every pool worker hostage so the executor's kernels cannot finish
+  // and submissions stay queued while the model is swapped underneath them.
+  PoolHostage hostage;
+
+  std::vector<std::future<DiscoveryResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    DiscoveryRequest request;
+    request.model = "m";
+    request.windows = RandomWindows(2, 500 + static_cast<uint64_t>(i));
+    futures.push_back(engine.SubmitAsync(std::move(request)));
+  }
+
+  // Swap "m" to a different architecture while the requests are in flight.
+  ASSERT_TRUE(engine.UnloadModel("m").ok());
+  Rng rng(11);
+  ASSERT_TRUE(registry
+                  .Register("m", std::make_unique<core::CausalityTransformer>(
+                                     TinyModelOptions(5, 12), &rng))
+                  .ok());
+
+  hostage.Release();
+
+  // Every queued request was validated against the old 3-series handle and
+  // must execute on it: not fail NotFound after the unload, and never reach
+  // the detector's geometry CF_CHECKs against the new 5-series model (which
+  // would abort the process).
+  for (auto& f : futures) {
+    const DiscoveryResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.result->scores.num_series(), 3);
+  }
+}
+
+TEST(InferenceEngineTest, HotSwapDoesNotServeStaleCachedScores) {
+  // See HotSwapWhileQueuedRunsOnPinnedModel: the hostage trick needs workers.
+  if (ThreadPool::Global().num_threads() <= 1) {
+    GTEST_SKIP() << "needs a multi-worker pool to hold requests queued";
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", TinyModel(1)).ok());
+  InferenceEngine engine(&registry);
+
+  // Hostage the pool so the request is still queued when the swap happens.
+  PoolHostage hostage;
+
+  DiscoveryRequest request;
+  request.model = "m";
+  request.windows = RandomWindows(2, 600);
+  auto queued = engine.SubmitAsync(request);
+
+  // Swap "m" to a same-geometry model with different weights while queued.
+  ASSERT_TRUE(engine.UnloadModel("m").ok());
+  ASSERT_TRUE(registry.Register("m", TinyModel(2)).ok());
+
+  hostage.Release();
+
+  // The queued request runs on the pinned old model and fills the cache —
+  // after UnloadModel already erased "m".
+  ASSERT_TRUE(queued.get().status.ok());
+
+  // A same-window query against the swapped-in model must recompute, not be
+  // served the old model's scores: its cache key carries the new registry
+  // generation, so the stale entry cannot match.
+  const DiscoveryResponse fresh = engine.Discover(request);
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+
+  // The recomputed result is cached under the new generation as usual.
+  EXPECT_TRUE(engine.Discover(request).cache_hit);
+}
+
 TEST(MicroBatcherTest, QueueFullRejectsAndShutdownDrains) {
   // An executor that blocks until released lets the queue fill.
   std::mutex mu;
@@ -403,7 +512,8 @@ TEST(MicroBatcherTest, QueueFullRejectsAndShutdownDrains) {
       DiscoveryRequest request;
       request.model = "m";
       request.windows = RandomWindows(1, 40);
-      futures.push_back(batcher.Submit(std::move(request), CacheKey{}));
+      futures.push_back(
+          batcher.Submit(std::move(request), CacheKey{}, nullptr));
     }
     while (batcher.stats().batches == 0) std::this_thread::yield();
     // With the dispatcher stalled (in-flight cap 1), max_queue accepts then a
@@ -413,7 +523,7 @@ TEST(MicroBatcherTest, QueueFullRejectsAndShutdownDrains) {
       DiscoveryRequest request;
       request.model = "m";
       request.windows = RandomWindows(1, 41 + i);
-      auto future = batcher.Submit(std::move(request), CacheKey{});
+      auto future = batcher.Submit(std::move(request), CacheKey{}, nullptr);
       if (future.wait_for(std::chrono::seconds(0)) ==
           std::future_status::ready) {
         EXPECT_EQ(future.get().status.code(), StatusCode::kFailedPrecondition);

@@ -1,0 +1,227 @@
+// Wire-protocol throughput/latency benchmark: closed-loop TCP clients fire
+// Detect frames at a WireServer over loopback and we report requests/sec
+// plus p50/p99 latency at 1, 8 and 64 concurrent connections, for both a
+// cold score cache (every query computes; micro-batching across connections
+// carries the load) and a hot cache (repeats of a small working set, so the
+// numbers isolate wire + framing overhead).
+//
+// Run: ./build/bench_wire_throughput   (CF_FAST=1 for a smoke-sized run)
+//
+// Results are printed as a table and written to BENCH_wire.json
+// (see docs/benchmarks.md).
+//
+// Environment knobs: CF_BENCH_QUERIES (per level, default 192; always at
+// least 3x the connection count), CF_BENCH_DISTINCT (cold working set size,
+// default 32), CF_FAST=1 (smoke).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "data/windowing.h"
+#include "serve/client.h"
+#include "serve/inference_engine.h"
+#include "serve/server.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cf = causalformer;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* value = std::getenv(name)) {
+    const int v = std::atoi(value);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct RunResult {
+  int connections = 0;
+  bool hot = false;
+  int queries = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int max_batch = 0;
+  uint64_t cache_hits = 0;
+};
+
+// Closed-loop: `connections` client threads, each with its own TCP
+// connection, issue Detect frames back-to-back until the shared budget is
+// exhausted. A fresh engine + server per run keeps the counters clean.
+RunResult RunLoad(cf::serve::ModelRegistry* registry,
+                  const std::vector<cf::Tensor>& batches, int connections,
+                  int total_queries, bool hot) {
+  cf::serve::EngineOptions eopts;
+  eopts.cache_capacity = hot ? 256 : 0;
+  cf::serve::InferenceEngine engine(registry, eopts);
+  cf::serve::WireServer server(&engine);
+  if (!server.Start().ok()) std::abort();
+
+  if (hot) {
+    // Pre-warm: one pass over the working set.
+    cf::serve::WireClient warmer;
+    if (!warmer.Connect("127.0.0.1", server.port()).ok()) std::abort();
+    for (const auto& windows : batches) {
+      if (!warmer.Detect("bench", windows).ok()) std::abort();
+    }
+  }
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(total_queries));
+
+  cf::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&] {
+      cf::serve::WireClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) std::abort();
+      std::vector<double> local;
+      for (int i = next.fetch_add(1); i < total_queries;
+           i = next.fetch_add(1)) {
+        const auto& windows = batches[static_cast<size_t>(i) % batches.size()];
+        cf::Stopwatch timer;
+        const auto result = client.Detect("bench", windows);
+        if (!result.ok()) {
+          std::fprintf(stderr, "detect: %s\n",
+                       result.status().ToString().c_str());
+          std::abort();
+        }
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  RunResult result;
+  result.connections = connections;
+  result.hot = hot;
+  result.queries = total_queries;
+  result.seconds = wall.ElapsedSeconds();
+  result.rps = total_queries / result.seconds;
+  result.p50_ms = Percentile(latencies, 0.50) * 1e3;
+  result.p99_ms = Percentile(latencies, 0.99) * 1e3;
+  result.max_batch = engine.batcher_stats().max_batch;
+  result.cache_hits = engine.cache_stats().hits;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("CF_FAST") != nullptr;
+  const int base_queries = EnvInt("CF_BENCH_QUERIES", fast ? 64 : 192);
+  const int distinct = EnvInt("CF_BENCH_DISTINCT", fast ? 8 : 32);
+
+  std::printf("wire throughput benchmark: >=%d queries/level, %d distinct "
+              "window batches\n",
+              base_queries, distinct);
+
+  // One small trained model, served for the whole run.
+  cf::Rng rng(99);
+  cf::data::SyntheticOptions data_opt;
+  data_opt.length = 400;
+  const auto dataset = GenerateSynthetic(cf::data::SyntheticStructure::kDiamond,
+                                         data_opt, &rng);
+  cf::core::ModelOptions mopt;
+  mopt.num_series = dataset.num_series();
+  mopt.window = 8;
+  mopt.d_model = 16;
+  mopt.d_qk = 16;
+  mopt.heads = 2;
+  mopt.d_ffn = 16;
+  auto model = std::make_unique<cf::core::CausalityTransformer>(mopt, &rng);
+  cf::core::TrainOptions topt;
+  topt.max_epochs = fast ? 2 : 5;
+  topt.stride = 2;
+  TrainCausalityTransformer(model.get(), dataset.series, topt, &rng, nullptr);
+
+  cf::serve::ModelRegistry registry;
+  if (!registry.Register("bench", std::move(model)).ok()) return 1;
+
+  const cf::Tensor windows =
+      cf::data::MakeWindows(dataset.series, mopt.window, 1);
+  std::vector<cf::Tensor> batches;
+  for (int i = 0; i < distinct; ++i) {
+    std::vector<int64_t> idx;
+    for (int64_t k = 0; k < 4; ++k) {
+      idx.push_back((i * 11 + k * 5) % windows.dim(0));
+    }
+    batches.push_back(cf::data::GatherWindows(windows, idx));
+  }
+
+  std::vector<RunResult> results;
+  for (const bool hot : {false, true}) {
+    for (const int connections : {1, 8, 64}) {
+      // Every connection gets at least a few queries, or tail percentiles
+      // are meaningless at 64 connections.
+      const int queries = std::max(base_queries, connections * 3);
+      results.push_back(RunLoad(&registry, batches, connections, queries, hot));
+      const RunResult& r = results.back();
+      std::fprintf(stderr,
+                   "  [%s c=%2d] %.1f req/s p50=%.2fms p99=%.2fms "
+                   "max_batch=%d hits=%llu\n",
+                   r.hot ? "hot " : "cold", r.connections, r.rps, r.p50_ms,
+                   r.p99_ms, r.max_batch,
+                   static_cast<unsigned long long>(r.cache_hits));
+    }
+  }
+
+  cf::Table table({"cache", "connections", "req/s", "p50 ms", "p99 ms",
+                   "max batch", "cache hits"});
+  for (const auto& r : results) {
+    table.AddRow({r.hot ? "hot" : "cold", std::to_string(r.connections),
+                  cf::StrFormat("%.1f", r.rps), cf::StrFormat("%.2f", r.p50_ms),
+                  cf::StrFormat("%.2f", r.p99_ms),
+                  std::to_string(r.max_batch),
+                  std::to_string(static_cast<unsigned long long>(r.cache_hits))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  FILE* json = std::fopen("BENCH_wire.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_wire.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"wire_throughput\",\n"
+                     "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(json,
+                 "    {\"cache\": \"%s\", \"connections\": %d, "
+                 "\"queries\": %d, \"requests_per_sec\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_batch\": %d, "
+                 "\"cache_hits\": %llu}%s\n",
+                 r.hot ? "hot" : "cold", r.connections, r.queries, r.rps,
+                 r.p50_ms, r.p99_ms, r.max_batch,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_wire.json\n");
+  return 0;
+}

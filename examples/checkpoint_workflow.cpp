@@ -2,6 +2,8 @@
 // it, then reload into a fresh process/model and run the causality detector
 // on the restored weights. Also cross-checks the deep model against the
 // classic linear VAR-Granger baseline on the same data.
+//
+// Run: ./build/checkpoint_workflow          (after cmake --build build -j)
 
 #include <cstdio>
 

@@ -2,6 +2,8 @@
 // (NetSim-style; see DESIGN.md for the substitution) and reports per-subject
 // and aggregate F1, mirroring the realistic row of Table 1 and the Fig. 8
 // case study.
+//
+// Run: ./build/fmri_discovery          (after cmake --build build -j)
 
 #include <cstdio>
 

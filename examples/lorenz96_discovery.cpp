@@ -3,6 +3,8 @@
 // true parents of i are {i+1, i-1, i-2, i}. This example trains CausalFormer
 // with the paper's Lorenz configuration (tau=10, m/n=2/3) and prints the
 // learned adjacency next to the ground truth.
+//
+// Run: ./build/lorenz96_discovery          (after cmake --build build -j)
 
 #include <cstdio>
 

@@ -5,6 +5,8 @@
 //   2. train the causality-aware transformer on the prediction task,
 //   3. interpret it with the decomposition-based causality detector,
 //   4. compare the discovered graph against the ground truth.
+//
+// Run: ./build/quickstart          (after cmake --build build -j)
 
 #include <cstdio>
 

@@ -1,19 +1,30 @@
 // serve_cli — the causal-discovery inference service driver.
 //
-// Workflow (checkpoint -> registry -> queries):
+// Demonstrates the full serving workflow (checkpoint -> registry -> queries),
+// both in-process and over the TCP wire protocol (docs/wire-protocol.md).
+//
+// Run: ./build/serve_cli --selftest          (after cmake --build build -j)
+//
+// Workflow:
 //
 //   # 1. Train a demo model and persist checkpoint + data:
 //   serve_cli --train ck.cfpm
 //
-//   # 2. Serve discovery queries against the loaded checkpoint, from a replay
-//   #    file or interactively from stdin:
+//   # 2a. Serve discovery queries in-process, from a replay file or
+//   #     interactively from stdin:
 //   serve_cli --checkpoint ck.cfpm --csv ck.cfpm.csv --replay queries.txt
 //   echo "q 0 16" | serve_cli --checkpoint ck.cfpm --csv ck.cfpm.csv
 //
-//   Query language (one command per line):
+//   # 2b. Or serve the same engine over TCP and query it across the wire
+//   #     (unrelated connections coalesce into micro-batches server-side):
+//   serve_cli serve --port 7071 --checkpoint ck.cfpm
+//   echo "q 0 16" | serve_cli query --connect 127.0.0.1:7071 --csv ck.cfpm.csv
+//
+//   Query language (one command per line, both modes):
 //     q <start> <count>   discover on `count` windows starting at row <start>
 //     models              list registered models
-//     stats               engine/cache/batcher counters
+//     stats               engine/cache/batcher (and wire server) counters
+//     ping                wire liveness round-trip (query mode only)
 //     quit                exit
 //
 //   # 3. Acceptance self-test: trains, checkpoints, reloads through the
@@ -24,9 +35,13 @@
 //
 // Model-architecture flags (--series/--window/--d_model/--d_qk/--heads/
 // --d_ffn) must match the checkpoint; the --train defaults are the serve
-// defaults, so the pair works out of the box.
+// defaults, so the pair works out of the box. `query` mode needs no model
+// flags: it reads the geometry from the server's Stats frame.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,13 +50,16 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "data/windowing.h"
 #include "nn/serialize.h"
+#include "serve/client.h"
 #include "serve/inference_engine.h"
+#include "serve/server.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -51,10 +69,14 @@ namespace cf = causalformer;
 namespace {
 
 struct CliOptions {
-  std::string mode;  // "train", "serve" or "selftest"
+  std::string mode;  // "train", "serve", "selftest", "netserve" or "query"
   std::string checkpoint;
   std::string csv;
   std::string replay;
+  std::string connect;     // query mode: host:port
+  std::string model_name = "default";  // query mode: registry name to query
+  int port = 0;            // netserve mode: listen port (0 = ephemeral)
+  bool allow_admin = true; // netserve mode: accept LoadModel/UnloadModel
   int queries = 120;  // selftest query count
   cf::core::ModelOptions model;
   cf::core::DetectorOptions detector;
@@ -75,13 +97,30 @@ void Usage() {
                "  serve_cli --train <out.cfpm> [--csv data.csv] [model flags]\n"
                "  serve_cli --checkpoint <ck.cfpm> --csv <data.csv> "
                "[--replay <queries.txt>] [model flags]\n"
+               "  serve_cli serve --port <N> --checkpoint <ck.cfpm> "
+               "[--no-admin] [model flags]\n"
+               "  serve_cli query --connect <host:port> --csv <data.csv> "
+               "[--replay <queries.txt>] [--model name]\n"
                "  serve_cli --selftest [--queries N]\n"
                "model flags: --series N --window T --d_model D --d_qk D "
                "--heads H --d_ffn D\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
-  for (int i = 1; i < argc; ++i) {
+  int i = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string sub = argv[1];
+    if (sub == "serve") {
+      opts->mode = "netserve";
+    } else if (sub == "query") {
+      opts->mode = "query";
+    } else {
+      std::fprintf(stderr, "unknown subcommand: %s\n", sub.c_str());
+      return false;
+    }
+    i = 2;
+  }
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](int64_t* out) {
       if (i + 1 >= argc) return false;
@@ -98,6 +137,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->csv = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
       opts->replay = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      opts->connect = argv[++i];
+    } else if (arg == "--model" && i + 1 < argc) {
+      opts->model_name = argv[++i];
+    } else if (arg == "--port") {
+      int64_t v;
+      if (!next(&v) || v < 0 || v > 65535) return false;
+      opts->port = static_cast<int>(v);
+    } else if (arg == "--no-admin") {
+      opts->allow_admin = false;
     } else if (arg == "--selftest") {
       opts->mode = "selftest";
     } else if (arg == "--queries") {
@@ -121,7 +170,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       return false;
     }
   }
+  if (opts->mode == "netserve" && opts->checkpoint.empty()) {
+    std::fprintf(stderr, "serve mode needs --checkpoint\n");
+    return false;
+  }
+  if (opts->mode == "query" && opts->connect.empty()) {
+    std::fprintf(stderr, "query mode needs --connect host:port\n");
+    return false;
+  }
   return !opts->mode.empty();
+}
+
+// Splits "host:port"; returns false on a malformed spec.
+bool ParseHostPort(const std::string& spec, std::string* host, uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return false;
+  }
+  const long value = std::atol(spec.c_str() + colon + 1);
+  if (value < 1 || value > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
 }
 
 // Reads a CSV (rows = time steps, columns = series) into an [N, L] tensor.
@@ -209,6 +279,36 @@ int RunTrain(const CliOptions& opts) {
   return 0;
 }
 
+// Points *in at the replay file when one is given, else stdin. False (with
+// a diagnostic) when the replay file cannot be opened.
+bool OpenInput(const std::string& replay, std::ifstream* file,
+               std::istream** in) {
+  *in = &std::cin;
+  if (replay.empty()) return true;
+  file->open(replay);
+  if (!*file) {
+    std::fprintf(stderr, "cannot open replay file %s\n", replay.c_str());
+    return false;
+  }
+  *in = file;
+  return true;
+}
+
+// Validates a `q <start> <count>` range against the loaded series and builds
+// the [count, N, window] batch — shared by the in-process and wire modes so
+// their query semantics cannot diverge.
+cf::StatusOr<cf::Tensor> QueryWindows(const cf::Tensor& series, int64_t window,
+                                      int64_t start, int64_t count) {
+  if (count < 1 || start < 0 || start + window + count - 1 > series.dim(1)) {
+    return cf::Status::InvalidArgument(
+        "bad range (have L=" + std::to_string(series.dim(1)) +
+        ", T=" + std::to_string(window) + ")");
+  }
+  const cf::Tensor span =
+      cf::Slice(series, 1, start, start + window + count - 1);
+  return cf::data::MakeWindows(span.Detach(), window, 1);
+}
+
 void PrintResponse(const std::string& tag,
                    const cf::serve::DiscoveryResponse& response) {
   if (!response.status.ok()) {
@@ -248,15 +348,8 @@ int RunServe(const CliOptions& opts) {
               static_cast<long long>(series.dim(1)));
 
   std::ifstream replay_file;
-  std::istream* in = &std::cin;
-  if (!opts.replay.empty()) {
-    replay_file.open(opts.replay);
-    if (!replay_file) {
-      std::fprintf(stderr, "cannot open replay file %s\n", opts.replay.c_str());
-      return 1;
-    }
-    in = &replay_file;
-  }
+  std::istream* in = nullptr;
+  if (!OpenInput(opts.replay, &replay_file, &in)) return 1;
 
   // Pipelined submission: every `q` line is submitted immediately so
   // back-to-back queries coalesce into micro-batches; answers print in order.
@@ -300,20 +393,17 @@ int RunServe(const CliOptions& opts) {
     }
     if (cmd == "q") {
       int64_t start = 0, count = 0;
-      if (!(tokens >> start >> count) || count < 1 || start < 0 ||
-          start + mopt.window + count - 1 > series.dim(1)) {
-        std::printf("q%lld ERROR bad range (have L=%lld, T=%lld)\n",
-                    static_cast<long long>(query_no),
-                    static_cast<long long>(series.dim(1)),
-                    static_cast<long long>(mopt.window));
+      tokens >> start >> count;  // extraction failure leaves 0 0 -> rejected
+      auto windows = QueryWindows(series, mopt.window, start, count);
+      if (!windows.ok()) {
+        std::printf("q%lld ERROR %s\n", static_cast<long long>(query_no),
+                    windows.status().message().c_str());
         ++query_no;
         continue;
       }
-      const cf::Tensor span =
-          cf::Slice(series, 1, start, start + mopt.window + count - 1);
       cf::serve::DiscoveryRequest request;
       request.model = "default";
-      request.windows = cf::data::MakeWindows(span.Detach(), mopt.window, 1);
+      request.windows = std::move(windows).value();
       request.options = opts.detector;
       pending.emplace_back("q" + std::to_string(query_no),
                            engine.SubmitAsync(std::move(request)));
@@ -328,6 +418,210 @@ int RunServe(const CliOptions& opts) {
   std::fprintf(stderr, "served %lld queries in %llu batches (max batch %d)\n",
                static_cast<long long>(query_no),
                static_cast<unsigned long long>(batch.batches), batch.max_batch);
+  return 0;
+}
+
+std::atomic<bool> g_interrupted{false};
+
+void OnSignal(int) { g_interrupted = true; }
+
+// `serve --port N`: the same engine as RunServe, but behind the TCP wire
+// protocol. Runs until stdin says "quit" (or closes and SIGINT/SIGTERM
+// arrives).
+int RunNetServe(const CliOptions& opts) {
+  cf::core::ModelOptions mopt = opts.model;
+  cf::serve::ModelRegistry registry;
+  cf::Status st = registry.Load("default", opts.checkpoint, mopt);
+  if (!st.ok()) {
+    std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  cf::serve::InferenceEngine engine(&registry);
+  cf::serve::WireServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(opts.port);
+  sopts.allow_admin = opts.allow_admin;
+  cf::serve::WireServer server(&engine, sopts);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("serving '%s' on port %u (N=%lld, T=%lld)%s\n",
+              opts.checkpoint.c_str(), server.port(),
+              static_cast<long long>(mopt.num_series),
+              static_cast<long long>(mopt.window),
+              opts.allow_admin ? "" : " [admin frames disabled]");
+  std::fflush(stdout);
+
+  std::string line;
+  while (!g_interrupted && std::getline(std::cin, line)) {
+    const std::string cmd = cf::StrTrim(line);
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd.empty()) continue;
+    std::printf("unknown command: %s (only 'quit' here; query over the "
+                "wire)\n", cmd.c_str());
+  }
+  // stdin is exhausted (e.g. started with </dev/null in the background):
+  // keep serving until a signal arrives.
+  while (!g_interrupted && !std::cin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "wire server: %llu connections, %llu frames, %llu errors\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames),
+               static_cast<unsigned long long>(stats.wire_errors));
+  return 0;
+}
+
+// `query --connect host:port`: the RunServe query language, but each `q`
+// becomes a Detect frame against a remote serve_cli (or any WireServer).
+int RunQuery(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
+                 opts.connect.c_str());
+    return 1;
+  }
+  cf::serve::WireClient client;
+  cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The model's window geometry comes from the server, not from flags.
+  auto stats = client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  int64_t num_series = 0, window = 0;
+  for (const auto& model : stats->models) {
+    if (model.name == opts.model_name) {
+      num_series = model.num_series;
+      window = model.window;
+    }
+  }
+  if (window == 0) {
+    std::fprintf(stderr, "server has no model '%s' (%zu models registered)\n",
+                 opts.model_name.c_str(), stats->models.size());
+    return 1;
+  }
+
+  auto loaded = LoadSeriesCsv(opts.csv);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "csv: %s (use --csv; --train writes one)\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const cf::Tensor series = *loaded;
+  if (series.dim(0) != num_series) {
+    std::fprintf(stderr, "csv has %lld series, server model wants %lld\n",
+                 static_cast<long long>(series.dim(0)),
+                 static_cast<long long>(num_series));
+    return 1;
+  }
+  std::printf("connected to %s:%u — model '%s' (N=%lld, T=%lld)\n",
+              host.c_str(), port, opts.model_name.c_str(),
+              static_cast<long long>(num_series),
+              static_cast<long long>(window));
+
+  std::ifstream replay_file;
+  std::istream* in = nullptr;
+  if (!OpenInput(opts.replay, &replay_file, &in)) return 1;
+
+  std::string line;
+  int64_t query_no = 0;
+  while (std::getline(*in, line)) {
+    std::istringstream tokens(cf::StrTrim(line));
+    std::string cmd;
+    tokens >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "ping") {
+      cf::Stopwatch timer;
+      const auto pong = client.Ping(0xC0FFEEull + static_cast<uint64_t>(query_no));
+      if (!pong.ok()) {
+        std::printf("ping ERROR %s\n", pong.status().ToString().c_str());
+      } else {
+        std::printf("pong in %.3fms\n", timer.ElapsedSeconds() * 1e3);
+      }
+      continue;
+    }
+    if (cmd == "models") {
+      const auto remote = client.Stats();
+      if (!remote.ok()) {
+        std::printf("models ERROR %s\n", remote.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& model : remote->models) {
+        std::printf("  %s: %lld params, N=%lld T=%lld, generation %llu\n",
+                    model.name.c_str(),
+                    static_cast<long long>(model.num_parameters),
+                    static_cast<long long>(model.num_series),
+                    static_cast<long long>(model.window),
+                    static_cast<unsigned long long>(model.generation));
+      }
+      continue;
+    }
+    if (cmd == "stats") {
+      const auto remote = client.Stats();
+      if (!remote.ok()) {
+        std::printf("stats ERROR %s\n", remote.status().ToString().c_str());
+        continue;
+      }
+      std::printf(
+          "  cache: %llu hits / %llu misses, %llu/%llu entries\n"
+          "  batcher: %llu requests, %llu batches (max %d), %llu coalesced\n"
+          "  server: %llu connections, %llu frames, %llu wire errors\n",
+          static_cast<unsigned long long>(remote->cache_hits),
+          static_cast<unsigned long long>(remote->cache_misses),
+          static_cast<unsigned long long>(remote->cache_size),
+          static_cast<unsigned long long>(remote->cache_capacity),
+          static_cast<unsigned long long>(remote->batch_requests),
+          static_cast<unsigned long long>(remote->batch_batches),
+          remote->batch_max,
+          static_cast<unsigned long long>(remote->batch_coalesced),
+          static_cast<unsigned long long>(remote->server_connections),
+          static_cast<unsigned long long>(remote->server_frames),
+          static_cast<unsigned long long>(remote->server_wire_errors));
+      continue;
+    }
+    if (cmd == "q") {
+      int64_t start = 0, count = 0;
+      tokens >> start >> count;  // extraction failure leaves 0 0 -> rejected
+      auto windows = QueryWindows(series, window, start, count);
+      if (!windows.ok()) {
+        std::printf("q%lld ERROR %s\n", static_cast<long long>(query_no),
+                    windows.status().message().c_str());
+        ++query_no;
+        continue;
+      }
+      const std::string tag = "q" + std::to_string(query_no);
+      const auto result =
+          client.Detect(opts.model_name, *windows, opts.detector);
+      if (!result.ok()) {
+        std::printf("%s ERROR %s\n", tag.c_str(),
+                    result.status().ToString().c_str());
+      } else {
+        std::printf("%s edges=[%s] cache_hit=%d batch=%d latency=%.3fms\n",
+                    tag.c_str(), result->result.graph.ToString().c_str(),
+                    result->cache_hit ? 1 : 0, result->batch_size,
+                    result->latency_seconds * 1e3);
+      }
+      ++query_no;
+      continue;
+    }
+    std::printf("unknown command: %s\n", cmd.c_str());
+  }
+  std::fflush(stdout);
+  std::fprintf(stderr, "sent %lld queries over the wire\n",
+               static_cast<long long>(query_no));
   return 0;
 }
 
@@ -492,5 +786,7 @@ int main(int argc, char** argv) {
   }
   if (opts.mode == "train") return RunTrain(opts);
   if (opts.mode == "serve") return RunServe(opts);
+  if (opts.mode == "netserve") return RunNetServe(opts);
+  if (opts.mode == "query") return RunQuery(opts);
   return RunSelfTest(opts);
 }

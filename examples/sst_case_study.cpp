@@ -2,6 +2,8 @@
 // relations on a simulated North Atlantic SST grid and checks that they
 // follow the prescribed ocean currents. Uses a coarse 10-degree grid so the
 // example runs in seconds; bench_fig10_sst runs the larger grids.
+//
+// Run: ./build/sst_case_study          (after cmake --build build -j)
 
 #include <cstdio>
 

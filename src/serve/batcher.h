@@ -40,7 +40,7 @@ namespace serve {
 
 /// One queued request plus its completion promise and bookkeeping.
 struct BatchItem {
-  DiscoveryRequest request;
+  DiscoveryRequest request;  ///< the query as submitted
   CacheKey key;  ///< precomputed by the engine; reused for the cache fill
   /// The validated model handle, pinned at submit. Executing against this
   /// handle (never re-resolving by name) means a same-name hot-swap or unload
@@ -48,10 +48,11 @@ struct BatchItem {
   /// against: the registry's "unloaded model stays alive for in-flight
   /// queries" contract extends to queued ones.
   std::shared_ptr<const core::CausalityTransformer> model;
-  std::promise<DiscoveryResponse> promise;
+  std::promise<DiscoveryResponse> promise;  ///< fulfilled by the executor
   Stopwatch since_submit;  ///< started at Submit() for end-to-end latency
 };
 
+/// MicroBatcher tuning knobs.
 struct BatcherOptions {
   /// Most requests coalesced into one batched pass.
   int max_batch_requests = 16;
@@ -65,17 +66,21 @@ struct BatcherOptions {
   int max_in_flight_batches = 2;
 };
 
+/// The adaptive micro-batching queue between the engine and the detector.
 class MicroBatcher {
  public:
   /// Executes one coalesced batch and fulfils every item's promise. Runs on
   /// a dedicated executor thread.
   using ExecuteFn = std::function<void(std::vector<BatchItem>)>;
 
+  /// Spawns `options.max_in_flight_batches` executor threads running
+  /// `execute` on each coalesced batch.
   MicroBatcher(const BatcherOptions& options, ExecuteFn execute);
+  /// Rejects queued requests, finishes in-flight batches, joins executors.
   ~MicroBatcher();
 
-  MicroBatcher(const MicroBatcher&) = delete;
-  MicroBatcher& operator=(const MicroBatcher&) = delete;
+  MicroBatcher(const MicroBatcher&) = delete;             ///< not copyable
+  MicroBatcher& operator=(const MicroBatcher&) = delete;  ///< not copyable
 
   /// Enqueues a request; the future resolves when its batch completes. A full
   /// queue or a shutting-down batcher resolves immediately with an error.
@@ -88,13 +93,15 @@ class MicroBatcher {
       DiscoveryRequest request, CacheKey key,
       std::shared_ptr<const core::CausalityTransformer> model);
 
+  /// Point-in-time batching counters.
   struct Stats {
-    uint64_t requests = 0;
-    uint64_t batches = 0;
+    uint64_t requests = 0;   ///< requests accepted into the queue
+    uint64_t batches = 0;    ///< batches dispatched to executors
     uint64_t coalesced = 0;  ///< requests that rode in a batch of size > 1
     int max_batch = 0;       ///< largest batch dispatched so far
-    uint64_t rejected = 0;
+    uint64_t rejected = 0;   ///< requests refused (queue full / shutdown)
   };
+  /// Snapshot of the batching counters.
   Stats stats() const;
 
  private:

@@ -1,0 +1,88 @@
+#ifndef CAUSALFORMER_SERVE_CLIENT_H_
+#define CAUSALFORMER_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file
+/// Blocking wire-protocol client: one TCP connection, one in-flight request
+/// at a time (send frame, read response frame). Used by serve_cli's `query`
+/// mode, the wire benchmarks and the loopback tests; concurrency comes from
+/// running one client per thread/connection — the server coalesces Detect
+/// requests across connections into micro-batches.
+///
+/// The low-level SendFrame/RecvFrame pair is exposed so tests can pipeline
+/// requests and hand-craft malformed frames.
+
+namespace causalformer {
+namespace serve {
+
+/// A blocking connection to a WireServer.
+class WireClient {
+ public:
+  /// An unconnected client; call Connect() before any request.
+  WireClient() = default;
+  /// Closes the connection if open.
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;             ///< not copyable
+  WireClient& operator=(const WireClient&) = delete;  ///< not copyable
+
+  /// Opens a TCP connection (TCP_NODELAY) to a WireServer.
+  Status Connect(const std::string& host, uint16_t port);
+  /// Closes the connection; subsequent requests fail until Connect().
+  void Close();
+  /// True between a successful Connect() and Close()/a stream error.
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips a Ping; returns the echoed token (must equal `token`).
+  StatusOr<uint64_t> Ping(uint64_t token);
+
+  /// Asks the server to load a server-local checkpoint into its registry.
+  StatusOr<wire::LoadModelOkMsg> LoadModel(const std::string& name,
+                                           const std::string& checkpoint_path,
+                                           const core::ModelOptions& options);
+
+  /// Asks the server to unload `name` (in-flight queries finish unharmed).
+  Status UnloadModel(const std::string& name);
+
+  /// One causal-discovery query: sends `windows` ([B, N, T]) against the
+  /// registered model and blocks for the scores/delays/graph response.
+  StatusOr<wire::DetectResultMsg> Detect(
+      const std::string& model, const Tensor& windows,
+      const core::DetectorOptions& options = {});
+
+  /// Several window batches in one request frame; the server submits them as
+  /// independent engine queries (they micro-batch together) and answers with
+  /// one result per batch, in order.
+  StatusOr<std::vector<wire::DetectResultMsg>> DetectBatch(
+      const std::string& model, const std::vector<Tensor>& windows,
+      const core::DetectorOptions& options = {});
+
+  /// Fetches the server's engine/server counters and model list.
+  StatusOr<wire::StatsResultMsg> Stats();
+
+  /// Sends one raw frame (low-level; used for pipelining and fuzzing).
+  Status SendFrame(wire::MessageType type, const std::vector<uint8_t>& payload);
+  /// Reads one raw frame, verifying magic/version/CRC (low-level).
+  StatusOr<wire::Frame> RecvFrame();
+
+ private:
+  /// Send + receive, verifying the response type is `expect` (kError frames
+  /// are decoded into the returned Status).
+  StatusOr<wire::Frame> Call(wire::MessageType type,
+                             const std::vector<uint8_t>& payload,
+                             wire::MessageType expect);
+
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_CLIENT_H_

@@ -29,21 +29,24 @@
 namespace causalformer {
 namespace serve {
 
+/// InferenceEngine construction knobs.
 struct EngineOptions {
-  BatcherOptions batcher;
+  BatcherOptions batcher;  ///< micro-batching limits
   /// LRU entries kept per engine (0 disables caching).
   size_t cache_capacity = 256;
 };
 
+/// The long-lived service object answering discovery queries.
 class InferenceEngine {
  public:
   /// `registry` must outlive the engine.
   explicit InferenceEngine(ModelRegistry* registry,
                            const EngineOptions& options = {});
+  /// Drains the batcher (rejecting queued work) before members go away.
   ~InferenceEngine() = default;
 
-  InferenceEngine(const InferenceEngine&) = delete;
-  InferenceEngine& operator=(const InferenceEngine&) = delete;
+  InferenceEngine(const InferenceEngine&) = delete;             ///< not copyable
+  InferenceEngine& operator=(const InferenceEngine&) = delete;  ///< not copyable
 
   /// Validates and enqueues one discovery query. Never blocks on model work:
   /// rejections and cache hits resolve immediately, misses resolve when the
@@ -56,8 +59,11 @@ class InferenceEngine {
   /// Unloads `name` from the registry and drops its cached scores.
   Status UnloadModel(const std::string& name);
 
+  /// The registry this engine validates queries against.
   ModelRegistry& registry() { return *registry_; }
+  /// Snapshot of the score-cache counters.
   ScoreCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Snapshot of the micro-batcher counters.
   MicroBatcher::Stats batcher_stats() const { return batcher_.stats(); }
 
  private:

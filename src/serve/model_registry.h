@@ -25,21 +25,29 @@ namespace serve {
 
 /// Metadata of one registered model.
 struct ModelInfo {
-  std::string name;
+  std::string name;             ///< registry name
   std::string checkpoint_path;  ///< empty for models registered in-process
-  core::ModelOptions options;
-  int64_t num_parameters = 0;
+  core::ModelOptions options;   ///< architecture the model was built with
+  int64_t num_parameters = 0;   ///< total learnable parameter count
   /// Strictly increasing across every registration in this registry, so two
   /// models that held the same name at different times are distinguishable
   /// (the engine's ScoreCache keys on it to survive same-name hot-swaps).
   uint64_t generation = 0;
 };
 
+/// The named-checkpoint registry handing out shared immutable model handles.
+///
+/// Handle semantics: Get() returns a `shared_ptr<const CausalityTransformer>`
+/// that stays valid across Unload() and same-name re-registration — holders
+/// keep the old weights alive until they drop the pointer. Each successful
+/// registration gets a fresh, strictly increasing `generation`, which is the
+/// disambiguator cache keys and queued queries use across hot-swaps.
 class ModelRegistry {
  public:
+  /// An empty registry.
   ModelRegistry() = default;
-  ModelRegistry(const ModelRegistry&) = delete;
-  ModelRegistry& operator=(const ModelRegistry&) = delete;
+  ModelRegistry(const ModelRegistry&) = delete;             ///< not copyable
+  ModelRegistry& operator=(const ModelRegistry&) = delete;  ///< not copyable
 
   /// Loads the checkpoint at `path` into a fresh model with the given
   /// architecture and registers it under `name`. Fails if the name is taken
@@ -64,6 +72,7 @@ class ModelRegistry {
   /// Metadata of every registered model, sorted by name.
   std::vector<ModelInfo> List() const;
 
+  /// True when `name` is currently registered.
   bool Has(const std::string& name) const { return Get(name) != nullptr; }
 
  private:

@@ -28,21 +28,27 @@ namespace serve {
 
 /// 128-bit content hash of a window tensor (shape + raw float bytes).
 struct WindowHash {
-  uint64_t lo = 0;
-  uint64_t hi = 0;
+  uint64_t lo = 0;  ///< first independent FNV-1a stream
+  uint64_t hi = 0;  ///< second independent FNV-1a stream
+  /// Exact 128-bit equality.
   bool operator==(const WindowHash& o) const {
     return lo == o.lo && hi == o.hi;
   }
 };
 
+/// Hashes a window tensor's dims and contents into a WindowHash.
 WindowHash HashWindows(const Tensor& windows);
 
 /// Exact, human-readable encoding of every DetectorOptions field.
+/// Cache-key generation rule: floats are encoded by raw bit pattern (never
+/// rounded text), so two option sets collide iff the detector would treat
+/// them identically.
 std::string EncodeDetectorOptions(const core::DetectorOptions& options);
 
+/// Identity of one cached detection result.
 struct CacheKey {
-  std::string model;
-  WindowHash windows;
+  std::string model;    ///< registry name the query addressed
+  WindowHash windows;   ///< content hash of the window batch
   std::string options;  ///< EncodeDetectorOptions output
   /// Registry generation of the model the query was validated against. A
   /// same-name hot-swap bumps the generation, so results computed by queued
@@ -50,25 +56,29 @@ struct CacheKey {
   /// one (their Put lands under the old generation and ages out via LRU).
   uint64_t generation = 0;
 
+  /// Field-wise equality (hash collisions can never merge distinct keys).
   bool operator==(const CacheKey& o) const {
     return windows == o.windows && generation == o.generation &&
            model == o.model && options == o.options;
   }
 };
 
+/// The bounded, thread-safe LRU cache of detection results.
 class ScoreCache {
  public:
+  /// Point-in-time cache counters.
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    size_t size = 0;
-    size_t capacity = 0;
+    uint64_t hits = 0;       ///< Get() calls answered from the cache
+    uint64_t misses = 0;     ///< Get() calls that found nothing
+    uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+    size_t size = 0;         ///< current entry count
+    size_t capacity = 0;     ///< configured bound (0 = caching disabled)
   };
 
+  /// A cache holding at most `capacity` results (0 disables caching).
   explicit ScoreCache(size_t capacity);
-  ScoreCache(const ScoreCache&) = delete;
-  ScoreCache& operator=(const ScoreCache&) = delete;
+  ScoreCache(const ScoreCache&) = delete;             ///< not copyable
+  ScoreCache& operator=(const ScoreCache&) = delete;  ///< not copyable
 
   /// The cached result (refreshing recency), or null on a miss.
   std::shared_ptr<const core::DetectionResult> Get(const CacheKey& key);
@@ -81,7 +91,9 @@ class ScoreCache {
   /// Drops every entry of `model` (on checkpoint unload/replace).
   void EraseModel(const std::string& model);
 
+  /// Drops every entry.
   void Clear();
+  /// Snapshot of the cache counters.
   Stats stats() const;
 
  private:

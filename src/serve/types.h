@@ -17,7 +17,12 @@
 /// DiscoveryRequest names that model, carries a window batch, and gets back
 /// the Section-4.2 decomposition result (score matrix, delays, graph edges).
 
+/// The CausalFormer reproduction: tensors, autograd, the causality-aware
+/// transformer, the decomposition-based detector, and the serving stack.
 namespace causalformer {
+/// The batched causal-discovery serving stack: model registry, inference
+/// engine, micro-batcher, score cache, and the TCP wire protocol
+/// (docs/architecture.md, docs/wire-protocol.md).
 namespace serve {
 
 /// One causal-discovery query against a registered model.

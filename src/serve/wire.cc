@@ -1,0 +1,628 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace causalformer {
+namespace serve {
+namespace wire {
+
+namespace {
+
+// Shared sub-blocks of several message types. Kept in lockstep with the
+// byte-offset tables in docs/wire-protocol.md §4.
+
+void WriteDetectorOptions(PayloadWriter* w, const core::DetectorOptions& o) {
+  w->I32(o.num_clusters);
+  w->I32(o.top_clusters);
+  w->I64(o.max_windows);
+  uint8_t flags = 0;
+  if (o.use_interpretation) flags |= 1u << 0;
+  if (o.use_relevance) flags |= 1u << 1;
+  if (o.use_gradient) flags |= 1u << 2;
+  if (o.bias_absorption) flags |= 1u << 3;
+  w->U8(flags);
+  w->F32(o.epsilon);
+}
+
+Status ReadDetectorOptions(PayloadReader* r, core::DetectorOptions* o) {
+  CF_RETURN_IF_ERROR(r->I32(&o->num_clusters));
+  CF_RETURN_IF_ERROR(r->I32(&o->top_clusters));
+  CF_RETURN_IF_ERROR(r->I64(&o->max_windows));
+  uint8_t flags = 0;
+  CF_RETURN_IF_ERROR(r->U8(&flags));
+  if ((flags & ~0x0Fu) != 0) {
+    return Status::InvalidArgument("detector options: reserved flag bits set");
+  }
+  o->use_interpretation = (flags & (1u << 0)) != 0;
+  o->use_relevance = (flags & (1u << 1)) != 0;
+  o->use_gradient = (flags & (1u << 2)) != 0;
+  o->bias_absorption = (flags & (1u << 3)) != 0;
+  CF_RETURN_IF_ERROR(r->F32(&o->epsilon));
+  return Status::Ok();
+}
+
+void WriteWindows(PayloadWriter* w, const Tensor& windows) {
+  w->U32(static_cast<uint32_t>(windows.dim(0)));
+  w->U32(static_cast<uint32_t>(windows.dim(1)));
+  w->U32(static_cast<uint32_t>(windows.dim(2)));
+  const float* p = windows.data();
+  const int64_t count = windows.numel();
+  for (int64_t i = 0; i < count; ++i) w->F32(p[i]);
+}
+
+Status ReadWindows(PayloadReader* r, Tensor* windows) {
+  uint32_t b = 0, n = 0, t = 0;
+  CF_RETURN_IF_ERROR(r->U32(&b));
+  CF_RETURN_IF_ERROR(r->U32(&n));
+  CF_RETURN_IF_ERROR(r->U32(&t));
+  if (b < 1 || n < 1 || t < 1) {
+    return Status::InvalidArgument("window tensor dims must be >= 1");
+  }
+  // Divide instead of multiplying: b*n*t*4 can wrap uint64 for hostile dims
+  // (e.g. b = n = 2^31), which would pass a product-based check and then
+  // attempt an enormous allocation.
+  const uint64_t budget = r->remaining() / 4;
+  if (b > budget || static_cast<uint64_t>(b) * n > budget ||
+      static_cast<uint64_t>(b) * n * t > budget) {
+    return Status::InvalidArgument("window tensor data truncated");
+  }
+  const uint64_t count = static_cast<uint64_t>(b) * n * t;
+  Tensor out = Tensor::Zeros(Shape{static_cast<int64_t>(b),
+                                   static_cast<int64_t>(n),
+                                   static_cast<int64_t>(t)});
+  float* p = out.data();
+  for (uint64_t i = 0; i < count; ++i) CF_RETURN_IF_ERROR(r->F32(&p[i]));
+  *windows = std::move(out);
+  return Status::Ok();
+}
+
+void WriteModelOptions(PayloadWriter* w, const core::ModelOptions& o) {
+  w->I64(o.num_series);
+  w->I64(o.window);
+  w->I64(o.d_model);
+  w->I64(o.d_qk);
+  w->I64(o.heads);
+  w->I64(o.d_ffn);
+  w->F32(o.tau);
+  w->F32(o.leaky_slope);
+  w->U8(o.multi_kernel ? 1 : 0);
+  w->F32(o.lag_penalty);
+}
+
+Status ReadModelOptions(PayloadReader* r, core::ModelOptions* o) {
+  CF_RETURN_IF_ERROR(r->I64(&o->num_series));
+  CF_RETURN_IF_ERROR(r->I64(&o->window));
+  CF_RETURN_IF_ERROR(r->I64(&o->d_model));
+  CF_RETURN_IF_ERROR(r->I64(&o->d_qk));
+  CF_RETURN_IF_ERROR(r->I64(&o->heads));
+  CF_RETURN_IF_ERROR(r->I64(&o->d_ffn));
+  CF_RETURN_IF_ERROR(r->F32(&o->tau));
+  CF_RETURN_IF_ERROR(r->F32(&o->leaky_slope));
+  uint8_t multi = 0;
+  CF_RETURN_IF_ERROR(r->U8(&multi));
+  if (multi > 1) {
+    return Status::InvalidArgument("model options: multi_kernel must be 0/1");
+  }
+  o->multi_kernel = multi == 1;
+  CF_RETURN_IF_ERROR(r->F32(&o->lag_penalty));
+  return Status::Ok();
+}
+
+void WriteDetectResult(PayloadWriter* w, const DetectResultMsg& msg) {
+  const int n = msg.result.scores.num_series();
+  w->U8(msg.cache_hit ? 1 : 0);
+  w->I32(msg.batch_size);
+  w->F64(msg.latency_seconds);
+  w->U32(static_cast<uint32_t>(n));
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) w->F64(msg.result.scores.at(from, to));
+  }
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      w->I32(msg.result.delays[static_cast<size_t>(from)]
+                              [static_cast<size_t>(to)]);
+    }
+  }
+  const auto& edges = msg.result.graph.edges();
+  w->U32(static_cast<uint32_t>(edges.size()));
+  for (const auto& edge : edges) {
+    w->I32(edge.from);
+    w->I32(edge.to);
+    w->I32(edge.delay);
+    w->F64(edge.score);
+  }
+}
+
+Status ReadDetectResult(PayloadReader* r, DetectResultMsg* msg) {
+  uint8_t hit = 0;
+  CF_RETURN_IF_ERROR(r->U8(&hit));
+  if (hit > 1) {
+    return Status::InvalidArgument("detect result: cache_hit must be 0/1");
+  }
+  msg->cache_hit = hit == 1;
+  CF_RETURN_IF_ERROR(r->I32(&msg->batch_size));
+  CF_RETURN_IF_ERROR(r->F64(&msg->latency_seconds));
+  uint32_t n32 = 0;
+  CF_RETURN_IF_ERROR(r->U32(&n32));
+  const uint64_t n = n32;
+  // scores (8B) + delays (4B) per cell; reject before allocating/looping.
+  // Division-based bound: n*n*12 wraps uint64 for n = 2^31, which would
+  // pass a product check and then allocate a huge DetectionResult.
+  const uint64_t cell_budget = r->remaining() / 12;
+  if (n < 1 || n > cell_budget || n * n > cell_budget) {
+    return Status::InvalidArgument("detect result: implausible series count " +
+                                   std::to_string(n));
+  }
+  const int ni = static_cast<int>(n);
+  msg->result = core::DetectionResult(ni);
+  for (int from = 0; from < ni; ++from) {
+    for (int to = 0; to < ni; ++to) {
+      double score = 0;
+      CF_RETURN_IF_ERROR(r->F64(&score));
+      msg->result.scores.set(from, to, score);
+    }
+  }
+  for (int from = 0; from < ni; ++from) {
+    for (int to = 0; to < ni; ++to) {
+      CF_RETURN_IF_ERROR(r->I32(&msg->result.delays[static_cast<size_t>(from)]
+                                                   [static_cast<size_t>(to)]));
+    }
+  }
+  uint32_t num_edges = 0;
+  CF_RETURN_IF_ERROR(r->U32(&num_edges));
+  if (static_cast<uint64_t>(num_edges) > n * n) {
+    return Status::InvalidArgument("detect result: more edges than pairs");
+  }
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    int32_t from = 0, to = 0, delay = 0;
+    double score = 0;
+    CF_RETURN_IF_ERROR(r->I32(&from));
+    CF_RETURN_IF_ERROR(r->I32(&to));
+    CF_RETURN_IF_ERROR(r->I32(&delay));
+    CF_RETURN_IF_ERROR(r->F64(&score));
+    if (from < 0 || from >= ni || to < 0 || to >= ni) {
+      return Status::InvalidArgument("detect result: edge endpoint out of "
+                                     "range");
+    }
+    msg->result.graph.AddEdge(from, to, delay, score);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- Frame ----------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::vector<uint8_t> payload) {
+  std::vector<uint8_t> frame(kHeaderSize + payload.size());
+  std::memcpy(frame.data(), kMagic, 4);
+  frame[4] = kVersion;
+  frame[5] = static_cast<uint8_t>(type);
+  frame[6] = 0;  // reserved
+  frame[7] = 0;
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + static_cast<size_t>(i)] = static_cast<uint8_t>(length >> (8 * i));
+    frame[12 + static_cast<size_t>(i)] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+DecodeResult DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed, std::string* error) {
+  *consumed = 0;
+  const auto fail = [&](DecodeResult result, const char* what) {
+    if (error != nullptr) *error = what;
+    return result;
+  };
+  for (size_t i = 0; i < size && i < 4; ++i) {
+    if (data[i] != kMagic[i]) return fail(DecodeResult::kBadMagic, "bad magic");
+  }
+  if (size < kHeaderSize) return DecodeResult::kNeedMore;
+  const uint8_t version = data[4];
+  const uint8_t type = data[5];
+  if (data[6] != 0 || data[7] != 0) {
+    return fail(DecodeResult::kMalformed, "reserved header bytes set");
+  }
+  if (type < static_cast<uint8_t>(MessageType::kPing) ||
+      type > static_cast<uint8_t>(MessageType::kError)) {
+    return fail(DecodeResult::kMalformed, "unknown message type");
+  }
+  uint32_t length = 0, crc = 0;
+  PayloadReader header(data + 8, 8);
+  (void)header.U32(&length);
+  (void)header.U32(&crc);
+  if (length > kMaxPayload) {
+    return fail(DecodeResult::kMalformed, "payload length exceeds kMaxPayload");
+  }
+  if (size < kHeaderSize + length) return DecodeResult::kNeedMore;
+  if (Crc32(data + kHeaderSize, length) != crc) {
+    return fail(DecodeResult::kMalformed, "payload crc mismatch");
+  }
+  frame->version = version;
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.assign(data + kHeaderSize, data + kHeaderSize + length);
+  *consumed = kHeaderSize + length;
+  return DecodeResult::kFrame;
+}
+
+// ---- Primitives ------------------------------------------------------------
+
+void PayloadWriter::U8(uint8_t v) { out_->push_back(v); }
+
+void PayloadWriter::U16(uint16_t v) {
+  out_->push_back(static_cast<uint8_t>(v));
+  out_->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PayloadWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PayloadWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PayloadWriter::I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+void PayloadWriter::I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+void PayloadWriter::F32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U32(bits);
+}
+
+void PayloadWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void PayloadWriter::Str(const std::string& v) {
+  U32(static_cast<uint32_t>(v.size()));
+  out_->insert(out_->end(), v.begin(), v.end());
+}
+
+Status PayloadReader::Take(size_t n, const uint8_t** p) {
+  if (size_ - pos_ < n) {
+    return Status::OutOfRange("payload truncated: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(size_ - pos_));
+  }
+  *p = data_ + pos_;
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status PayloadReader::U8(uint8_t* v) {
+  const uint8_t* p;
+  CF_RETURN_IF_ERROR(Take(1, &p));
+  *v = p[0];
+  return Status::Ok();
+}
+
+Status PayloadReader::U16(uint16_t* v) {
+  const uint8_t* p;
+  CF_RETURN_IF_ERROR(Take(2, &p));
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return Status::Ok();
+}
+
+Status PayloadReader::U32(uint32_t* v) {
+  const uint8_t* p;
+  CF_RETURN_IF_ERROR(Take(4, &p));
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return Status::Ok();
+}
+
+Status PayloadReader::U64(uint64_t* v) {
+  const uint8_t* p;
+  CF_RETURN_IF_ERROR(Take(8, &p));
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return Status::Ok();
+}
+
+Status PayloadReader::I32(int32_t* v) {
+  uint32_t u = 0;
+  CF_RETURN_IF_ERROR(U32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::Ok();
+}
+
+Status PayloadReader::I64(int64_t* v) {
+  uint64_t u = 0;
+  CF_RETURN_IF_ERROR(U64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::Ok();
+}
+
+Status PayloadReader::F32(float* v) {
+  uint32_t bits = 0;
+  CF_RETURN_IF_ERROR(U32(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status PayloadReader::F64(double* v) {
+  uint64_t bits = 0;
+  CF_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status PayloadReader::Str(std::string* v) {
+  uint32_t length = 0;
+  CF_RETURN_IF_ERROR(U32(&length));
+  const uint8_t* p;
+  CF_RETURN_IF_ERROR(Take(length, &p));
+  v->assign(reinterpret_cast<const char*>(p), length);
+  return Status::Ok();
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (pos_ != size_) {
+    return Status::InvalidArgument(std::to_string(size_ - pos_) +
+                                   " trailing payload bytes");
+  }
+  return Status::Ok();
+}
+
+// ---- Typed messages --------------------------------------------------------
+
+std::vector<uint8_t> EncodePing(uint64_t token) {
+  std::vector<uint8_t> payload;
+  PayloadWriter(&payload).U64(token);
+  return payload;
+}
+
+Status DecodePing(const std::vector<uint8_t>& payload, uint64_t* token) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U64(token));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeLoadModel(const LoadModelMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.name);
+  w.Str(msg.checkpoint_path);
+  WriteModelOptions(&w, msg.options);
+  return payload;
+}
+
+Status DecodeLoadModel(const std::vector<uint8_t>& payload,
+                       LoadModelMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->name));
+  CF_RETURN_IF_ERROR(r.Str(&msg->checkpoint_path));
+  CF_RETURN_IF_ERROR(ReadModelOptions(&r, &msg->options));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeLoadModelOk(const LoadModelOkMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.I64(msg.num_parameters);
+  w.U64(msg.generation);
+  return payload;
+}
+
+Status DecodeLoadModelOk(const std::vector<uint8_t>& payload,
+                         LoadModelOkMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.I64(&msg->num_parameters));
+  CF_RETURN_IF_ERROR(r.U64(&msg->generation));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeUnloadModel(const std::string& name) {
+  std::vector<uint8_t> payload;
+  PayloadWriter(&payload).Str(name);
+  return payload;
+}
+
+Status DecodeUnloadModel(const std::vector<uint8_t>& payload,
+                         std::string* name) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(name));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDetect(const DetectMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.model);
+  WriteDetectorOptions(&w, msg.options);
+  WriteWindows(&w, msg.windows);
+  return payload;
+}
+
+Status DecodeDetect(const std::vector<uint8_t>& payload, DetectMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->model));
+  CF_RETURN_IF_ERROR(ReadDetectorOptions(&r, &msg->options));
+  CF_RETURN_IF_ERROR(ReadWindows(&r, &msg->windows));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDetectBatch(const DetectBatchMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.model);
+  WriteDetectorOptions(&w, msg.options);
+  w.U32(static_cast<uint32_t>(msg.windows.size()));
+  for (const auto& windows : msg.windows) WriteWindows(&w, windows);
+  return payload;
+}
+
+Status DecodeDetectBatch(const std::vector<uint8_t>& payload,
+                         DetectBatchMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->model));
+  CF_RETURN_IF_ERROR(ReadDetectorOptions(&r, &msg->options));
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  if (count < 1) {
+    return Status::InvalidArgument("detect batch: at least one window batch "
+                                   "required");
+  }
+  // Each batch needs >= 12 header bytes + one float.
+  if (static_cast<uint64_t>(count) * 16 > r.remaining()) {
+    return Status::InvalidArgument("detect batch: implausible batch count " +
+                                   std::to_string(count));
+  }
+  msg->windows.clear();
+  msg->windows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Tensor windows;
+    CF_RETURN_IF_ERROR(ReadWindows(&r, &windows));
+    msg->windows.push_back(std::move(windows));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDetectResult(const DetectResultMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  WriteDetectResult(&w, msg);
+  return payload;
+}
+
+Status DecodeDetectResult(const std::vector<uint8_t>& payload,
+                          DetectResultMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(ReadDetectResult(&r, msg));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDetectBatchResult(
+    const std::vector<DetectResultMsg>& results) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(static_cast<uint32_t>(results.size()));
+  for (const auto& result : results) WriteDetectResult(&w, result);
+  return payload;
+}
+
+Status DecodeDetectBatchResult(const std::vector<uint8_t>& payload,
+                               std::vector<DetectResultMsg>* results) {
+  PayloadReader r(payload.data(), payload.size());
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  if (static_cast<uint64_t>(count) * 17 > r.remaining()) {
+    return Status::InvalidArgument("batch result: implausible result count " +
+                                   std::to_string(count));
+  }
+  results->clear();
+  results->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DetectResultMsg msg;
+    CF_RETURN_IF_ERROR(ReadDetectResult(&r, &msg));
+    results->push_back(std::move(msg));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStatsResult(const StatsResultMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(msg.cache_hits);
+  w.U64(msg.cache_misses);
+  w.U64(msg.cache_evictions);
+  w.U64(msg.cache_size);
+  w.U64(msg.cache_capacity);
+  w.U64(msg.batch_requests);
+  w.U64(msg.batch_batches);
+  w.U64(msg.batch_coalesced);
+  w.I32(msg.batch_max);
+  w.U64(msg.batch_rejected);
+  w.U64(msg.server_connections);
+  w.U64(msg.server_frames);
+  w.U64(msg.server_wire_errors);
+  w.U32(static_cast<uint32_t>(msg.models.size()));
+  for (const auto& model : msg.models) {
+    w.Str(model.name);
+    w.I64(model.num_parameters);
+    w.U64(model.generation);
+    w.I64(model.num_series);
+    w.I64(model.window);
+  }
+  return payload;
+}
+
+Status DecodeStatsResult(const std::vector<uint8_t>& payload,
+                         StatsResultMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_hits));
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_misses));
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_evictions));
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_size));
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_capacity));
+  CF_RETURN_IF_ERROR(r.U64(&msg->batch_requests));
+  CF_RETURN_IF_ERROR(r.U64(&msg->batch_batches));
+  CF_RETURN_IF_ERROR(r.U64(&msg->batch_coalesced));
+  CF_RETURN_IF_ERROR(r.I32(&msg->batch_max));
+  CF_RETURN_IF_ERROR(r.U64(&msg->batch_rejected));
+  CF_RETURN_IF_ERROR(r.U64(&msg->server_connections));
+  CF_RETURN_IF_ERROR(r.U64(&msg->server_frames));
+  CF_RETURN_IF_ERROR(r.U64(&msg->server_wire_errors));
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  if (static_cast<uint64_t>(count) * 36 > r.remaining()) {
+    return Status::InvalidArgument("stats: implausible model count " +
+                                   std::to_string(count));
+  }
+  msg->models.clear();
+  msg->models.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    StatsResultMsg::Model model;
+    CF_RETURN_IF_ERROR(r.Str(&model.name));
+    CF_RETURN_IF_ERROR(r.I64(&model.num_parameters));
+    CF_RETURN_IF_ERROR(r.U64(&model.generation));
+    CF_RETURN_IF_ERROR(r.I64(&model.num_series));
+    CF_RETURN_IF_ERROR(r.I64(&model.window));
+    msg->models.push_back(std::move(model));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.Str(status.message());
+  return payload;
+}
+
+Status DecodeError(const std::vector<uint8_t>& payload, ErrorMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U32(&msg->code));
+  CF_RETURN_IF_ERROR(r.Str(&msg->message));
+  return r.ExpectEnd();
+}
+
+Status ErrorToStatus(const ErrorMsg& msg) {
+  switch (msg.code) {
+    case static_cast<uint32_t>(StatusCode::kInvalidArgument):
+    case static_cast<uint32_t>(StatusCode::kNotFound):
+    case static_cast<uint32_t>(StatusCode::kFailedPrecondition):
+    case static_cast<uint32_t>(StatusCode::kInternal):
+    case static_cast<uint32_t>(StatusCode::kOutOfRange):
+      return Status(static_cast<StatusCode>(msg.code), msg.message);
+    default:
+      return Status::Internal("error code " + std::to_string(msg.code) + ": " +
+                              msg.message);
+  }
+}
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace causalformer

@@ -1,0 +1,285 @@
+#ifndef CAUSALFORMER_SERVE_WIRE_H_
+#define CAUSALFORMER_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/causality_transformer.h"
+#include "core/detector.h"
+#include "serve/types.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file
+/// The length-prefixed binary wire protocol of the causal-discovery service.
+///
+/// Every message travels in one frame: a fixed 16-byte header (magic,
+/// version, message type, payload length, CRC-32 of the payload) followed by
+/// the payload. All integers and floats are little-endian regardless of host
+/// byte order. The normative byte-level specification — offset tables for
+/// every message type, version-negotiation rules, error codes, and a worked
+/// hex dump — lives in docs/wire-protocol.md and is kept in sync with the
+/// constants here by tests/wire_test.cc (which encodes the documented
+/// example frames and compares bytes).
+///
+/// Encoding never fails; decoding is total: DecodeFrame classifies any byte
+/// prefix as a complete frame, "need more bytes", or malformed (bad magic /
+/// oversized length / CRC mismatch), and the typed payload decoders return
+/// Status instead of trusting the peer.
+
+namespace causalformer {
+namespace serve {
+
+/// Frame format and typed messages of the serve wire protocol.
+namespace wire {
+
+/// First frame bytes, "CFWP" — rejects non-protocol peers immediately.
+inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
+/// Protocol version spoken by this build (header byte 4).
+inline constexpr uint8_t kVersion = 1;
+/// Fixed frame header size in bytes (payload follows immediately).
+inline constexpr size_t kHeaderSize = 16;
+/// Upper bound on the payload length field; larger frames are malformed
+/// (memory-exhaustion guard against hostile or corrupted peers).
+inline constexpr uint32_t kMaxPayload = 64u << 20;
+
+/// Frame type tag (header byte 5). Odd values are requests, the following
+/// even value is the success response; kError answers any request.
+enum class MessageType : uint8_t {
+  kPing = 1,               ///< liveness probe; payload: u64 token
+  kPong = 2,               ///< Ping response echoing the token
+  kLoadModel = 3,          ///< load a checkpoint into the registry
+  kLoadModelOk = 4,        ///< LoadModel response (params, generation)
+  kUnloadModel = 5,        ///< drop a model from the registry
+  kUnloadModelOk = 6,      ///< UnloadModel response (empty payload)
+  kDetect = 7,             ///< one causal-discovery query
+  kDetectResult = 8,       ///< Detect response (scores, delays, graph)
+  kDetectBatch = 9,        ///< several window batches in one request
+  kDetectBatchResult = 10, ///< DetectBatch response (one result per batch)
+  kStats = 11,             ///< engine/server counters request (empty payload)
+  kStatsResult = 12,       ///< Stats response
+  kError = 13,             ///< error response: u32 code + string message
+};
+
+/// One decoded frame: header fields plus raw payload bytes.
+struct Frame {
+  uint8_t version = 0;     ///< header version byte (callers enforce kVersion)
+  MessageType type = MessageType::kPing;  ///< frame type tag
+  std::vector<uint8_t> payload;           ///< CRC-verified payload bytes
+};
+
+/// Builds a complete frame (header + CRC + payload) around `payload`.
+/// The version byte is always kVersion.
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::vector<uint8_t> payload);
+
+/// DecodeFrame outcome for a byte-stream prefix.
+enum class DecodeResult {
+  kFrame,     ///< one complete, CRC-valid frame was consumed
+  kNeedMore,  ///< prefix of a plausible frame; read more bytes and retry
+  kBadMagic,  ///< stream is not this protocol; close without replying
+  kMalformed, ///< framing violation (reserved bytes, length, CRC); reply
+              ///< with kError then close — see docs/wire-protocol.md §6
+};
+
+/// Attempts to decode one frame from the front of [data, data+size).
+/// On kFrame fills `*frame` and sets `*consumed` to the frame's total size;
+/// otherwise `*consumed` is 0. `error` (optional) receives a diagnostic for
+/// kBadMagic/kMalformed.
+DecodeResult DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                         size_t* consumed, std::string* error = nullptr);
+
+// ---- Payload primitives ------------------------------------------------
+
+/// Appends little-endian primitives to a payload buffer. Writing never
+/// fails; the buffer grows as needed.
+class PayloadWriter {
+ public:
+  /// Appends into `out` (not owned; must outlive the writer).
+  explicit PayloadWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v);    ///< 1 byte
+  void U16(uint16_t v);  ///< 2 bytes LE
+  void U32(uint32_t v);  ///< 4 bytes LE
+  void U64(uint64_t v);  ///< 8 bytes LE
+  void I32(int32_t v);   ///< 4 bytes LE, two's complement
+  void I64(int64_t v);   ///< 8 bytes LE, two's complement
+  void F32(float v);     ///< IEEE-754 binary32 bit pattern, LE
+  void F64(double v);    ///< IEEE-754 binary64 bit pattern, LE
+  /// u32 byte length followed by the raw bytes (no terminator).
+  void Str(const std::string& v);
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian cursor over a received payload. Every read
+/// returns a Status instead of trusting the peer's length fields.
+class PayloadReader {
+ public:
+  /// Reads from [data, data+size); the buffer must outlive the reader.
+  PayloadReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  Status U8(uint8_t* v);    ///< reads 1 byte
+  Status U16(uint16_t* v);  ///< reads 2 bytes LE
+  Status U32(uint32_t* v);  ///< reads 4 bytes LE
+  Status U64(uint64_t* v);  ///< reads 8 bytes LE
+  Status I32(int32_t* v);   ///< reads 4 bytes LE, two's complement
+  Status I64(int64_t* v);   ///< reads 8 bytes LE, two's complement
+  Status F32(float* v);     ///< reads an IEEE-754 binary32, LE
+  Status F64(double* v);    ///< reads an IEEE-754 binary64, LE
+  Status Str(std::string* v);  ///< reads u32 length + bytes
+
+  size_t remaining() const { return size_ - pos_; }  ///< unread byte count
+  /// Fails unless the payload was consumed exactly (no trailing bytes).
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(size_t n, const uint8_t** p);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---- Typed messages ----------------------------------------------------
+
+/// kLoadModel request: materialise `checkpoint_path` under `name`.
+struct LoadModelMsg {
+  std::string name;             ///< registry name to register under
+  std::string checkpoint_path;  ///< server-local CFPM checkpoint path
+  core::ModelOptions options;   ///< architecture the checkpoint must match
+};
+
+/// kLoadModelOk response.
+struct LoadModelOkMsg {
+  int64_t num_parameters = 0;  ///< parameter count of the loaded model
+  uint64_t generation = 0;     ///< registry generation assigned to it
+};
+
+/// kDetect request: one causal-discovery query against a registered model.
+struct DetectMsg {
+  std::string model;              ///< registry name to query
+  core::DetectorOptions options;  ///< detector knobs (clusters, ablations)
+  Tensor windows;                 ///< [B, N, T] window batch
+};
+
+/// kDetectBatch request: several window batches against one model, submitted
+/// as independent engine requests (they coalesce in the micro-batcher).
+struct DetectBatchMsg {
+  std::string model;              ///< registry name to query
+  core::DetectorOptions options;  ///< shared detector knobs
+  std::vector<Tensor> windows;    ///< one [B_i, N, T] batch per query
+};
+
+/// kDetectResult response (also the repeated unit of kDetectBatchResult).
+struct DetectResultMsg {
+  bool cache_hit = false;       ///< answered from the server's ScoreCache
+  int32_t batch_size = 0;       ///< requests coalesced into the executing batch
+  double latency_seconds = 0;   ///< server-side submit-to-completion time
+  /// Scores, delays and graph edges. Default-constructed as a 1-series
+  /// placeholder (DetectionResult checks num_series > 0); decode replaces it.
+  core::DetectionResult result{1};
+};
+
+/// kStatsResult response: a point-in-time snapshot of server counters.
+struct StatsResultMsg {
+  /// One registered model, as reported by ModelRegistry::List().
+  struct Model {
+    std::string name;            ///< registry name
+    int64_t num_parameters = 0;  ///< parameter count
+    uint64_t generation = 0;     ///< registry generation
+    int64_t num_series = 0;      ///< N the model was built for
+    int64_t window = 0;          ///< T the model was built for
+  };
+  uint64_t cache_hits = 0;        ///< ScoreCache hits
+  uint64_t cache_misses = 0;      ///< ScoreCache misses
+  uint64_t cache_evictions = 0;   ///< ScoreCache evictions
+  uint64_t cache_size = 0;        ///< current ScoreCache entries
+  uint64_t cache_capacity = 0;    ///< ScoreCache capacity
+  uint64_t batch_requests = 0;    ///< requests submitted to the batcher
+  uint64_t batch_batches = 0;     ///< batches dispatched
+  uint64_t batch_coalesced = 0;   ///< requests that rode in a batch of > 1
+  int32_t batch_max = 0;          ///< largest batch dispatched so far
+  uint64_t batch_rejected = 0;    ///< requests rejected (queue full/shutdown)
+  uint64_t server_connections = 0;  ///< connections accepted since start
+  uint64_t server_frames = 0;       ///< request frames decoded
+  uint64_t server_wire_errors = 0;  ///< malformed frames / protocol errors
+  std::vector<Model> models;        ///< registered models, sorted by name
+};
+
+/// kError response: a wire-mapped Status.
+struct ErrorMsg {
+  uint32_t code = 0;    ///< numeric StatusCode (docs/wire-protocol.md §5)
+  std::string message;  ///< human-readable diagnostic
+};
+
+/// Encodes a Ping/Pong payload carrying `token`.
+std::vector<uint8_t> EncodePing(uint64_t token);
+/// Decodes a Ping/Pong payload into `*token`.
+Status DecodePing(const std::vector<uint8_t>& payload, uint64_t* token);
+
+/// Encodes a kLoadModel payload.
+std::vector<uint8_t> EncodeLoadModel(const LoadModelMsg& msg);
+/// Decodes a kLoadModel payload.
+Status DecodeLoadModel(const std::vector<uint8_t>& payload, LoadModelMsg* msg);
+
+/// Encodes a kLoadModelOk payload.
+std::vector<uint8_t> EncodeLoadModelOk(const LoadModelOkMsg& msg);
+/// Decodes a kLoadModelOk payload.
+Status DecodeLoadModelOk(const std::vector<uint8_t>& payload,
+                         LoadModelOkMsg* msg);
+
+/// Encodes a kUnloadModel payload (just the model name).
+std::vector<uint8_t> EncodeUnloadModel(const std::string& name);
+/// Decodes a kUnloadModel payload.
+Status DecodeUnloadModel(const std::vector<uint8_t>& payload,
+                         std::string* name);
+
+/// Encodes a kDetect payload.
+std::vector<uint8_t> EncodeDetect(const DetectMsg& msg);
+/// Decodes a kDetect payload (rebuilds the [B, N, T] window tensor).
+Status DecodeDetect(const std::vector<uint8_t>& payload, DetectMsg* msg);
+
+/// Encodes a kDetectBatch payload.
+std::vector<uint8_t> EncodeDetectBatch(const DetectBatchMsg& msg);
+/// Decodes a kDetectBatch payload.
+Status DecodeDetectBatch(const std::vector<uint8_t>& payload,
+                         DetectBatchMsg* msg);
+
+/// Encodes a kDetectResult payload.
+std::vector<uint8_t> EncodeDetectResult(const DetectResultMsg& msg);
+/// Decodes a kDetectResult payload (rebuilds scores, delays and the graph).
+Status DecodeDetectResult(const std::vector<uint8_t>& payload,
+                          DetectResultMsg* msg);
+
+/// Encodes a kDetectBatchResult payload (u32 count + repeated results).
+std::vector<uint8_t> EncodeDetectBatchResult(
+    const std::vector<DetectResultMsg>& results);
+/// Decodes a kDetectBatchResult payload.
+Status DecodeDetectBatchResult(const std::vector<uint8_t>& payload,
+                               std::vector<DetectResultMsg>* results);
+
+/// Encodes a kStatsResult payload.
+std::vector<uint8_t> EncodeStatsResult(const StatsResultMsg& msg);
+/// Decodes a kStatsResult payload.
+Status DecodeStatsResult(const std::vector<uint8_t>& payload,
+                         StatsResultMsg* msg);
+
+/// Encodes a kError payload from a Status (code + message).
+std::vector<uint8_t> EncodeError(const Status& status);
+/// Decodes a kError payload.
+Status DecodeError(const std::vector<uint8_t>& payload, ErrorMsg* msg);
+
+/// Maps a decoded ErrorMsg back onto a Status with the original code
+/// (unknown codes map to kInternal).
+Status ErrorToStatus(const ErrorMsg& msg);
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_WIRE_H_

@@ -1,0 +1,22 @@
+#ifndef CAUSALFORMER_UTIL_CRC32_H_
+#define CAUSALFORMER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the payload
+/// checksum of the serve wire protocol (docs/wire-protocol.md). Compatible
+/// with zlib's crc32(): one-shot over a buffer, or chained calls threading
+/// the previous return value through `running`.
+
+namespace causalformer {
+
+/// CRC-32 of `size` bytes at `data`, continued from `running`. Pass 0 (the
+/// default) for a fresh checksum, or a previous Crc32() result to extend it
+/// over a split buffer; Crc32(a+b) == Crc32(b, Crc32(a)).
+uint32_t Crc32(const void* data, size_t size, uint32_t running = 0);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_CRC32_H_

@@ -1,0 +1,52 @@
+#ifndef CAUSALFORMER_UTIL_SOCKET_H_
+#define CAUSALFORMER_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Minimal POSIX TCP helpers backing the serve wire protocol: Status-based
+/// wrappers around socket/bind/listen/connect plus loops that retry partial
+/// sends and reads. IPv4 only, blocking by default; the poll-based server
+/// switches individual fds with TcpSetNonBlocking. SIGPIPE is suppressed
+/// per-send (MSG_NOSIGNAL), so a peer hangup surfaces as a Status, never a
+/// signal.
+
+namespace causalformer {
+
+/// Creates a listening IPv4 socket bound to INADDR_ANY:`port` (SO_REUSEADDR
+/// set). `port` 0 binds an ephemeral port — recover it with TcpLocalPort.
+/// Returns the listening fd.
+StatusOr<int> TcpListen(uint16_t port, int backlog = 64);
+
+/// Blocking connect to `host`:`port` (numeric IPv4 or a resolvable name).
+/// Returns the connected fd.
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// The locally bound port of `fd` (resolves ephemeral binds).
+StatusOr<uint16_t> TcpLocalPort(int fd);
+
+/// Switches O_NONBLOCK on `fd`.
+Status TcpSetNonBlocking(int fd, bool enable);
+
+/// Disables Nagle's algorithm (TCP_NODELAY) — small request/response frames
+/// must not wait for coalescing timers.
+Status TcpNoDelay(int fd);
+
+/// Writes all `size` bytes, retrying partial sends. Fails on peer reset.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes, retrying partial reads. A clean close before
+/// the first byte returns kOutOfRange ("eof"); a close mid-buffer returns
+/// kInternal (truncated stream).
+Status RecvAll(int fd, void* data, size_t size);
+
+/// close(fd), ignoring errors; negative fds are a no-op.
+void TcpClose(int fd);
+
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_UTIL_SOCKET_H_

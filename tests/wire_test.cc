@@ -1,0 +1,758 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.h"
+#include "nn/serialize.h"
+#include "serve/client.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/socket.h"
+
+// Wire-protocol tests: frame codec round-trips, the documented example
+// frames from docs/wire-protocol.md (kept byte-for-byte in sync), fuzz-style
+// malformed-input decoding, and loopback server/client round-trips against a
+// live InferenceEngine.
+
+namespace causalformer {
+namespace serve {
+namespace {
+
+core::ModelOptions TinyModelOptions(int64_t num_series = 3,
+                                    int64_t window = 8) {
+  core::ModelOptions opt;
+  opt.num_series = num_series;
+  opt.window = window;
+  opt.d_model = 16;
+  opt.d_qk = 16;
+  opt.heads = 2;
+  opt.d_ffn = 16;
+  return opt;
+}
+
+std::unique_ptr<core::CausalityTransformer> TinyModel(uint64_t seed = 7) {
+  Rng rng(seed);
+  return std::make_unique<core::CausalityTransformer>(TinyModelOptions(), &rng);
+}
+
+Tensor RandomWindows(int64_t b, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(Shape{b, 3, 8}, &rng);
+}
+
+wire::Frame MustDecode(const std::vector<uint8_t>& bytes) {
+  wire::Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  const auto result = wire::DecodeFrame(bytes.data(), bytes.size(), &frame,
+                                        &consumed, &error);
+  EXPECT_EQ(result, wire::DecodeResult::kFrame) << error;
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+// ---- CRC ------------------------------------------------------------------
+
+TEST(Crc32Test, KnownCheckValue) {
+  // The standard CRC-32 check vector.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "length-prefixed wire protocol";
+  const uint32_t oneshot = Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32(data.data(), split);
+    EXPECT_EQ(Crc32(data.data() + split, data.size() - split, first), oneshot);
+  }
+}
+
+// ---- Documented example frames (docs/wire-protocol.md §7) -----------------
+
+TEST(WireFrameTest, DocumentedPingFrameBytes) {
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x01, 0x01, 0x00, 0x00,  // magic, v1, Ping
+      0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
+  };
+  const auto frame = wire::EncodeFrame(wire::MessageType::kPing,
+                                       wire::EncodePing(0x0102030405060708ull));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedDetectFrameBytes) {
+  // The worked Detect hex dump: model "demo", default detector options,
+  // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x01, 0x07, 0x00, 0x00,
+      0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
+      0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
+      0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x20, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x0f, 0xbd, 0x37, 0x86, 0x35, 0x01, 0x00, 0x00,
+      0x00, 0x02, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x80, 0x3f, 0x00, 0x00, 0x00,
+      0x40, 0x00, 0x00, 0x40, 0x40, 0x00, 0x00, 0x80,
+      0x40,
+  };
+  wire::DetectMsg msg;
+  msg.model = "demo";
+  msg.windows = Tensor::FromVector(Shape{1, 2, 2}, {1.f, 2.f, 3.f, 4.f});
+  const auto frame =
+      wire::EncodeFrame(wire::MessageType::kDetect, wire::EncodeDetect(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+// ---- Frame codec ----------------------------------------------------------
+
+TEST(WireFrameTest, RoundTripPreservesTypeAndPayload) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 42};
+  const auto bytes = wire::EncodeFrame(wire::MessageType::kStats, payload);
+  const auto frame = MustDecode(bytes);
+  EXPECT_EQ(frame.version, wire::kVersion);
+  EXPECT_EQ(frame.type, wire::MessageType::kStats);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireFrameTest, EmptyPayloadRoundTrips) {
+  const auto bytes = wire::EncodeFrame(wire::MessageType::kStats, {});
+  const auto frame = MustDecode(bytes);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrameTest, EveryTruncationNeedsMore) {
+  const auto bytes =
+      wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    wire::Frame frame;
+    size_t consumed = 1;
+    EXPECT_EQ(wire::DecodeFrame(bytes.data(), len, &frame, &consumed),
+              wire::DecodeResult::kNeedMore)
+        << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(WireFrameTest, BadMagicDetectedFromFirstByte) {
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  bytes[0] = 'X';
+  wire::Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed,
+                              &error),
+            wire::DecodeResult::kBadMagic);
+  // A single wrong byte anywhere in the magic is enough, even pre-header.
+  const uint8_t garbage[] = {'C', 'F', 'W', 'X'};
+  EXPECT_EQ(wire::DecodeFrame(garbage, sizeof(garbage), &frame, &consumed),
+            wire::DecodeResult::kBadMagic);
+}
+
+TEST(WireFrameTest, ReservedBytesMustBeZero) {
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  bytes[6] = 1;
+  wire::Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+            wire::DecodeResult::kMalformed);
+}
+
+TEST(WireFrameTest, UnknownMessageTypeIsMalformed) {
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  for (const uint8_t type : {uint8_t{0}, uint8_t{14}, uint8_t{255}}) {
+    bytes[5] = type;
+    wire::Frame frame;
+    size_t consumed = 0;
+    EXPECT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+              wire::DecodeResult::kMalformed);
+  }
+}
+
+TEST(WireFrameTest, OversizedLengthIsMalformed) {
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  const uint32_t huge = wire::kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + static_cast<size_t>(i)] = static_cast<uint8_t>(huge >> (8 * i));
+  }
+  wire::Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed,
+                              &error),
+            wire::DecodeResult::kMalformed);
+  EXPECT_NE(error.find("kMaxPayload"), std::string::npos);
+}
+
+TEST(WireFrameTest, PayloadCorruptionFailsCrc) {
+  const auto clean =
+      wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(7));
+  // Flip every payload byte (and the CRC itself) one at a time.
+  for (size_t i = 12; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= 0x20;
+    wire::Frame frame;
+    size_t consumed = 0;
+    EXPECT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+              wire::DecodeResult::kMalformed)
+        << "flipped byte " << i;
+  }
+}
+
+TEST(WireFrameTest, HeaderByteFlipsNeverCrash) {
+  const auto clean =
+      wire::EncodeFrame(wire::MessageType::kDetect,
+                        wire::EncodePing(0xDEADBEEFull));
+  for (size_t i = 0; i < clean.size(); ++i) {
+    for (const uint8_t mask : {0x01, 0x80, 0xFF}) {
+      auto bytes = clean;
+      bytes[i] ^= mask;
+      wire::Frame frame;
+      size_t consumed = 0;
+      // Any outcome is fine; decoding must simply never crash or overread.
+      (void)wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed);
+    }
+  }
+}
+
+TEST(WireFrameTest, RandomGarbageNeverCrashes) {
+  Rng rng(123);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> bytes(static_cast<size_t>(rng.UniformInt(128)));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.UniformInt(256));
+    wire::Frame frame;
+    size_t consumed = 0;
+    (void)wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed);
+  }
+}
+
+TEST(WireFrameTest, BackToBackFramesDecodeSequentially) {
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(1));
+  const auto second =
+      wire::EncodeFrame(wire::MessageType::kStats, {});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  wire::Frame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(wire::DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+            wire::DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, wire::MessageType::kPing);
+  const size_t first_size = consumed;
+  ASSERT_EQ(wire::DecodeFrame(bytes.data() + first_size,
+                              bytes.size() - first_size, &frame, &consumed),
+            wire::DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, wire::MessageType::kStats);
+  EXPECT_EQ(first_size + consumed, bytes.size());
+}
+
+// ---- Typed payload codecs -------------------------------------------------
+
+TEST(WireMessageTest, DetectRoundTrip) {
+  wire::DetectMsg msg;
+  msg.model = "prod";
+  msg.options.num_clusters = 3;
+  msg.options.top_clusters = 2;
+  msg.options.max_windows = 5;
+  msg.options.use_relevance = false;
+  msg.options.epsilon = 0.25f;
+  msg.windows = RandomWindows(2, 99);
+
+  wire::DetectMsg decoded;
+  ASSERT_TRUE(wire::DecodeDetect(wire::EncodeDetect(msg), &decoded).ok());
+  EXPECT_EQ(decoded.model, "prod");
+  EXPECT_TRUE(SameDetectorOptions(decoded.options, msg.options));
+  ASSERT_EQ(decoded.windows.shape(), msg.windows.shape());
+  EXPECT_EQ(std::memcmp(decoded.windows.data(), msg.windows.data(),
+                        sizeof(float) * static_cast<size_t>(
+                                            msg.windows.numel())),
+            0);
+}
+
+TEST(WireMessageTest, DetectRejectsReservedFlagBits) {
+  wire::DetectMsg msg;
+  msg.model = "m";
+  msg.windows = RandomWindows(1, 5);
+  auto payload = wire::EncodeDetect(msg);
+  // The flags byte sits after the 4+1 string and 4+4+8 option ints.
+  payload[4 + 1 + 4 + 4 + 8] = 0x1F;
+  wire::DetectMsg decoded;
+  const Status st = wire::DecodeDetect(payload, &decoded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("reserved flag bits"), std::string::npos);
+}
+
+TEST(WireMessageTest, EveryDetectPayloadTruncationFails) {
+  wire::DetectMsg msg;
+  msg.model = "abc";
+  msg.windows = RandomWindows(1, 3);
+  const auto payload = wire::EncodeDetect(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<long>(len));
+    wire::DetectMsg decoded;
+    EXPECT_FALSE(wire::DecodeDetect(prefix, &decoded).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireMessageTest, DetectRejectsOverflowingWindowDims) {
+  // b = n = 2^31 makes b*n*t*4 wrap to 0 mod 2^64; a product-based size
+  // check would pass and attempt an enormous allocation (remote DoS).
+  std::vector<uint8_t> payload;
+  wire::PayloadWriter w(&payload);
+  w.Str("m");
+  w.I32(2);
+  w.I32(1);
+  w.I64(32);
+  w.U8(0x0F);
+  w.F32(1e-6f);
+  w.U32(0x80000000u);  // B
+  w.U32(0x80000000u);  // N
+  w.U32(1);            // T
+  w.F32(0.0f);
+  wire::DetectMsg decoded;
+  EXPECT_FALSE(wire::DecodeDetect(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, DetectResultRejectsOverflowingSeriesCount) {
+  // n = 2^31 makes n*n*12 wrap to 0 mod 2^64; a product-based check would
+  // pass and construct a DetectionResult of INT_MIN series client-side.
+  std::vector<uint8_t> payload;
+  wire::PayloadWriter w(&payload);
+  w.U8(0);
+  w.I32(1);
+  w.F64(0.0);
+  w.U32(0x80000000u);  // n
+  wire::DetectResultMsg decoded;
+  EXPECT_FALSE(wire::DecodeDetectResult(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, DetectResultRoundTrip) {
+  wire::DetectResultMsg msg;
+  msg.cache_hit = true;
+  msg.batch_size = 4;
+  msg.latency_seconds = 0.125;
+  msg.result = core::DetectionResult(3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      msg.result.scores.set(a, b, a * 10.0 + b + 0.5);
+      msg.result.delays[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+          a + b;
+    }
+  }
+  msg.result.graph.AddEdge(0, 1, 2, 0.75);
+  msg.result.graph.AddEdge(2, 2, 1, 1.0);
+
+  wire::DetectResultMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeDetectResult(wire::EncodeDetectResult(msg), &decoded).ok());
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_EQ(decoded.batch_size, 4);
+  EXPECT_EQ(decoded.latency_seconds, 0.125);
+  ASSERT_EQ(decoded.result.scores.num_series(), 3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_EQ(decoded.result.scores.at(a, b), msg.result.scores.at(a, b));
+      EXPECT_EQ(decoded.result.delays[static_cast<size_t>(a)]
+                                     [static_cast<size_t>(b)],
+                a + b);
+    }
+  }
+  EXPECT_EQ(decoded.result.graph.num_edges(), 2);
+  EXPECT_TRUE(decoded.result.graph.HasEdge(0, 1));
+  EXPECT_EQ(decoded.result.graph.FindEdge(0, 1)->delay, 2);
+}
+
+TEST(WireMessageTest, DetectResultRejectsOutOfRangeEdge) {
+  wire::DetectResultMsg msg;
+  msg.result = core::DetectionResult(2);
+  auto payload = wire::EncodeDetectResult(msg);
+  // Append a forged edge with endpoints outside [0, 2).
+  wire::PayloadWriter w(&payload);
+  w.I32(5);
+  w.I32(0);
+  w.I32(0);
+  w.F64(1.0);
+  // Patch the edge count (last u32 before the appended edge).
+  const size_t count_at = payload.size() - 20 - 4;
+  payload[count_at] = 1;
+  wire::DetectResultMsg decoded;
+  EXPECT_FALSE(wire::DecodeDetectResult(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, LoadModelRoundTrip) {
+  wire::LoadModelMsg msg;
+  msg.name = "prod";
+  msg.checkpoint_path = "/tmp/ck.cfpm";
+  msg.options = TinyModelOptions(5, 12);
+  msg.options.tau = 2.5f;
+  msg.options.multi_kernel = false;
+
+  wire::LoadModelMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeLoadModel(wire::EncodeLoadModel(msg), &decoded).ok());
+  EXPECT_EQ(decoded.name, "prod");
+  EXPECT_EQ(decoded.checkpoint_path, "/tmp/ck.cfpm");
+  EXPECT_EQ(decoded.options.num_series, 5);
+  EXPECT_EQ(decoded.options.window, 12);
+  EXPECT_EQ(decoded.options.tau, 2.5f);
+  EXPECT_FALSE(decoded.options.multi_kernel);
+}
+
+TEST(WireMessageTest, StatsResultRoundTrip) {
+  wire::StatsResultMsg msg;
+  msg.cache_hits = 10;
+  msg.cache_misses = 20;
+  msg.batch_requests = 30;
+  msg.batch_max = 7;
+  msg.server_connections = 3;
+  wire::StatsResultMsg::Model model;
+  model.name = "m";
+  model.num_parameters = 1667;
+  model.generation = 2;
+  model.num_series = 3;
+  model.window = 8;
+  msg.models.push_back(model);
+
+  wire::StatsResultMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeStatsResult(wire::EncodeStatsResult(msg), &decoded).ok());
+  EXPECT_EQ(decoded.cache_hits, 10u);
+  EXPECT_EQ(decoded.batch_max, 7);
+  ASSERT_EQ(decoded.models.size(), 1u);
+  EXPECT_EQ(decoded.models[0].name, "m");
+  EXPECT_EQ(decoded.models[0].window, 8);
+}
+
+TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
+  const auto payload =
+      wire::EncodeError(Status::NotFound("model 'x' is not registered"));
+  wire::ErrorMsg msg;
+  ASSERT_TRUE(wire::DecodeError(payload, &msg).ok());
+  const Status st = wire::ErrorToStatus(msg);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "model 'x' is not registered");
+}
+
+TEST(WireMessageTest, TrailingBytesRejected) {
+  auto payload = wire::EncodePing(7);
+  payload.push_back(0);
+  uint64_t token = 0;
+  EXPECT_FALSE(wire::DecodePing(payload, &token).ok());
+}
+
+// ---- Loopback server/client ----------------------------------------------
+
+/// A raw TCP connection speaking hand-crafted bytes, for tests the typed
+/// WireClient cannot express (bad versions, corrupt frames, pipelining).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    auto fd = TcpConnect("127.0.0.1", port);
+    CF_CHECK(fd.ok()) << fd.status().ToString();
+    fd_ = *fd;
+  }
+  ~RawConn() { TcpClose(fd_); }
+
+  void Send(const std::vector<uint8_t>& bytes) {
+    ASSERT_TRUE(SendAll(fd_, bytes.data(), bytes.size()).ok());
+  }
+
+  // Reads one frame; false on EOF/close.
+  bool Recv(wire::Frame* frame) {
+    uint8_t header[wire::kHeaderSize];
+    if (!RecvAll(fd_, header, sizeof(header)).ok()) return false;
+    wire::PayloadReader r(header + 8, 8);
+    uint32_t length = 0, crc = 0;
+    (void)r.U32(&length);
+    (void)r.U32(&crc);
+    frame->version = header[4];
+    frame->type = static_cast<wire::MessageType>(header[5]);
+    frame->payload.resize(length);
+    if (length > 0 && !RecvAll(fd_, frame->payload.data(), length).ok()) {
+      return false;
+    }
+    return Crc32(frame->payload.data(), length) == crc;
+  }
+
+  bool Eof() {
+    uint8_t byte;
+    return !RecvAll(fd_, &byte, 1).ok();
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class WireLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register("m", TinyModel()).ok());
+    engine_ = std::make_unique<InferenceEngine>(&registry_);
+    server_ = std::make_unique<WireServer>(engine_.get());
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void ExpectSameResult(const core::DetectionResult& a,
+                        const core::DetectionResult& b) {
+    ASSERT_EQ(a.scores.num_series(), b.scores.num_series());
+    for (int i = 0; i < a.scores.num_series(); ++i) {
+      for (int j = 0; j < a.scores.num_series(); ++j) {
+        EXPECT_EQ(a.scores.at(i, j), b.scores.at(i, j));
+        EXPECT_EQ(a.delays[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                  b.delays[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      }
+    }
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  }
+
+  ModelRegistry registry_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::unique_ptr<WireServer> server_;
+  WireClient client_;
+};
+
+TEST_F(WireLoopbackTest, PingEchoesToken) {
+  const auto pong = client_.Ping(0xABCDEF0123456789ull);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, 0xABCDEF0123456789ull);
+}
+
+TEST_F(WireLoopbackTest, DetectMatchesInProcessEngine) {
+  const Tensor windows = RandomWindows(2, 42);
+  const auto remote = client_.Detect("m", windows);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  // A cache-less engine over the same registry computes the reference.
+  EngineOptions solo_opts;
+  solo_opts.cache_capacity = 0;
+  InferenceEngine solo(&registry_, solo_opts);
+  DiscoveryRequest request;
+  request.model = "m";
+  request.windows = windows;
+  const auto local = solo.Discover(std::move(request));
+  ASSERT_TRUE(local.status.ok());
+  ExpectSameResult(remote->result, *local.result);
+}
+
+TEST_F(WireLoopbackTest, RepeatDetectHitsServerCache) {
+  const Tensor windows = RandomWindows(2, 43);
+  const auto cold = client_.Detect("m", windows);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  const auto warm = client_.Detect("m", windows);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  ExpectSameResult(cold->result, warm->result);
+}
+
+TEST_F(WireLoopbackTest, UnknownModelAnswersNotFound) {
+  const auto result = client_.Detect("nope", RandomWindows(1, 44));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // The connection survives a request-level error.
+  EXPECT_TRUE(client_.Ping(1).ok());
+}
+
+TEST_F(WireLoopbackTest, BadGeometryAnswersInvalidArgument) {
+  Rng rng(4);
+  const auto result =
+      client_.Detect("m", Tensor::Randn(Shape{1, 2, 8}, &rng));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WireLoopbackTest, DetectBatchMatchesIndividualDetects) {
+  std::vector<Tensor> batches = {RandomWindows(2, 50), RandomWindows(1, 51),
+                                 RandomWindows(3, 52)};
+  const auto results = client_.DetectBatch("m", batches);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    const auto single = client_.Detect("m", batches[i]);
+    ASSERT_TRUE(single.ok());
+    ExpectSameResult((*results)[static_cast<size_t>(i)].result,
+                     single->result);
+  }
+}
+
+TEST_F(WireLoopbackTest, DetectBatchWithUnknownModelFailsWhole) {
+  const auto results =
+      client_.DetectBatch("nope", {RandomWindows(1, 53), RandomWindows(1, 54)});
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WireLoopbackTest, StatsReportModelsAndTraffic) {
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(1, 55)).ok());
+  const auto stats = client_.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->models.size(), 1u);
+  EXPECT_EQ(stats->models[0].name, "m");
+  EXPECT_EQ(stats->models[0].num_series, 3);
+  EXPECT_EQ(stats->models[0].window, 8);
+  EXPECT_GE(stats->batch_requests, 1u);
+  EXPECT_GE(stats->server_frames, 2u);
+  EXPECT_EQ(stats->server_connections, 1u);
+}
+
+TEST_F(WireLoopbackTest, LoadAndUnloadOverTheWire) {
+  const std::string path = "wire_test_ck.cfpm";
+  {
+    auto model = TinyModel(21);
+    ASSERT_TRUE(SaveParameters(*model, path).ok());
+  }
+  const auto loaded = client_.LoadModel("m2", path, TinyModelOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(loaded->num_parameters, 0);
+  EXPECT_GT(loaded->generation, 1u);
+
+  const auto result = client_.Detect("m2", RandomWindows(1, 60));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_TRUE(client_.UnloadModel("m2").ok());
+  const auto after = client_.Detect("m2", RandomWindows(1, 61));
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST_F(WireLoopbackTest, AdminFramesCanBeDisabled) {
+  WireServerOptions opts;
+  opts.allow_admin = false;
+  WireServer locked(engine_.get(), opts);
+  ASSERT_TRUE(locked.Start().ok());
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", locked.port()).ok());
+  const Status st = client.UnloadModel("m");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // Queries still work.
+  EXPECT_TRUE(client.Detect("m", RandomWindows(1, 62)).ok());
+}
+
+TEST_F(WireLoopbackTest, PipelinedDetectsAnswerInOrder) {
+  // Two different queries sent back-to-back before reading any response:
+  // responses must come back in request order.
+  const Tensor first = RandomWindows(1, 70);
+  const Tensor second = RandomWindows(2, 71);
+  wire::DetectMsg msg;
+  msg.model = "m";
+  msg.windows = first;
+  ASSERT_TRUE(client_
+                  .SendFrame(wire::MessageType::kDetect,
+                             wire::EncodeDetect(msg))
+                  .ok());
+  msg.windows = second;
+  ASSERT_TRUE(client_
+                  .SendFrame(wire::MessageType::kDetect,
+                             wire::EncodeDetect(msg))
+                  .ok());
+
+  std::vector<wire::DetectResultMsg> responses;
+  for (int i = 0; i < 2; ++i) {
+    auto frame = client_.RecvFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, wire::MessageType::kDetectResult);
+    wire::DetectResultMsg result;
+    ASSERT_TRUE(wire::DecodeDetectResult(frame->payload, &result).ok());
+    responses.push_back(std::move(result));
+  }
+  // Order check: responses match the per-request reference results.
+  EngineOptions solo_opts;
+  solo_opts.cache_capacity = 0;
+  InferenceEngine solo(&registry_, solo_opts);
+  for (int i = 0; i < 2; ++i) {
+    DiscoveryRequest request;
+    request.model = "m";
+    request.windows = i == 0 ? first : second;
+    const auto expected = solo.Discover(std::move(request));
+    ASSERT_TRUE(expected.status.ok());
+    ExpectSameResult(responses[static_cast<size_t>(i)].result,
+                     *expected.result);
+  }
+}
+
+TEST_F(WireLoopbackTest, UnsupportedVersionAnswersErrorThenCloses) {
+  RawConn raw(server_->port());
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(1));
+  bytes[4] = 2;  // future version
+  raw.Send(bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(raw.Recv(&frame));
+  EXPECT_EQ(frame.type, wire::MessageType::kError);
+  wire::ErrorMsg error;
+  ASSERT_TRUE(wire::DecodeError(frame.payload, &error).ok());
+  EXPECT_EQ(wire::ErrorToStatus(error).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(raw.Eof());
+}
+
+TEST_F(WireLoopbackTest, CorruptCrcAnswersErrorThenCloses) {
+  RawConn raw(server_->port());
+  auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(1));
+  bytes.back() ^= 0xFF;  // corrupt the payload; CRC no longer matches
+  raw.Send(bytes);
+  wire::Frame frame;
+  ASSERT_TRUE(raw.Recv(&frame));
+  EXPECT_EQ(frame.type, wire::MessageType::kError);
+  wire::ErrorMsg error;
+  ASSERT_TRUE(wire::DecodeError(frame.payload, &error).ok());
+  EXPECT_NE(error.message.find("crc"), std::string::npos);
+  EXPECT_TRUE(raw.Eof());
+}
+
+TEST_F(WireLoopbackTest, BadMagicClosesWithoutResponse) {
+  RawConn raw(server_->port());
+  raw.Send({'G', 'E', 'T', ' ', '/', ' ', 'H', 'T', 'T', 'P'});
+  EXPECT_TRUE(raw.Eof());
+}
+
+TEST_F(WireLoopbackTest, ResponseTypedFrameFromClientIsRejected) {
+  RawConn raw(server_->port());
+  raw.Send(wire::EncodeFrame(wire::MessageType::kPong, wire::EncodePing(1)));
+  wire::Frame frame;
+  ASSERT_TRUE(raw.Recv(&frame));
+  EXPECT_EQ(frame.type, wire::MessageType::kError);
+  EXPECT_TRUE(raw.Eof());
+}
+
+TEST_F(WireLoopbackTest, ManyConnectionsShareOneEngine) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      WireClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 3; ++i) {
+        const auto result = client.Detect(
+            "m", RandomWindows(1, static_cast<uint64_t>(c * 97 + i)));
+        if (!result.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(engine_->batcher_stats().requests, 8u * 3u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace causalformer

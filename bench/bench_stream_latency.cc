@@ -1,0 +1,252 @@
+// Streaming sliding-window benchmark: a live stream appends `stride` samples
+// at a time, the WindowScheduler cuts overlapping windows, hashes them
+// incrementally, and submits them through the engine. We report the closed
+// -loop append→graph latency at several stride/width ratios, the ScoreCache
+// reuse rate when a second subscriber replays the same feed (every window is
+// content-identical, so the incremental hashes land on the same cache keys
+// and detection is skipped entirely), and the per-window cost of the
+// incremental hasher vs a full HashWindows rehash.
+//
+// Run: ./build/bench_stream_latency   (CF_FAST=1 for a smoke-sized run)
+//
+// Results are printed as a table and written to BENCH_stream.json
+// (see docs/benchmarks.md).
+//
+// Environment knobs: CF_BENCH_SAMPLES (replayed samples per run, default
+// 240), CF_FAST=1 (smoke).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "serve/inference_engine.h"
+#include "serve/score_cache.h"
+#include "stream/ring_series.h"
+#include "stream/window_scheduler.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cf = causalformer;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* value = std::getenv(name)) {
+    const int v = std::atoi(value);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct RunResult {
+  int64_t window = 0;
+  int64_t stride = 0;
+  uint64_t windows = 0;       // windows detected by the live pass
+  double p50_ms = 0;          // append→graph latency, live pass
+  double p99_ms = 0;
+  double replay_reuse = 0;    // cache-hit fraction of the replay pass
+  double inc_hash_us = 0;     // incremental hash cost per window advance
+  double full_hash_us = 0;    // full HashWindows rehash per window
+};
+
+// Replays `series` through a named stream, one stride per append, measuring
+// closed-loop append→graph latency (Flush after each append so the window
+// completes before the clock stops). Returns collected latencies.
+std::vector<double> Replay(cf::stream::WindowScheduler* scheduler,
+                           const std::string& name, const cf::Tensor& series,
+                           int64_t window, int64_t stride) {
+  const int64_t length = series.dim(1);
+  std::vector<double> latencies;
+  for (int64_t t = 0; t < length; t += stride) {
+    const int64_t k = std::min(stride, length - t);
+    const cf::Tensor samples = cf::Slice(series, 1, t, t + k).Detach();
+    cf::Stopwatch timer;
+    const auto stats = scheduler->Append(name, samples);
+    if (!stats.ok()) std::abort();
+    scheduler->Flush();
+    // Only appends that completed a window measure the detection path.
+    if (t + k >= window) latencies.push_back(timer.ElapsedSeconds());
+  }
+  return latencies;
+}
+
+// Per-window hashing cost: the incremental path (digest `stride` new columns
+// + O(window) fold) vs a full HashWindows over the materialised tensor.
+void HashCosts(const cf::Tensor& series, int64_t window, int64_t stride,
+               double* inc_us, double* full_us) {
+  const int64_t n = series.dim(0);
+  const int64_t length = series.dim(1);
+  cf::stream::RingSeries ring(n, length);
+  cf::stream::RollingWindowHasher hasher(n, length);
+  if (!ring.Append(series).ok()) std::abort();
+
+  int64_t count = 0;
+  cf::Stopwatch inc;
+  {
+    // Rebuild the rolling state sample-by-sample, hashing each due window —
+    // the exact work a stream pays per advance.
+    cf::stream::RollingWindowHasher rolling(n, length);
+    for (int64_t t = 0; t < length; t += stride) {
+      const int64_t k = std::min(stride, length - t);
+      if (!rolling.Append(cf::Slice(series, 1, t, t + k).Detach()).ok()) {
+        std::abort();
+      }
+      if (t + k >= window) {
+        if (!rolling.Window(t + k, window).ok()) std::abort();
+        ++count;
+      }
+    }
+  }
+  *inc_us = inc.ElapsedSeconds() * 1e6 / static_cast<double>(count);
+
+  cf::Stopwatch full;
+  for (int64_t end = window; end <= length; end += stride) {
+    const auto tensor = ring.Window(end, window);
+    if (!tensor.ok()) std::abort();
+    (void)cf::serve::HashWindows(*tensor);
+  }
+  *full_us = full.ElapsedSeconds() * 1e6 /
+             static_cast<double>((length - window) / stride + 1);
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("CF_FAST") != nullptr;
+  const int samples = EnvInt("CF_BENCH_SAMPLES", fast ? 96 : 240);
+  const int64_t window = 8;
+  const std::vector<int64_t> strides =
+      fast ? std::vector<int64_t>{1, 4} : std::vector<int64_t>{1, 2, 4, 8};
+
+  std::printf("stream latency benchmark: %d samples/run, window %lld, "
+              "strides {",
+              samples, static_cast<long long>(window));
+  for (size_t i = 0; i < strides.size(); ++i) {
+    std::printf("%s%lld", i ? ", " : "", static_cast<long long>(strides[i]));
+  }
+  std::printf("}\n");
+
+  // One small trained model, streamed against for the whole run.
+  cf::Rng rng(2026);
+  cf::data::SyntheticOptions data_opt;
+  data_opt.length = samples;
+  const auto dataset = GenerateSynthetic(
+      cf::data::SyntheticStructure::kMediator, data_opt, &rng);
+  cf::core::ModelOptions mopt;
+  mopt.num_series = dataset.num_series();
+  mopt.window = window;
+  mopt.d_model = 16;
+  mopt.d_qk = 16;
+  mopt.heads = 2;
+  mopt.d_ffn = 16;
+  auto model = std::make_unique<cf::core::CausalityTransformer>(mopt, &rng);
+  cf::core::TrainOptions topt;
+  topt.max_epochs = fast ? 2 : 5;
+  topt.stride = 2;
+  TrainCausalityTransformer(model.get(), dataset.series, topt, &rng, nullptr);
+
+  cf::serve::ModelRegistry registry;
+  if (!registry.Register("bench", std::move(model)).ok()) return 1;
+
+  std::vector<RunResult> results;
+  for (const int64_t stride : strides) {
+    // A fresh engine per ratio keeps cache counters clean.
+    cf::serve::InferenceEngine engine(&registry);
+    cf::stream::WindowScheduler scheduler(&engine);
+    cf::stream::StreamConfig config;
+    config.model = "bench";
+    config.stride = stride;
+    config.history = samples;  // no drops; this bench measures latency
+
+    RunResult result;
+    result.window = window;
+    result.stride = stride;
+
+    // Live pass: every window is novel, so latency carries detection work.
+    if (!scheduler.Open("live", config).ok()) return 1;
+    const auto latencies =
+        Replay(&scheduler, "live", dataset.series, window, stride);
+    result.windows = scheduler.GetStats("live")->windows_emitted;
+    result.p50_ms = Percentile(latencies, 0.50) * 1e3;
+    result.p99_ms = Percentile(latencies, 0.99) * 1e3;
+
+    // Replay pass: a second subscriber to the same feed. Identical window
+    // content -> identical incremental hashes -> every window answered from
+    // the ScoreCache without touching the model.
+    const auto hits_before = engine.cache_stats().hits;
+    if (!scheduler.Open("replay", config).ok()) return 1;
+    Replay(&scheduler, "replay", dataset.series, window, stride);
+    const auto replay_stats = *scheduler.GetStats("replay");
+    const auto hits = engine.cache_stats().hits - hits_before;
+    result.replay_reuse =
+        replay_stats.windows_emitted == 0
+            ? 0.0
+            : static_cast<double>(hits) /
+                  static_cast<double>(replay_stats.windows_emitted);
+
+    HashCosts(dataset.series, window, stride, &result.inc_hash_us,
+              &result.full_hash_us);
+    results.push_back(result);
+    std::fprintf(stderr,
+                 "  [w=%lld s=%lld] %llu windows p50=%.2fms p99=%.2fms "
+                 "reuse=%.2f inc_hash=%.2fus full_hash=%.2fus\n",
+                 static_cast<long long>(result.window),
+                 static_cast<long long>(result.stride),
+                 static_cast<unsigned long long>(result.windows),
+                 result.p50_ms, result.p99_ms, result.replay_reuse,
+                 result.inc_hash_us, result.full_hash_us);
+  }
+
+  cf::Table table({"window", "stride", "windows", "p50 ms", "p99 ms",
+                   "replay reuse", "inc hash us", "full hash us"});
+  for (const auto& r : results) {
+    table.AddRow({std::to_string(r.window), std::to_string(r.stride),
+                  std::to_string(static_cast<unsigned long long>(r.windows)),
+                  cf::StrFormat("%.2f", r.p50_ms),
+                  cf::StrFormat("%.2f", r.p99_ms),
+                  cf::StrFormat("%.2f", r.replay_reuse),
+                  cf::StrFormat("%.2f", r.inc_hash_us),
+                  cf::StrFormat("%.2f", r.full_hash_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  FILE* json = std::fopen("BENCH_stream.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_stream.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"stream_latency\",\n"
+                     "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(json,
+                 "    {\"window\": %lld, \"stride\": %lld, \"windows\": %llu, "
+                 "\"append_to_graph_p50_ms\": %.3f, "
+                 "\"append_to_graph_p99_ms\": %.3f, "
+                 "\"replay_cache_reuse\": %.4f, "
+                 "\"incremental_hash_us_per_window\": %.3f, "
+                 "\"full_hash_us_per_window\": %.3f}%s\n",
+                 static_cast<long long>(r.window),
+                 static_cast<long long>(r.stride),
+                 static_cast<unsigned long long>(r.windows), r.p50_ms,
+                 r.p99_ms, r.replay_reuse, r.inc_hash_us, r.full_hash_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_stream.json\n");
+  return 0;
+}

@@ -20,7 +20,13 @@
 //   serve_cli serve --port 7071 --checkpoint ck.cfpm
 //   echo "q 0 16" | serve_cli query --connect 127.0.0.1:7071 --csv ck.cfpm.csv
 //
-//   Query language (one command per line, both modes):
+//   # 2c. Or replay a CSV as a live stream against that server: samples are
+//   #     appended in chunks, the server cuts sliding windows, detects them
+//   #     through the micro-batcher, and streams back drift reports
+//   #     (docs/streaming.md):
+//   serve_cli stream --connect 127.0.0.1:7071 --csv ck.cfpm.csv --stride 2
+//
+//   Query language (one command per line, serve/query modes):
 //     q <start> <count>   discover on `count` windows starting at row <start>
 //     models              list registered models
 //     stats               engine/cache/batcher (and wire server) counters
@@ -60,6 +66,7 @@
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/server.h"
+#include "stream/window_scheduler.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -69,15 +76,23 @@ namespace cf = causalformer;
 namespace {
 
 struct CliOptions {
-  std::string mode;  // "train", "serve", "selftest", "netserve" or "query"
+  // "train", "serve", "selftest", "netserve", "query" or "stream".
+  std::string mode;
   std::string checkpoint;
   std::string csv;
   std::string replay;
-  std::string connect;     // query mode: host:port
-  std::string model_name = "default";  // query mode: registry name to query
+  std::string connect;     // query/stream modes: host:port
+  std::string model_name = "default";  // registry name to query/stream against
+  std::string stream_name = "cli";     // stream mode: server-side stream name
   int port = 0;            // netserve mode: listen port (0 = ephemeral)
   bool allow_admin = true; // netserve mode: accept LoadModel/UnloadModel
   int queries = 120;  // selftest query count
+  int64_t stride = 1;  // stream mode: samples between detection windows
+  int64_t chunk = 0;   // stream mode: samples per append (0 = stride)
+  // serve/netserve: score-cache max age. Dead streams' and one-off queries'
+  // cached windows age out even when LRU capacity is never reached; 0
+  // disables expiry.
+  double cache_ttl = 900.0;
   cf::core::ModelOptions model;
   cf::core::DetectorOptions detector;
 
@@ -98,9 +113,11 @@ void Usage() {
                "  serve_cli --checkpoint <ck.cfpm> --csv <data.csv> "
                "[--replay <queries.txt>] [model flags]\n"
                "  serve_cli serve --port <N> --checkpoint <ck.cfpm> "
-               "[--no-admin] [model flags]\n"
+               "[--no-admin] [--cache-ttl SECONDS] [model flags]\n"
                "  serve_cli query --connect <host:port> --csv <data.csv> "
                "[--replay <queries.txt>] [--model name]\n"
+               "  serve_cli stream --connect <host:port> --csv <data.csv> "
+               "[--stream name] [--model name] [--stride S] [--chunk K]\n"
                "  serve_cli --selftest [--queries N]\n"
                "model flags: --series N --window T --d_model D --d_qk D "
                "--heads H --d_ffn D\n");
@@ -114,6 +131,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->mode = "netserve";
     } else if (sub == "query") {
       opts->mode = "query";
+    } else if (sub == "stream") {
+      opts->mode = "stream";
     } else {
       std::fprintf(stderr, "unknown subcommand: %s\n", sub.c_str());
       return false;
@@ -141,6 +160,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->connect = argv[++i];
     } else if (arg == "--model" && i + 1 < argc) {
       opts->model_name = argv[++i];
+    } else if (arg == "--stream" && i + 1 < argc) {
+      opts->stream_name = argv[++i];
+    } else if (arg == "--stride") {
+      if (!next(&opts->stride) || opts->stride < 1) return false;
+    } else if (arg == "--chunk") {
+      if (!next(&opts->chunk) || opts->chunk < 1) return false;
+    } else if (arg == "--cache-ttl") {
+      int64_t v;
+      if (!next(&v) || v < 0) return false;
+      opts->cache_ttl = static_cast<double>(v);
     } else if (arg == "--port") {
       int64_t v;
       if (!next(&v) || v < 0 || v > 65535) return false;
@@ -174,8 +203,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     std::fprintf(stderr, "serve mode needs --checkpoint\n");
     return false;
   }
-  if (opts->mode == "query" && opts->connect.empty()) {
-    std::fprintf(stderr, "query mode needs --connect host:port\n");
+  if ((opts->mode == "query" || opts->mode == "stream") &&
+      opts->connect.empty()) {
+    std::fprintf(stderr, "%s mode needs --connect host:port\n",
+                 opts->mode.c_str());
+    return false;
+  }
+  if (opts->mode == "stream" && opts->csv.empty()) {
+    std::fprintf(stderr, "stream mode needs --csv data.csv\n");
     return false;
   }
   return !opts->mode.empty();
@@ -339,7 +374,9 @@ int RunServe(const CliOptions& opts) {
     std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
     return 1;
   }
-  cf::serve::InferenceEngine engine(&registry);
+  cf::serve::EngineOptions eopts;
+  eopts.cache_ttl_seconds = opts.cache_ttl;
+  cf::serve::InferenceEngine engine(&registry, eopts);
   std::printf("loaded '%s' (%lld params) — serving; N=%lld T=%lld L=%lld\n",
               opts.checkpoint.c_str(),
               static_cast<long long>(registry.List()[0].num_parameters),
@@ -382,11 +419,14 @@ int RunServe(const CliOptions& opts) {
       const auto cache = engine.cache_stats();
       const auto batch = engine.batcher_stats();
       std::printf(
-          "  cache: %llu hits / %llu misses, %zu/%zu entries\n"
+          "  cache: %llu hits / %llu misses, %zu/%zu entries, "
+          "%llu expired\n"
           "  batcher: %llu requests, %llu batches (max %d), %llu coalesced\n",
           static_cast<unsigned long long>(cache.hits),
           static_cast<unsigned long long>(cache.misses), cache.size,
-          cache.capacity, static_cast<unsigned long long>(batch.requests),
+          cache.capacity,
+          static_cast<unsigned long long>(cache.expirations),
+          static_cast<unsigned long long>(batch.requests),
           static_cast<unsigned long long>(batch.batches), batch.max_batch,
           static_cast<unsigned long long>(batch.coalesced));
       continue;
@@ -436,10 +476,16 @@ int RunNetServe(const CliOptions& opts) {
     std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
     return 1;
   }
-  cf::serve::InferenceEngine engine(&registry);
+  cf::serve::EngineOptions eopts;
+  eopts.cache_ttl_seconds = opts.cache_ttl;
+  cf::serve::InferenceEngine engine(&registry, eopts);
+  // The streaming scheduler shares the engine (and so the micro-batcher and
+  // score cache) with one-shot Detect traffic; it must outlive the server.
+  cf::stream::WindowScheduler scheduler(&engine);
   cf::serve::WireServerOptions sopts;
   sopts.port = static_cast<uint16_t>(opts.port);
   sopts.allow_admin = opts.allow_admin;
+  sopts.stream_backend = &scheduler;
   cf::serve::WireServer server(&engine, sopts);
   st = server.Start();
   if (!st.ok()) {
@@ -448,7 +494,7 @@ int RunNetServe(const CliOptions& opts) {
   }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  std::printf("serving '%s' on port %u (N=%lld, T=%lld)%s\n",
+  std::printf("serving '%s' on port %u (N=%lld, T=%lld, streaming on)%s\n",
               opts.checkpoint.c_str(), server.port(),
               static_cast<long long>(mopt.num_series),
               static_cast<long long>(mopt.window),
@@ -576,13 +622,15 @@ int RunQuery(const CliOptions& opts) {
         continue;
       }
       std::printf(
-          "  cache: %llu hits / %llu misses, %llu/%llu entries\n"
+          "  cache: %llu hits / %llu misses, %llu/%llu entries, "
+          "%llu expired\n"
           "  batcher: %llu requests, %llu batches (max %d), %llu coalesced\n"
           "  server: %llu connections, %llu frames, %llu wire errors\n",
           static_cast<unsigned long long>(remote->cache_hits),
           static_cast<unsigned long long>(remote->cache_misses),
           static_cast<unsigned long long>(remote->cache_size),
           static_cast<unsigned long long>(remote->cache_capacity),
+          static_cast<unsigned long long>(remote->cache_expirations),
           static_cast<unsigned long long>(remote->batch_requests),
           static_cast<unsigned long long>(remote->batch_batches),
           remote->batch_max,
@@ -623,6 +671,177 @@ int RunQuery(const CliOptions& opts) {
   std::fprintf(stderr, "sent %lld queries over the wire\n",
                static_cast<long long>(query_no));
   return 0;
+}
+
+// Prints one completed-window report (`width` is the stream's window width,
+// which the report addresses by start index only).
+void PrintReport(const cf::serve::wire::StreamReportMsg& report,
+                 int64_t width) {
+  std::string edges;
+  for (const auto& edge : report.edges) {
+    if (!edges.empty()) edges += ", ";
+    edges += "S" + std::to_string(edge.from) + "->S" +
+             std::to_string(edge.to) + "(d=" + std::to_string(edge.delay) +
+             ")";
+  }
+  std::printf("w#%llu [%lld,%lld) edges=[%s] cache_hit=%d batch=%d "
+              "latency=%.3fms",
+              static_cast<unsigned long long>(report.window_index),
+              static_cast<long long>(report.window_start),
+              static_cast<long long>(report.window_start + width),
+              edges.c_str(), report.cache_hit ? 1 : 0, report.batch_size,
+              report.latency_seconds * 1e3);
+  if (report.has_baseline) {
+    std::printf(" drift(+%d -%d ~%d jaccard=%.2f dmean=%.4g)%s%s",
+                report.edges_added, report.edges_removed, report.delay_changes,
+                report.jaccard, report.mean_abs_score_delta,
+                report.drifted ? " DRIFTED" : "",
+                report.regime_change ? " REGIME-CHANGE" : "");
+  } else {
+    std::printf(" baseline");
+  }
+  std::printf("\n");
+}
+
+// `stream --connect host:port --csv data.csv`: replays the CSV as a live
+// stream. Samples are appended in chunks; the server cuts sliding windows,
+// detects them through the shared micro-batcher, and hands back drift
+// reports which are printed as they complete.
+int RunStream(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
+                 opts.connect.c_str());
+    return 1;
+  }
+  cf::serve::WireClient client;
+  cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto loaded = LoadSeriesCsv(opts.csv);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "csv: %s (use --csv; --train writes one)\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const cf::Tensor series = *loaded;
+  const int64_t length = series.dim(1);
+
+  cf::serve::wire::StreamOpenMsg open;
+  open.stream = opts.stream_name;
+  open.model = opts.model_name;
+  open.stride = opts.stride;
+  open.options = opts.detector;
+  const auto opened = client.OpenStream(open);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "stream open: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stream '%s' open on %s:%u — model '%s', window %lld, "
+              "stride %lld, history %lld, replaying %lld samples\n",
+              opts.stream_name.c_str(), host.c_str(), port,
+              opts.model_name.c_str(), static_cast<long long>(opened->window),
+              static_cast<long long>(opened->stride),
+              static_cast<long long>(opened->history),
+              static_cast<long long>(length));
+
+  const int64_t chunk = opts.chunk > 0 ? opts.chunk : opts.stride;
+  // Any failure below must still close the server-side stream, or a rerun
+  // under the same --stream name answers "already exists".
+  const auto bail = [&client, &opts] {
+    (void)client.CloseStream(opts.stream_name);
+    return 1;
+  };
+  uint64_t emitted = 0;
+  uint64_t failed = 0;
+  uint64_t reported = 0;
+  uint64_t drifted = 0;
+  uint64_t regime_changes = 0;
+  uint64_t cache_hits = 0;
+  auto drain = [&](uint32_t max_reports) -> bool {
+    const auto reports = client.StreamReports(opts.stream_name, max_reports);
+    if (!reports.ok()) {
+      std::fprintf(stderr, "reports: %s\n",
+                   reports.status().ToString().c_str());
+      return false;
+    }
+    for (const auto& report : *reports) {
+      PrintReport(report, opened->window);
+      ++reported;
+      if (report.cache_hit) ++cache_hits;
+      if (report.drifted) ++drifted;
+      if (report.regime_change) ++regime_changes;
+    }
+    return true;
+  };
+
+  for (int64_t t = 0; t < length; t += chunk) {
+    const int64_t k = std::min(chunk, length - t);
+    const cf::Tensor samples = cf::Slice(series, 1, t, t + k).Detach();
+    const auto ack = client.AppendSamples(opts.stream_name, samples);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "append: %s\n", ack.status().ToString().c_str());
+      return bail();
+    }
+    emitted = ack->windows_emitted;
+    if (ack->windows_failed > failed) {
+      std::fprintf(stderr, "warning: %llu windows failed server-side\n",
+                   static_cast<unsigned long long>(ack->windows_failed));
+      failed = ack->windows_failed;
+    }
+    if (!drain(0)) return bail();
+  }
+
+  // Detections are asynchronous, and the append ack's emission counter is a
+  // lower bound (windows past the in-flight debounce are emitted as slots
+  // free up). Poll until the report flow dries up: everything emitted has
+  // reported and nothing new arrived for a quiet period. Dropped windows
+  // never report; a bounded deadline covers stuck servers.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const uint64_t before = reported;
+    if (!drain(0)) return bail();
+    const auto now = std::chrono::steady_clock::now();
+    if (reported > before) last_progress = now;
+    // Failed windows never report, so `reported >= emitted - failed` is the
+    // strongest claim available; a longer quiet period covers failures past
+    // the last ack's counter.
+    if (reported + failed >= emitted &&
+        now - last_progress > std::chrono::milliseconds(500)) {
+      break;
+    }
+    if (now - last_progress > std::chrono::seconds(5)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  st = client.CloseStream(opts.stream_name);
+  if (!st.ok()) {
+    std::fprintf(stderr, "stream close: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fflush(stdout);
+  // `emitted` is the last append ack's lifetime counter — windows emitted
+  // after that ack (as in-flight slots freed) aren't in it, so report it as
+  // a floor.
+  std::fprintf(stderr,
+               "streamed %lld samples -> >=%llu windows, %llu reports "
+               "(%llu cache hits, %llu drifted, %llu regime changes, "
+               "%llu failed)\n",
+               static_cast<long long>(length),
+               static_cast<unsigned long long>(emitted),
+               static_cast<unsigned long long>(reported),
+               static_cast<unsigned long long>(cache_hits),
+               static_cast<unsigned long long>(drifted),
+               static_cast<unsigned long long>(regime_changes),
+               static_cast<unsigned long long>(failed));
+  return reported > 0 ? 0 : 1;
 }
 
 int RunSelfTest(const CliOptions& opts) {
@@ -788,5 +1007,6 @@ int main(int argc, char** argv) {
   if (opts.mode == "serve") return RunServe(opts);
   if (opts.mode == "netserve") return RunNetServe(opts);
   if (opts.mode == "query") return RunQuery(opts);
+  if (opts.mode == "stream") return RunStream(opts);
   return RunSelfTest(opts);
 }

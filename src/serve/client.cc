@@ -58,9 +58,7 @@ StatusOr<wire::Frame> WireClient::RecvFrame() {
   wire::PayloadReader r(header + 8, 8);
   (void)r.U32(&length);
   (void)r.U32(&crc);
-  if (header[5] < static_cast<uint8_t>(wire::MessageType::kPing) ||
-      header[5] > static_cast<uint8_t>(wire::MessageType::kError) ||
-      length > wire::kMaxPayload) {
+  if (!wire::IsKnownMessageType(header[5]) || length > wire::kMaxPayload) {
     Close();
     return Status::Internal("server sent malformed frame header");
   }
@@ -176,6 +174,57 @@ StatusOr<std::vector<wire::DetectResultMsg>> WireClient::DetectBatch(
                             std::to_string(results.size()));
   }
   return results;
+}
+
+StatusOr<wire::StreamOpenOkMsg> WireClient::OpenStream(
+    const wire::StreamOpenMsg& msg) {
+  auto frame = Call(wire::MessageType::kStreamOpen,
+                    wire::EncodeStreamOpen(msg),
+                    wire::MessageType::kStreamOpenOk);
+  if (!frame.ok()) return frame.status();
+  wire::StreamOpenOkMsg ok;
+  CF_RETURN_IF_ERROR(wire::DecodeStreamOpenOk(frame->payload, &ok));
+  return ok;
+}
+
+Status WireClient::CloseStream(const std::string& stream) {
+  auto frame = Call(wire::MessageType::kStreamClose,
+                    wire::EncodeStreamClose(stream),
+                    wire::MessageType::kStreamCloseOk);
+  if (!frame.ok()) return frame.status();
+  if (!frame->payload.empty()) {
+    return Status::Internal("stream close response carries payload");
+  }
+  return Status::Ok();
+}
+
+StatusOr<wire::AppendSamplesOkMsg> WireClient::AppendSamples(
+    const std::string& stream, const Tensor& samples) {
+  wire::AppendSamplesMsg msg;
+  msg.stream = stream;
+  msg.samples = samples;
+  auto frame = Call(wire::MessageType::kAppendSamples,
+                    wire::EncodeAppendSamples(msg),
+                    wire::MessageType::kAppendSamplesOk);
+  if (!frame.ok()) return frame.status();
+  wire::AppendSamplesOkMsg ok;
+  CF_RETURN_IF_ERROR(wire::DecodeAppendSamplesOk(frame->payload, &ok));
+  return ok;
+}
+
+StatusOr<std::vector<wire::StreamReportMsg>> WireClient::StreamReports(
+    const std::string& stream, uint32_t max_reports) {
+  wire::StreamReportsMsg msg;
+  msg.stream = stream;
+  msg.max_reports = max_reports;
+  auto frame = Call(wire::MessageType::kStreamReports,
+                    wire::EncodeStreamReports(msg),
+                    wire::MessageType::kStreamReportsResult);
+  if (!frame.ok()) return frame.status();
+  std::vector<wire::StreamReportMsg> reports;
+  CF_RETURN_IF_ERROR(
+      wire::DecodeStreamReportsResult(frame->payload, &reports));
+  return reports;
 }
 
 StatusOr<wire::StatsResultMsg> WireClient::Stats() {

@@ -67,6 +67,24 @@ class WireClient {
   /// Fetches the server's engine/server counters and model list.
   StatusOr<wire::StatsResultMsg> Stats();
 
+  /// Opens a named sliding-window stream on the server (protocol v2);
+  /// returns the config after server-side defaulting.
+  StatusOr<wire::StreamOpenOkMsg> OpenStream(const wire::StreamOpenMsg& msg);
+
+  /// Closes a stream; its in-flight detections finish and are discarded.
+  Status CloseStream(const std::string& stream);
+
+  /// Appends `samples` ([N, K] series-major) to a stream; the server emits
+  /// any newly due detection windows through its micro-batcher and answers
+  /// with the stream's counters (backpressure/loss visibility).
+  StatusOr<wire::AppendSamplesOkMsg> AppendSamples(const std::string& stream,
+                                                   const Tensor& samples);
+
+  /// Drains up to `max_reports` completed-window drift reports (0 = all),
+  /// oldest first; each report is delivered once.
+  StatusOr<std::vector<wire::StreamReportMsg>> StreamReports(
+      const std::string& stream, uint32_t max_reports = 0);
+
   /// Sends one raw frame (low-level; used for pipelining and fuzzing).
   Status SendFrame(wire::MessageType type, const std::vector<uint8_t>& payload);
   /// Reads one raw frame, verifying magic/version/CRC (low-level).

@@ -25,10 +25,21 @@ DiscoveryResponse ErrorResponse(Status status) {
 
 }  // namespace
 
+namespace {
+
+ScoreCacheOptions CacheOptions(const EngineOptions& options) {
+  ScoreCacheOptions cache;
+  cache.capacity = options.cache_capacity;
+  cache.ttl_seconds = options.cache_ttl_seconds;
+  return cache;
+}
+
+}  // namespace
+
 InferenceEngine::InferenceEngine(ModelRegistry* registry,
                                  const EngineOptions& options)
     : registry_(registry),
-      cache_(options.cache_capacity),
+      cache_(CacheOptions(options)),
       batcher_(options.batcher,
                [this](std::vector<BatchItem> items) {
                  ExecuteBatch(std::move(items));
@@ -71,7 +82,10 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
 
   CacheKey key;
   key.model = request.model;
-  key.windows = HashWindows(request.windows);
+  // A streaming caller that hashed the window incrementally (per-column
+  // digests) hands the hash in; everyone else pays the full content hash.
+  key.windows = request.has_window_hash ? request.window_hash
+                                        : HashWindows(request.windows);
   key.options = EncodeDetectorOptions(request.options);
   key.generation = generation;
 

@@ -34,6 +34,9 @@ struct EngineOptions {
   BatcherOptions batcher;  ///< micro-batching limits
   /// LRU entries kept per engine (0 disables caching).
   size_t cache_capacity = 256;
+  /// Max age of a cached result in seconds (0 = never expires). Lets the
+  /// windows of a dead stream age out even when capacity is never reached.
+  double cache_ttl_seconds = 0;
 };
 
 /// The long-lived service object answering discovery queries.
@@ -58,6 +61,12 @@ class InferenceEngine {
 
   /// Unloads `name` from the registry and drops its cached scores.
   Status UnloadModel(const std::string& name);
+
+  /// Eagerly drops cached results older than the configured TTL, returning
+  /// how many were dropped (0 when no TTL is set). TTL expiry is otherwise
+  /// lazy — a dead stream's windows are never Get() again, so the streaming
+  /// layer calls this when a stream closes.
+  size_t PruneExpiredCache() { return cache_.PruneExpired(); }
 
   /// The registry this engine validates queries against.
   ModelRegistry& registry() { return *registry_; }

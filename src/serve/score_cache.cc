@@ -1,5 +1,6 @@
 #include "serve/score_cache.h"
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -8,10 +9,11 @@ namespace serve {
 
 namespace {
 
+constexpr uint64_t kPrime = 1099511628211ULL;
+
 // FNV-1a over a byte range, from a caller-chosen offset basis so two streams
 // with different bases act as independent hash functions.
 uint64_t Fnv1a(const void* data, size_t len, uint64_t basis) {
-  constexpr uint64_t kPrime = 1099511628211ULL;
   const auto* p = static_cast<const unsigned char*>(data);
   uint64_t h = basis;
   for (size_t i = 0; i < len; ++i) {
@@ -21,21 +23,94 @@ uint64_t Fnv1a(const void* data, size_t len, uint64_t basis) {
   return h;
 }
 
+// FNV-1a over one strided float column (the series axis of one time step).
+uint64_t Fnv1aColumn(const float* data, int64_t n, int64_t stride,
+                     uint64_t basis) {
+  uint64_t h = basis;
+  for (int64_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, data + i * stride, sizeof(bits));
+    for (int b = 0; b < 4; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFFu;
+      h *= kPrime;
+    }
+  }
+  return h;
+}
+
+// Folds one 64-bit column digest into a running window hash. The fold is
+// order-sensitive (columns are folded oldest first), so permuted windows
+// hash differently.
+uint64_t FoldDigest(uint64_t h, uint64_t digest) {
+  h ^= digest;
+  h *= kPrime;
+  h ^= h >> 29;
+  return h;
+}
+
+// Seeds one hash stream with the window dims [b, n, t] (hashed as int64
+// bytes, matching the historical dims prefix).
+uint64_t DimsSeed(int64_t b, int64_t n, int64_t t, uint64_t basis) {
+  const int64_t dims[3] = {b, n, t};
+  return Fnv1a(dims, sizeof(dims), basis);
+}
+
 constexpr uint64_t kBasisLo = 14695981039346656037ULL;
 constexpr uint64_t kBasisHi = 0x9E3779B97F4A7C15ULL;
 
 }  // namespace
 
+ColumnDigest HashWindowColumn(const float* data, int64_t n, int64_t stride) {
+  ColumnDigest d;
+  d.lo = Fnv1aColumn(data, n, stride, kBasisLo);
+  d.hi = Fnv1aColumn(data, n, stride, kBasisHi);
+  return d;
+}
+
+WindowHash CombineColumnDigests(const std::vector<ColumnDigest>& digests,
+                                int64_t n) {
+  const int64_t t = static_cast<int64_t>(digests.size());
+  WindowHash h;
+  h.lo = DimsSeed(1, n, t, kBasisLo);
+  h.hi = DimsSeed(1, n, t, kBasisHi);
+  for (const ColumnDigest& d : digests) {
+    h.lo = FoldDigest(h.lo, d.lo);
+    h.hi = FoldDigest(h.hi, d.hi);
+  }
+  return h;
+}
+
 WindowHash HashWindows(const Tensor& windows) {
   WindowHash h;
   if (!windows.defined()) return h;
-  const auto& dims = windows.shape().dims();
-  const size_t dims_bytes = dims.size() * sizeof(int64_t);
-  const size_t data_bytes = static_cast<size_t>(windows.numel()) * sizeof(float);
-  h.lo = Fnv1a(windows.data(), data_bytes,
-               Fnv1a(dims.data(), dims_bytes, kBasisLo));
-  h.hi = Fnv1a(windows.data(), data_bytes,
-               Fnv1a(dims.data(), dims_bytes, kBasisHi));
+  if (windows.ndim() != 3) {
+    // Non-window tensors (not produced by the serving path) fall back to a
+    // flat byte hash; only the [B, N, T] form must be column-composable.
+    const auto& dims = windows.shape().dims();
+    const size_t dims_bytes = dims.size() * sizeof(int64_t);
+    const size_t data_bytes =
+        static_cast<size_t>(windows.numel()) * sizeof(float);
+    h.lo = Fnv1a(windows.data(), data_bytes,
+                 Fnv1a(dims.data(), dims_bytes, kBasisLo));
+    h.hi = Fnv1a(windows.data(), data_bytes,
+                 Fnv1a(dims.data(), dims_bytes, kBasisHi));
+    return h;
+  }
+  const int64_t b = windows.dim(0);
+  const int64_t n = windows.dim(1);
+  const int64_t t = windows.dim(2);
+  h.lo = DimsSeed(b, n, t, kBasisLo);
+  h.hi = DimsSeed(b, n, t, kBasisHi);
+  const float* base = windows.data();
+  for (int64_t row = 0; row < b; ++row) {
+    const float* batch = base + row * n * t;
+    for (int64_t col = 0; col < t; ++col) {
+      // Column `col` of batch row `row`: the n series values at one time
+      // step, stride t apart in the row-major [B, N, T] layout.
+      h.lo = FoldDigest(h.lo, Fnv1aColumn(batch + col, n, t, kBasisLo));
+      h.hi = FoldDigest(h.hi, Fnv1aColumn(batch + col, n, t, kBasisHi));
+    }
+  }
   return h;
 }
 
@@ -55,7 +130,23 @@ std::string EncodeDetectorOptions(const core::DetectorOptions& options) {
   return out.str();
 }
 
-ScoreCache::ScoreCache(size_t capacity) : capacity_(capacity) {}
+ScoreCache::ScoreCache(size_t capacity) {
+  options_.capacity = capacity;
+}
+
+ScoreCache::ScoreCache(const ScoreCacheOptions& options) : options_(options) {}
+
+double ScoreCache::Now() const {
+  if (options_.clock_for_testing) return options_.clock_for_testing();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ScoreCache::ExpiredLocked(const Entry& entry, double now) const {
+  return options_.ttl_seconds > 0 &&
+         now - entry.put_time > options_.ttl_seconds;
+}
 
 std::shared_ptr<const core::DetectionResult> ScoreCache::Get(
     const CacheKey& key) {
@@ -65,27 +156,42 @@ std::shared_ptr<const core::DetectionResult> ScoreCache::Get(
     ++misses_;
     return nullptr;
   }
+  if (ExpiredLocked(it->second->second, Now())) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++expirations_;
+    ++misses_;
+    return nullptr;
+  }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->second.result;
 }
 
 void ScoreCache::Put(const CacheKey& key,
                      std::shared_ptr<const core::DetectionResult> result) {
-  if (capacity_ == 0 || result == nullptr) return;
+  if (options_.capacity == 0 || result == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
+  const double now = Now();
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(result);
+    it->second->second.result = std::move(result);
+    it->second->second.put_time = now;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(result));
+  lru_.emplace_front(key, Entry{std::move(result), now});
   index_[key] = lru_.begin();
-  while (index_.size() > capacity_) {
+  while (index_.size() > options_.capacity) {
+    // The LRU tail is the natural expiry candidate too: if it is past its
+    // TTL the drop counts as an expiration, not an eviction.
+    if (ExpiredLocked(lru_.back().second, now)) {
+      ++expirations_;
+    } else {
+      ++evictions_;
+    }
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
   }
 }
 
@@ -101,6 +207,24 @@ void ScoreCache::EraseModel(const std::string& model) {
   }
 }
 
+size_t ScoreCache::PruneExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.ttl_seconds <= 0) return 0;
+  const double now = Now();
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (ExpiredLocked(it->second, now)) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  expirations_ += dropped;
+  return dropped;
+}
+
 void ScoreCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
@@ -113,8 +237,10 @@ ScoreCache::Stats ScoreCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.expirations = expirations_;
   s.size = index_.size();
-  s.capacity = capacity_;
+  s.capacity = options_.capacity;
+  s.ttl_seconds = options_.ttl_seconds;
   return s;
 }
 

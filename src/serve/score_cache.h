@@ -2,11 +2,13 @@
 #define CAUSALFORMER_SERVE_SCORE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/detector.h"
 #include "tensor/tensor.h"
@@ -22,6 +24,14 @@
 /// content hash (two independent FNV-1a streams over dims and data), options
 /// identity is an exact encoding, so false hits are vanishingly unlikely and
 /// cannot come from option differences.
+///
+/// The window hash is *column-composable*: the data bytes are digested one
+/// time-step column at a time (HashWindowColumn) and the per-column digests
+/// are folded in layout order (CombineColumnDigests). A streaming caller that
+/// keeps the digests of previously seen columns can therefore hash the next
+/// overlapping sliding window in O(N·stride + window) instead of rehashing
+/// all O(N·window) bytes — and lands on the exact same cache key as a caller
+/// who hashed the materialised tensor (src/stream/ring_series.h).
 
 namespace causalformer {
 namespace serve {
@@ -35,6 +45,27 @@ struct WindowHash {
     return lo == o.lo && hi == o.hi;
   }
 };
+
+/// 128-bit digest of one time-step column (the N series values at one t).
+/// The unit of incremental window hashing: a stream computes one digest per
+/// appended sample and reuses it for every overlapping window that contains
+/// the sample.
+struct ColumnDigest {
+  uint64_t lo = 0;  ///< first independent FNV-1a stream
+  uint64_t hi = 0;  ///< second independent FNV-1a stream
+};
+
+/// Digests one time-step column: `n` floats starting at `data`, consecutive
+/// values `stride` floats apart (stride = T for a row-major [B, N, T] tensor,
+/// 1 for a contiguous column buffer).
+ColumnDigest HashWindowColumn(const float* data, int64_t n, int64_t stride);
+
+/// Folds per-column digests into the WindowHash of a `[1, n, count]` window
+/// whose time-step columns produced `digests[0..count)` (oldest first).
+/// Identity guarantee: equals HashWindows() of the materialised tensor, so
+/// incremental hashers and tensor hashers produce interchangeable cache keys.
+WindowHash CombineColumnDigests(const std::vector<ColumnDigest>& digests,
+                                int64_t n);
 
 /// Hashes a window tensor's dims and contents into a WindowHash.
 WindowHash HashWindows(const Tensor& windows);
@@ -63,33 +94,61 @@ struct CacheKey {
   }
 };
 
-/// The bounded, thread-safe LRU cache of detection results.
+/// ScoreCache construction knobs.
+struct ScoreCacheOptions {
+  /// LRU entry bound (0 disables caching).
+  size_t capacity = 256;
+  /// Max age in seconds before an entry expires (0 = entries never expire).
+  /// TTL complements the LRU bound for streaming workloads: the stale windows
+  /// of a dead stream should age out even when capacity is never reached.
+  /// Age is measured from the entry's last Put (insert or refresh), not from
+  /// its last Get — a result recomputed-and-refilled is young again, a result
+  /// merely re-read is not.
+  double ttl_seconds = 0;
+  /// Test seam: seconds-valued monotonic clock. Null uses steady_clock.
+  std::function<double()> clock_for_testing;
+};
+
+/// The bounded, thread-safe LRU cache of detection results with optional
+/// max-age (TTL) expiry.
 class ScoreCache {
  public:
   /// Point-in-time cache counters.
   struct Stats {
-    uint64_t hits = 0;       ///< Get() calls answered from the cache
-    uint64_t misses = 0;     ///< Get() calls that found nothing
-    uint64_t evictions = 0;  ///< entries dropped by the LRU bound
-    size_t size = 0;         ///< current entry count
-    size_t capacity = 0;     ///< configured bound (0 = caching disabled)
+    uint64_t hits = 0;         ///< Get() calls answered from the cache
+    uint64_t misses = 0;       ///< Get() calls that found nothing
+    uint64_t evictions = 0;    ///< entries dropped by the LRU bound
+    uint64_t expirations = 0;  ///< entries dropped by the TTL bound
+    size_t size = 0;           ///< current entry count
+    size_t capacity = 0;       ///< configured bound (0 = caching disabled)
+    double ttl_seconds = 0;    ///< configured max age (0 = never expires)
   };
 
-  /// A cache holding at most `capacity` results (0 disables caching).
+  /// A cache holding at most `capacity` results (0 disables caching),
+  /// entries never expiring by age.
   explicit ScoreCache(size_t capacity);
+  /// A cache with explicit capacity/TTL options.
+  explicit ScoreCache(const ScoreCacheOptions& options);
   ScoreCache(const ScoreCache&) = delete;             ///< not copyable
   ScoreCache& operator=(const ScoreCache&) = delete;  ///< not copyable
 
-  /// The cached result (refreshing recency), or null on a miss.
+  /// The cached result (refreshing recency), or null on a miss. An entry
+  /// older than the TTL is dropped and counted as expired + missed.
   std::shared_ptr<const core::DetectionResult> Get(const CacheKey& key);
 
-  /// Inserts or refreshes `result`; evicts the least recently used entry
-  /// when over capacity. A capacity of zero disables caching.
+  /// Inserts or refreshes `result` (resetting its age); evicts the least
+  /// recently used entry when over capacity. A capacity of zero disables
+  /// caching.
   void Put(const CacheKey& key,
            std::shared_ptr<const core::DetectionResult> result);
 
   /// Drops every entry of `model` (on checkpoint unload/replace).
   void EraseModel(const std::string& model);
+
+  /// Drops every entry older than the TTL, returning how many were dropped
+  /// (0 when no TTL is configured). Expiry is otherwise lazy — checked on
+  /// Get — so long-idle caches can call this to release memory eagerly.
+  size_t PruneExpired();
 
   /// Drops every entry.
   void Clear();
@@ -104,16 +163,24 @@ class ScoreCache {
                                  std::hash<std::string>()(key.model));
     }
   };
-  using LruList =
-      std::list<std::pair<CacheKey, std::shared_ptr<const core::DetectionResult>>>;
+  struct Entry {
+    std::shared_ptr<const core::DetectionResult> result;
+    double put_time = 0;  ///< clock seconds at the last Put
+  };
+  using LruList = std::list<std::pair<CacheKey, Entry>>;
+
+  double Now() const;
+  /// True when `entry` is older than the TTL at clock time `now`.
+  bool ExpiredLocked(const Entry& entry, double now) const;
 
   mutable std::mutex mu_;
-  size_t capacity_;
+  ScoreCacheOptions options_;
   LruList lru_;  // front = most recent
   std::unordered_map<CacheKey, LruList::iterator, KeyHasher> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t expirations_ = 0;
 };
 
 }  // namespace serve

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/stream_backend.h"
 #include "util/logging.h"
 #include "util/socket.h"
 
@@ -31,8 +32,9 @@ wire::DetectResultMsg ToResultMsg(const DiscoveryResponse& response) {
 
 }  // namespace
 
-/// One accepted socket. The poll thread owns fd/inbuf/closing; outbuf and the
-/// dead flag are shared with the completion thread under out_mu.
+/// One accepted socket. The poll thread owns fd/inbuf/closing; outbuf and
+/// the dead/admin_busy flags are shared with the completion thread under
+/// out_mu.
 struct WireServer::Connection {
   int fd = -1;
   std::vector<uint8_t> inbuf;
@@ -43,10 +45,18 @@ struct WireServer::Connection {
   std::vector<uint8_t> outbuf;
   bool close_after_flush = false;
   bool dead = false;
+  /// A LoadModel is executing on a worker thread. The poll thread holds off
+  /// decoding this connection's *next* frames (they stay buffered in inbuf)
+  /// until the load completes, so pipelined frames observe the load's
+  /// effects — per-connection effect order matches the per-connection
+  /// response order the protocol promises. Other connections dispatch
+  /// freely, which is the whole point of the off-thread load. Also bounds
+  /// load workers to one per connection.
+  bool admin_busy = false;
 };
 
 /// One queued response, in per-connection request order. Exactly one of
-/// {ready bytes, single future, batch futures} is populated.
+/// {ready bytes, single future, batch futures, frame future} is populated.
 struct WireServer::Pending {
   std::shared_ptr<Connection> conn;
   std::vector<uint8_t> ready;  ///< pre-encoded frame (control responses)
@@ -54,6 +64,13 @@ struct WireServer::Pending {
   std::future<DiscoveryResponse> future;
   bool is_batch = false;
   std::vector<std::future<DiscoveryResponse>> batch_futures;
+  /// A response frame computed off-thread (LoadModel's checkpoint I/O runs
+  /// on a worker so it cannot stall the poll thread's dispatch).
+  bool is_frame_future = false;
+  std::future<std::vector<uint8_t>> frame_future;
+  /// Clear the connection's admin_busy flag (and wake the poll thread to
+  /// resume decoding its buffered frames) once this response is delivered.
+  bool clears_admin_busy = false;
   bool close_after = false;
 };
 
@@ -240,6 +257,7 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       msg.cache_hits = cache.hits;
       msg.cache_misses = cache.misses;
       msg.cache_evictions = cache.evictions;
+      msg.cache_expirations = cache.expirations;
       msg.cache_size = cache.size;
       msg.cache_capacity = cache.capacity;
       const auto batch = engine_->batcher_stats();
@@ -277,22 +295,41 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         reject(st);
         return true;
       }
-      // Blocking checkpoint I/O on the poll thread; the ROADMAP's async-I/O
-      // item moves this off the dispatcher.
-      if (const Status st = engine_->registry().Load(
-              msg.name, msg.checkpoint_path, msg.options);
-          !st.ok()) {
-        reject(st);
-        return true;
+      // Checkpoint deserialisation is file I/O plus tensor building — far
+      // too slow for the poll thread, where it would stall every
+      // connection's dispatch. Run it on a worker; the completion queue
+      // keeps this connection's responses in request order regardless of
+      // which thread produced the bytes, and admin_busy parks this
+      // connection's later frames until the load's effects are visible.
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        conn->admin_busy = true;
       }
-      wire::LoadModelOkMsg ok;
-      for (const auto& info : engine_->registry().List()) {
-        if (info.name == msg.name) {
-          ok.num_parameters = info.num_parameters;
-          ok.generation = info.generation;
-        }
-      }
-      PushReady(conn, MessageType::kLoadModelOk, wire::EncodeLoadModelOk(ok));
+      Pending pending;
+      pending.conn = conn;
+      pending.clears_admin_busy = true;
+      pending.is_frame_future = true;
+      pending.frame_future = std::async(
+          std::launch::async, [this, msg = std::move(msg)]() mutable {
+            const Status st = engine_->registry().Load(
+                msg.name, msg.checkpoint_path, msg.options);
+            if (!st.ok()) {
+              std::lock_guard<std::mutex> lock(mu_);
+              ++stats_.wire_errors;
+              return wire::EncodeFrame(wire::MessageType::kError,
+                                       wire::EncodeError(st));
+            }
+            wire::LoadModelOkMsg ok;
+            for (const auto& info : engine_->registry().List()) {
+              if (info.name == msg.name) {
+                ok.num_parameters = info.num_parameters;
+                ok.generation = info.generation;
+              }
+            }
+            return wire::EncodeFrame(wire::MessageType::kLoadModelOk,
+                                     wire::EncodeLoadModelOk(ok));
+          });
+      PushPending(std::move(pending));
       return true;
     }
     case MessageType::kUnloadModel: {
@@ -311,6 +348,88 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         return true;
       }
       PushReady(conn, MessageType::kUnloadModelOk, {});
+      return true;
+    }
+    case MessageType::kStreamOpen: {
+      if (options_.stream_backend == nullptr) {
+        reject(Status::FailedPrecondition("streaming disabled"));
+        return true;
+      }
+      wire::StreamOpenMsg msg;
+      if (const Status st = wire::DecodeStreamOpen(frame.payload, &msg);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      auto ok = options_.stream_backend->OpenStream(msg);
+      if (!ok.ok()) {
+        reject(ok.status());
+        return true;
+      }
+      PushReady(conn, MessageType::kStreamOpenOk,
+                wire::EncodeStreamOpenOk(*ok));
+      return true;
+    }
+    case MessageType::kStreamClose: {
+      if (options_.stream_backend == nullptr) {
+        reject(Status::FailedPrecondition("streaming disabled"));
+        return true;
+      }
+      std::string name;
+      if (const Status st = wire::DecodeStreamClose(frame.payload, &name);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      if (const Status st = options_.stream_backend->CloseStream(name);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      PushReady(conn, MessageType::kStreamCloseOk, {});
+      return true;
+    }
+    case MessageType::kAppendSamples: {
+      if (options_.stream_backend == nullptr) {
+        reject(Status::FailedPrecondition("streaming disabled"));
+        return true;
+      }
+      wire::AppendSamplesMsg msg;
+      if (const Status st = wire::DecodeAppendSamples(frame.payload, &msg);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      // Appending only *submits* detections (SubmitAsync never blocks on
+      // model work), so this is safe on the poll thread.
+      auto ok = options_.stream_backend->AppendSamples(msg.stream, msg.samples);
+      if (!ok.ok()) {
+        reject(ok.status());
+        return true;
+      }
+      PushReady(conn, MessageType::kAppendSamplesOk,
+                wire::EncodeAppendSamplesOk(*ok));
+      return true;
+    }
+    case MessageType::kStreamReports: {
+      if (options_.stream_backend == nullptr) {
+        reject(Status::FailedPrecondition("streaming disabled"));
+        return true;
+      }
+      wire::StreamReportsMsg msg;
+      if (const Status st = wire::DecodeStreamReports(frame.payload, &msg);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      auto reports = options_.stream_backend->TakeReports(msg.stream,
+                                                         msg.max_reports);
+      if (!reports.ok()) {
+        reject(reports.status());
+        return true;
+      }
+      PushReady(conn, MessageType::kStreamReportsResult,
+                wire::EncodeStreamReportsResult(*reports));
       return true;
     }
     default: {
@@ -379,9 +498,9 @@ void WireServer::PollLoop() {
       const short revents = fds[i + 2].revents;
       bool drop = (revents & (POLLERR | POLLNVAL)) != 0;
 
+      bool peer_closed = false;
       if (!drop && (revents & POLLIN) && !conn->closing) {
-        // Drain the socket, then decode every complete frame.
-        bool peer_closed = false;
+        // Drain the socket into the connection's input buffer.
         for (;;) {
           uint8_t chunk[kReadChunk];
           const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
@@ -396,8 +515,24 @@ void WireServer::PollLoop() {
           }
           break;
         }
+      } else if (revents & POLLHUP) {
+        // No readable data pending and the peer hung up.
+        drop = true;
+      }
+
+      // Decode every complete buffered frame. This runs on every poll
+      // iteration (not only after a read) so frames parked behind an
+      // in-progress LoadModel resume decoding when the completion thread
+      // clears admin_busy and wakes the poll.
+      if (!drop && !conn->closing && !conn->inbuf.empty()) {
         size_t off = 0;
         while (!conn->closing) {
+          {
+            // An off-thread LoadModel is running: stop here so this
+            // connection's later frames observe its effects.
+            std::lock_guard<std::mutex> lock(conn->out_mu);
+            if (conn->admin_busy) break;
+          }
           wire::Frame frame;
           size_t consumed = 0;
           std::string error;
@@ -434,11 +569,8 @@ void WireServer::PollLoop() {
         }
         conn->inbuf.erase(conn->inbuf.begin(),
                           conn->inbuf.begin() + static_cast<long>(off));
-        if (peer_closed) drop = true;
-      } else if (revents & POLLHUP) {
-        // No readable data pending and the peer hung up.
-        drop = true;
       }
+      if (peer_closed) drop = true;
 
       if (!drop && (revents & POLLOUT)) {
         std::lock_guard<std::mutex> lock(conn->out_mu);
@@ -488,32 +620,45 @@ void WireServer::PollLoop() {
   connections_.clear();
 }
 
+namespace {
+
+template <typename T>
+bool FutureReady(const std::future<T>& future) {
+  return future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+}  // namespace
+
 bool WireServer::PendingIsReady(const Pending& pending) {
-  const auto ready = [](const std::future<DiscoveryResponse>& future) {
-    return future.wait_for(std::chrono::seconds(0)) ==
-           std::future_status::ready;
-  };
-  if (pending.is_future) return ready(pending.future);
+  if (pending.is_future) return FutureReady(pending.future);
+  if (pending.is_frame_future) return FutureReady(pending.frame_future);
   if (pending.is_batch) {
     for (const auto& future : pending.batch_futures) {
-      if (!ready(future)) return false;
+      if (!FutureReady(future)) return false;
     }
   }
   return true;
 }
 
-std::future<DiscoveryResponse>* WireServer::StallFuture(Pending& pending) {
-  const auto ready = [](const std::future<DiscoveryResponse>& future) {
-    return future.wait_for(std::chrono::seconds(0)) ==
-           std::future_status::ready;
-  };
-  if (pending.is_future && !ready(pending.future)) return &pending.future;
+void WireServer::AwaitPendingBriefly(Pending& pending) {
+  constexpr auto kStall = std::chrono::milliseconds(1);
+  if (pending.is_future && !FutureReady(pending.future)) {
+    pending.future.wait_for(kStall);
+    return;
+  }
+  if (pending.is_frame_future && !FutureReady(pending.frame_future)) {
+    pending.frame_future.wait_for(kStall);
+    return;
+  }
   if (pending.is_batch) {
     for (auto& future : pending.batch_futures) {
-      if (!ready(future)) return &future;
+      if (!FutureReady(future)) {
+        future.wait_for(kStall);
+        return;
+      }
     }
   }
-  return nullptr;
 }
 
 void WireServer::CompletionLoop() {
@@ -543,16 +688,15 @@ void WireServer::CompletionLoop() {
     }
     if (ready_it == completions_.end()) {
       // Every connection head is still computing. Engine futures have no
-      // hook into completion_cv_, so wait on the oldest unresolved future
-      // outside the lock: wait_for returns the instant it resolves, and the
-      // bound re-scans for other connections' futures that resolved
-      // meanwhile. push_back never invalidates deque element references,
-      // and only this thread erases, so the pointer stays valid unlocked.
-      std::future<DiscoveryResponse>* stall = StallFuture(completions_.front());
+      // hook into completion_cv_, so wait on the oldest pending's first
+      // unresolved future outside the lock: wait_for returns the instant it
+      // resolves, and the bound re-scans for other connections' futures
+      // that resolved meanwhile. push_back never invalidates deque element
+      // references, and only this thread erases, so the reference stays
+      // valid unlocked.
+      Pending& stall = completions_.front();
       lock.unlock();
-      if (stall != nullptr) {
-        stall->wait_for(std::chrono::milliseconds(1));
-      }
+      AwaitPendingBriefly(stall);
       lock.lock();
       continue;
     }
@@ -581,6 +725,8 @@ void WireServer::CompletionLoop() {
                                       wire::EncodeError(first_error));
     } else if (pending.is_future) {
       frame = EncodeResponse(pending.future.get());
+    } else if (pending.is_frame_future) {
+      frame = pending.frame_future.get();
     } else {
       frame = std::move(pending.ready);
     }
@@ -592,6 +738,10 @@ void WireServer::CompletionLoop() {
                                     frame.end());
         if (pending.close_after) pending.conn->close_after_flush = true;
       }
+      // The off-thread load finished (its registry effects are visible):
+      // let the poll thread resume decoding this connection's parked
+      // frames. WakePoll below re-runs its decode pass.
+      if (pending.clears_admin_busy) pending.conn->admin_busy = false;
     }
     WakePoll();
     lock.lock();

@@ -33,11 +33,16 @@
 ///
 /// Responses on a connection are sent in request order (the protocol allows
 /// pipelining); ordering across connections is unspecified. Control frames
-/// (Ping/Stats/Load/Unload) are answered through the same completion queue
-/// so they cannot overtake an earlier Detect on the same connection.
+/// (Ping/Stats/Load/Unload and the streaming frames) are answered through
+/// the same completion queue so they cannot overtake an earlier Detect on
+/// the same connection. LoadModel's checkpoint deserialisation runs on a
+/// transient worker thread — never the poll thread — so a model load cannot
+/// stall dispatch for other connections.
 
 namespace causalformer {
 namespace serve {
+
+class StreamBackend;
 
 /// WireServer construction knobs.
 struct WireServerOptions {
@@ -50,6 +55,10 @@ struct WireServerOptions {
   /// Permit LoadModel/UnloadModel frames. Off, they answer
   /// kFailedPrecondition — queries cannot mutate the registry.
   bool allow_admin = true;
+  /// Handler for the v2 streaming frames (stream/window_scheduler.h is the
+  /// production implementation; must outlive the server). Null answers every
+  /// streaming frame kFailedPrecondition — streaming is disabled.
+  StreamBackend* stream_backend = nullptr;
 };
 
 /// A TCP server bridging wire-protocol clients onto one InferenceEngine.
@@ -95,8 +104,10 @@ class WireServer {
   void CompletionLoop();
   /// True when encoding `pending` cannot block (every future resolved).
   static bool PendingIsReady(const Pending& pending);
-  /// The first unresolved future of `pending`, or null when it is ready.
-  static std::future<DiscoveryResponse>* StallFuture(Pending& pending);
+  /// Blocks briefly (≤ 1 ms) on the first unresolved future of `pending`,
+  /// returning immediately when it is ready. Called unlocked by the
+  /// completion thread as its bounded stall.
+  static void AwaitPendingBriefly(Pending& pending);
   /// Dispatches one decoded frame; returns false when the connection must
   /// close without a response (unsalvageable framing).
   bool HandleFrame(const std::shared_ptr<Connection>& conn,

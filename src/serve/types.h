@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/detector.h"
+#include "serve/score_cache.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -30,6 +31,15 @@ struct DiscoveryRequest {
   std::string model;             ///< registry name of the loaded checkpoint
   Tensor windows;                ///< [B, N, T] window batch to interpret
   core::DetectorOptions options; ///< detector knobs (clusters, ablations, ...)
+  /// Optional precomputed content hash of `windows`. When set, the engine
+  /// uses it for the cache key instead of rehashing the tensor — the lever
+  /// that lets the streaming layer's incremental (per-column-digest) hasher
+  /// make an overlapping-window submission cost O(stride·N) instead of
+  /// O(window·N). The caller vouches that the hash equals
+  /// HashWindows(windows); trusted in-process callers only (the wire decoder
+  /// never sets it).
+  bool has_window_hash = false;  ///< window_hash is populated
+  WindowHash window_hash;        ///< precomputed HashWindows(windows)
 };
 
 /// The answer to one DiscoveryRequest.

@@ -191,7 +191,114 @@ Status ReadDetectResult(PayloadReader* r, DetectResultMsg* msg) {
   return Status::Ok();
 }
 
+// One edge list: u32 count + per edge (i32 from, i32 to, i32 delay,
+// f64 score). Shared by the stream report blocks.
+void WriteEdges(PayloadWriter* w, const std::vector<CausalEdge>& edges) {
+  w->U32(static_cast<uint32_t>(edges.size()));
+  for (const CausalEdge& edge : edges) {
+    w->I32(edge.from);
+    w->I32(edge.to);
+    w->I32(edge.delay);
+    w->F64(edge.score);
+  }
+}
+
+Status ReadEdges(PayloadReader* r, int32_t num_series,
+                 std::vector<CausalEdge>* edges) {
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r->U32(&count));
+  const uint64_t pairs =
+      static_cast<uint64_t>(num_series) * static_cast<uint64_t>(num_series);
+  if (count > pairs) {
+    return Status::InvalidArgument("edge list: more edges than pairs");
+  }
+  // n² alone is attacker-controlled (a hostile peer can claim n = 2^31);
+  // bound the reserve by the bytes actually present — 20 per edge.
+  if (static_cast<uint64_t>(count) * 20 > r->remaining()) {
+    return Status::InvalidArgument("edge list: count exceeds payload");
+  }
+  edges->clear();
+  edges->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CausalEdge edge;
+    CF_RETURN_IF_ERROR(r->I32(&edge.from));
+    CF_RETURN_IF_ERROR(r->I32(&edge.to));
+    CF_RETURN_IF_ERROR(r->I32(&edge.delay));
+    CF_RETURN_IF_ERROR(r->F64(&edge.score));
+    if (edge.from < 0 || edge.from >= num_series || edge.to < 0 ||
+        edge.to >= num_series) {
+      return Status::InvalidArgument("edge list: endpoint out of range");
+    }
+    edges->push_back(edge);
+  }
+  return Status::Ok();
+}
+
+void WriteStreamReport(PayloadWriter* w, const StreamReportMsg& msg) {
+  w->U64(msg.window_index);
+  w->I64(msg.window_start);
+  uint8_t flags = 0;
+  if (msg.cache_hit) flags |= 1u << 0;
+  if (msg.has_baseline) flags |= 1u << 1;
+  if (msg.drifted) flags |= 1u << 2;
+  if (msg.regime_change) flags |= 1u << 3;
+  w->U8(flags);
+  w->I32(msg.batch_size);
+  w->F64(msg.latency_seconds);
+  w->I32(msg.num_series);
+  WriteEdges(w, msg.edges);
+  w->I32(msg.consecutive_drifts);
+  w->I32(msg.edges_added);
+  w->I32(msg.edges_removed);
+  w->I32(msg.edges_kept);
+  w->I32(msg.delay_changes);
+  w->F64(msg.mean_abs_score_delta);
+  w->F64(msg.max_abs_score_delta);
+  w->F64(msg.jaccard);
+  WriteEdges(w, msg.added);
+  WriteEdges(w, msg.removed);
+}
+
+Status ReadStreamReport(PayloadReader* r, StreamReportMsg* msg) {
+  CF_RETURN_IF_ERROR(r->U64(&msg->window_index));
+  CF_RETURN_IF_ERROR(r->I64(&msg->window_start));
+  uint8_t flags = 0;
+  CF_RETURN_IF_ERROR(r->U8(&flags));
+  if ((flags & ~0x0Fu) != 0) {
+    return Status::InvalidArgument("stream report: reserved flag bits set");
+  }
+  msg->cache_hit = (flags & (1u << 0)) != 0;
+  msg->has_baseline = (flags & (1u << 1)) != 0;
+  msg->drifted = (flags & (1u << 2)) != 0;
+  msg->regime_change = (flags & (1u << 3)) != 0;
+  CF_RETURN_IF_ERROR(r->I32(&msg->batch_size));
+  CF_RETURN_IF_ERROR(r->F64(&msg->latency_seconds));
+  CF_RETURN_IF_ERROR(r->I32(&msg->num_series));
+  if (msg->num_series < 1) {
+    return Status::InvalidArgument("stream report: num_series must be >= 1");
+  }
+  CF_RETURN_IF_ERROR(ReadEdges(r, msg->num_series, &msg->edges));
+  CF_RETURN_IF_ERROR(r->I32(&msg->consecutive_drifts));
+  CF_RETURN_IF_ERROR(r->I32(&msg->edges_added));
+  CF_RETURN_IF_ERROR(r->I32(&msg->edges_removed));
+  CF_RETURN_IF_ERROR(r->I32(&msg->edges_kept));
+  CF_RETURN_IF_ERROR(r->I32(&msg->delay_changes));
+  CF_RETURN_IF_ERROR(r->F64(&msg->mean_abs_score_delta));
+  CF_RETURN_IF_ERROR(r->F64(&msg->max_abs_score_delta));
+  CF_RETURN_IF_ERROR(r->F64(&msg->jaccard));
+  CF_RETURN_IF_ERROR(ReadEdges(r, msg->num_series, &msg->added));
+  CF_RETURN_IF_ERROR(ReadEdges(r, msg->num_series, &msg->removed));
+  return Status::Ok();
+}
+
 }  // namespace
+
+bool IsKnownMessageType(uint8_t type) {
+  return (type >= static_cast<uint8_t>(MessageType::kPing) &&
+          type <= static_cast<uint8_t>(MessageType::kError)) ||
+         (type >= static_cast<uint8_t>(MessageType::kStreamOpen) &&
+          type <= static_cast<uint8_t>(MessageType::kStreamReportsResult));
+}
 
 // ---- Frame ----------------------------------------------------------------
 
@@ -231,8 +338,7 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
   if (data[6] != 0 || data[7] != 0) {
     return fail(DecodeResult::kMalformed, "reserved header bytes set");
   }
-  if (type < static_cast<uint8_t>(MessageType::kPing) ||
-      type > static_cast<uint8_t>(MessageType::kError)) {
+  if (!IsKnownMessageType(type)) {
     return fail(DecodeResult::kMalformed, "unknown message type");
   }
   uint32_t length = 0, crc = 0;
@@ -537,6 +643,7 @@ std::vector<uint8_t> EncodeStatsResult(const StatsResultMsg& msg) {
   w.U64(msg.cache_hits);
   w.U64(msg.cache_misses);
   w.U64(msg.cache_evictions);
+  w.U64(msg.cache_expirations);
   w.U64(msg.cache_size);
   w.U64(msg.cache_capacity);
   w.U64(msg.batch_requests);
@@ -564,6 +671,7 @@ Status DecodeStatsResult(const std::vector<uint8_t>& payload,
   CF_RETURN_IF_ERROR(r.U64(&msg->cache_hits));
   CF_RETURN_IF_ERROR(r.U64(&msg->cache_misses));
   CF_RETURN_IF_ERROR(r.U64(&msg->cache_evictions));
+  CF_RETURN_IF_ERROR(r.U64(&msg->cache_expirations));
   CF_RETURN_IF_ERROR(r.U64(&msg->cache_size));
   CF_RETURN_IF_ERROR(r.U64(&msg->cache_capacity));
   CF_RETURN_IF_ERROR(r.U64(&msg->batch_requests));
@@ -590,6 +698,179 @@ Status DecodeStatsResult(const std::vector<uint8_t>& payload,
     CF_RETURN_IF_ERROR(r.I64(&model.num_series));
     CF_RETURN_IF_ERROR(r.I64(&model.window));
     msg->models.push_back(std::move(model));
+  }
+  return r.ExpectEnd();
+}
+
+// ---- Streaming messages (protocol version 2) -------------------------------
+
+std::vector<uint8_t> EncodeStreamOpen(const StreamOpenMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.stream);
+  w.Str(msg.model);
+  w.I64(msg.window);
+  w.I64(msg.stride);
+  w.I64(msg.history);
+  w.U32(msg.max_in_flight);
+  w.U32(msg.max_reports);
+  WriteDetectorOptions(&w, msg.options);
+  w.F64(msg.drift_score_threshold);
+  w.F64(msg.drift_flip_threshold);
+  w.I32(msg.stability_window);
+  return payload;
+}
+
+Status DecodeStreamOpen(const std::vector<uint8_t>& payload,
+                        StreamOpenMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->stream));
+  CF_RETURN_IF_ERROR(r.Str(&msg->model));
+  CF_RETURN_IF_ERROR(r.I64(&msg->window));
+  CF_RETURN_IF_ERROR(r.I64(&msg->stride));
+  CF_RETURN_IF_ERROR(r.I64(&msg->history));
+  CF_RETURN_IF_ERROR(r.U32(&msg->max_in_flight));
+  CF_RETURN_IF_ERROR(r.U32(&msg->max_reports));
+  CF_RETURN_IF_ERROR(ReadDetectorOptions(&r, &msg->options));
+  CF_RETURN_IF_ERROR(r.F64(&msg->drift_score_threshold));
+  CF_RETURN_IF_ERROR(r.F64(&msg->drift_flip_threshold));
+  CF_RETURN_IF_ERROR(r.I32(&msg->stability_window));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStreamOpenOk(const StreamOpenOkMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.I64(msg.window);
+  w.I64(msg.stride);
+  w.I64(msg.history);
+  return payload;
+}
+
+Status DecodeStreamOpenOk(const std::vector<uint8_t>& payload,
+                          StreamOpenOkMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.I64(&msg->window));
+  CF_RETURN_IF_ERROR(r.I64(&msg->stride));
+  CF_RETURN_IF_ERROR(r.I64(&msg->history));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStreamClose(const std::string& stream) {
+  std::vector<uint8_t> payload;
+  PayloadWriter(&payload).Str(stream);
+  return payload;
+}
+
+Status DecodeStreamClose(const std::vector<uint8_t>& payload,
+                         std::string* stream) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(stream));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeAppendSamples(const AppendSamplesMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.stream);
+  w.U32(static_cast<uint32_t>(msg.samples.dim(0)));
+  w.U32(static_cast<uint32_t>(msg.samples.dim(1)));
+  const float* p = msg.samples.data();
+  const int64_t count = msg.samples.numel();
+  for (int64_t i = 0; i < count; ++i) w.F32(p[i]);
+  return payload;
+}
+
+Status DecodeAppendSamples(const std::vector<uint8_t>& payload,
+                           AppendSamplesMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->stream));
+  uint32_t n = 0, k = 0;
+  CF_RETURN_IF_ERROR(r.U32(&n));
+  CF_RETURN_IF_ERROR(r.U32(&k));
+  if (n < 1 || k < 1) {
+    return Status::InvalidArgument("sample tensor dims must be >= 1");
+  }
+  // Division-based bound (see ReadWindows): n*k*4 can wrap uint64 for
+  // hostile dims, which would pass a product check and then allocate.
+  const uint64_t budget = r.remaining() / 4;
+  if (n > budget || static_cast<uint64_t>(n) * k > budget) {
+    return Status::InvalidArgument("sample tensor data truncated");
+  }
+  const uint64_t count = static_cast<uint64_t>(n) * k;
+  Tensor out = Tensor::Zeros(
+      Shape{static_cast<int64_t>(n), static_cast<int64_t>(k)});
+  float* p = out.data();
+  for (uint64_t i = 0; i < count; ++i) CF_RETURN_IF_ERROR(r.F32(&p[i]));
+  msg->samples = std::move(out);
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeAppendSamplesOk(const AppendSamplesOkMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(msg.total_samples);
+  w.U64(msg.windows_emitted);
+  w.U64(msg.windows_dropped);
+  w.U64(msg.windows_failed);
+  w.U32(msg.pending);
+  return payload;
+}
+
+Status DecodeAppendSamplesOk(const std::vector<uint8_t>& payload,
+                             AppendSamplesOkMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U64(&msg->total_samples));
+  CF_RETURN_IF_ERROR(r.U64(&msg->windows_emitted));
+  CF_RETURN_IF_ERROR(r.U64(&msg->windows_dropped));
+  CF_RETURN_IF_ERROR(r.U64(&msg->windows_failed));
+  CF_RETURN_IF_ERROR(r.U32(&msg->pending));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStreamReports(const StreamReportsMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.stream);
+  w.U32(msg.max_reports);
+  return payload;
+}
+
+Status DecodeStreamReports(const std::vector<uint8_t>& payload,
+                           StreamReportsMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->stream));
+  CF_RETURN_IF_ERROR(r.U32(&msg->max_reports));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeStreamReportsResult(
+    const std::vector<StreamReportMsg>& reports) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(static_cast<uint32_t>(reports.size()));
+  for (const StreamReportMsg& report : reports) {
+    WriteStreamReport(&w, report);
+  }
+  return payload;
+}
+
+Status DecodeStreamReportsResult(const std::vector<uint8_t>& payload,
+                                 std::vector<StreamReportMsg>* reports) {
+  PayloadReader r(payload.data(), payload.size());
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  // Each report needs >= 74 fixed bytes; reject before reserving.
+  if (static_cast<uint64_t>(count) * 74 > r.remaining()) {
+    return Status::InvalidArgument("stream reports: implausible count " +
+                                   std::to_string(count));
+  }
+  reports->clear();
+  reports->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    StreamReportMsg msg;
+    CF_RETURN_IF_ERROR(ReadStreamReport(&r, &msg));
+    reports->push_back(std::move(msg));
   }
   return r.ExpectEnd();
 }

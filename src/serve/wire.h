@@ -37,8 +37,11 @@ namespace wire {
 
 /// First frame bytes, "CFWP" — rejects non-protocol peers immediately.
 inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
-/// Protocol version spoken by this build (header byte 4).
-inline constexpr uint8_t kVersion = 1;
+/// Protocol version spoken by this build (header byte 4). Version 2 added
+/// the streaming frames (StreamOpen/Append/Reports) and the
+/// cache_expirations field of StatsResult — see docs/wire-protocol.md §3
+/// for the version history and negotiation rules.
+inline constexpr uint8_t kVersion = 2;
 /// Fixed frame header size in bytes (payload follows immediately).
 inline constexpr size_t kHeaderSize = 16;
 /// Upper bound on the payload length field; larger frames are malformed
@@ -46,7 +49,9 @@ inline constexpr size_t kHeaderSize = 16;
 inline constexpr uint32_t kMaxPayload = 64u << 20;
 
 /// Frame type tag (header byte 5). Odd values are requests, the following
-/// even value is the success response; kError answers any request.
+/// even value is the success response; kError answers any request. Value 14
+/// is reserved (it would pair as "kError's response"); the streaming frames
+/// added in protocol version 2 resume the odd/even pairing at 15.
 enum class MessageType : uint8_t {
   kPing = 1,               ///< liveness probe; payload: u64 token
   kPong = 2,               ///< Ping response echoing the token
@@ -61,7 +66,21 @@ enum class MessageType : uint8_t {
   kStats = 11,             ///< engine/server counters request (empty payload)
   kStatsResult = 12,       ///< Stats response
   kError = 13,             ///< error response: u32 code + string message
+  // 14 reserved.
+  kStreamOpen = 15,          ///< create a named server-side stream (v2)
+  kStreamOpenOk = 16,        ///< StreamOpen response (resolved config)
+  kStreamClose = 17,         ///< drop a stream; payload: str name (v2)
+  kStreamCloseOk = 18,       ///< StreamClose response (empty payload)
+  kAppendSamples = 19,       ///< append samples to a stream (v2)
+  kAppendSamplesOk = 20,     ///< AppendSamples response (stream counters)
+  kStreamReports = 21,       ///< drain a stream's window reports (v2)
+  kStreamReportsResult = 22, ///< StreamReports response
 };
+
+/// True for type values defined by this protocol version (used by frame
+/// decoding on both ends; value 14 and values past kStreamReportsResult are
+/// unknown).
+bool IsKnownMessageType(uint8_t type);
 
 /// One decoded frame: header fields plus raw payload bytes.
 struct Frame {
@@ -198,6 +217,7 @@ struct StatsResultMsg {
   uint64_t cache_hits = 0;        ///< ScoreCache hits
   uint64_t cache_misses = 0;      ///< ScoreCache misses
   uint64_t cache_evictions = 0;   ///< ScoreCache evictions
+  uint64_t cache_expirations = 0; ///< ScoreCache TTL expirations (v2)
   uint64_t cache_size = 0;        ///< current ScoreCache entries
   uint64_t cache_capacity = 0;    ///< ScoreCache capacity
   uint64_t batch_requests = 0;    ///< requests submitted to the batcher
@@ -215,6 +235,82 @@ struct StatsResultMsg {
 struct ErrorMsg {
   uint32_t code = 0;    ///< numeric StatusCode (docs/wire-protocol.md §5)
   std::string message;  ///< human-readable diagnostic
+};
+
+// ---- Streaming messages (protocol version 2) ---------------------------
+
+/// kStreamOpen request: create a named sliding-window stream on the server.
+struct StreamOpenMsg {
+  std::string stream;             ///< stream name (unique per server)
+  std::string model;              ///< registry model to detect with
+  int64_t window = 0;             ///< window width; 0 = the model's window
+  int64_t stride = 1;             ///< samples between window emissions
+  int64_t history = 0;            ///< ring capacity in samples; 0 = default
+  uint32_t max_in_flight = 4;     ///< in-flight detection debounce bound
+  uint32_t max_reports = 256;     ///< retained (undrained) report bound
+  core::DetectorOptions options;  ///< detector knobs for every window
+  double drift_score_threshold = 0.25;  ///< DriftOptions::score_delta_threshold
+  double drift_flip_threshold = 0.34;   ///< DriftOptions::flip_fraction_threshold
+  int32_t stability_window = 3;         ///< DriftOptions::stability_window
+};
+
+/// kStreamOpenOk response: the config after server-side defaulting.
+struct StreamOpenOkMsg {
+  int64_t window = 0;   ///< resolved window width
+  int64_t stride = 0;   ///< resolved stride
+  int64_t history = 0;  ///< resolved ring capacity
+};
+
+/// kAppendSamples request: push samples onto a stream's ring.
+struct AppendSamplesMsg {
+  std::string stream;  ///< stream to append to
+  Tensor samples;      ///< [N, K] series-major sample columns
+};
+
+/// kAppendSamplesOk response: the stream's counters after the append —
+/// enough for a producer to observe backpressure (pending), loss
+/// (windows_dropped) and detection failures (windows_failed, e.g. the
+/// stream's model was unloaded) without a separate stats round-trip.
+struct AppendSamplesOkMsg {
+  uint64_t total_samples = 0;    ///< stream length after the append
+  uint64_t windows_emitted = 0;  ///< detections submitted so far (lifetime)
+  uint64_t windows_dropped = 0;  ///< windows lost to ring overrun (lifetime)
+  uint64_t windows_failed = 0;   ///< detections that errored (lifetime)
+  uint32_t pending = 0;          ///< detections currently in flight
+};
+
+/// kStreamReports request: drain up to max_reports completed-window reports
+/// (0 = all available). Reports are drained oldest first, at most once.
+struct StreamReportsMsg {
+  std::string stream;        ///< stream to drain
+  uint32_t max_reports = 0;  ///< drain bound; 0 = everything available
+};
+
+/// One completed window's report (the repeated unit of
+/// kStreamReportsResult): the discovered graph plus the drift comparison
+/// against the stream's previous window.
+struct StreamReportMsg {
+  uint64_t window_index = 0;   ///< ordinal of the window in its stream
+  int64_t window_start = 0;    ///< absolute sample index of the first column
+  bool cache_hit = false;      ///< answered from the ScoreCache
+  bool has_baseline = false;   ///< false for the stream's first window
+  bool drifted = false;        ///< the pair exceeded a drift threshold
+  bool regime_change = false;  ///< drift persisted for stability_window
+  int32_t batch_size = 0;      ///< micro-batch size the window rode in
+  double latency_seconds = 0;  ///< submit→completion seconds
+  int32_t num_series = 0;      ///< series count (edge endpoint bound)
+  std::vector<CausalEdge> edges;  ///< the window's discovered graph
+  // Drift fields, zeroed when !has_baseline:
+  int32_t consecutive_drifts = 0;   ///< drifting windows in a row
+  int32_t edges_added = 0;          ///< edges new vs the previous window
+  int32_t edges_removed = 0;        ///< edges gone vs the previous window
+  int32_t edges_kept = 0;           ///< edges shared with the previous window
+  int32_t delay_changes = 0;        ///< kept edges whose delay moved
+  double mean_abs_score_delta = 0;  ///< mean |Δscore| over all pairs
+  double max_abs_score_delta = 0;   ///< max |Δscore| over all pairs
+  double jaccard = 1.0;             ///< edge-set stability (1 = identical)
+  std::vector<CausalEdge> added;    ///< the flipped-on edges
+  std::vector<CausalEdge> removed;  ///< the flipped-off edges
 };
 
 /// Encodes a Ping/Pong payload carrying `token`.
@@ -268,6 +364,49 @@ std::vector<uint8_t> EncodeStatsResult(const StatsResultMsg& msg);
 /// Decodes a kStatsResult payload.
 Status DecodeStatsResult(const std::vector<uint8_t>& payload,
                          StatsResultMsg* msg);
+
+/// Encodes a kStreamOpen payload.
+std::vector<uint8_t> EncodeStreamOpen(const StreamOpenMsg& msg);
+/// Decodes a kStreamOpen payload.
+Status DecodeStreamOpen(const std::vector<uint8_t>& payload,
+                        StreamOpenMsg* msg);
+
+/// Encodes a kStreamOpenOk payload.
+std::vector<uint8_t> EncodeStreamOpenOk(const StreamOpenOkMsg& msg);
+/// Decodes a kStreamOpenOk payload.
+Status DecodeStreamOpenOk(const std::vector<uint8_t>& payload,
+                          StreamOpenOkMsg* msg);
+
+/// Encodes a kStreamClose payload (just the stream name).
+std::vector<uint8_t> EncodeStreamClose(const std::string& stream);
+/// Decodes a kStreamClose payload.
+Status DecodeStreamClose(const std::vector<uint8_t>& payload,
+                         std::string* stream);
+
+/// Encodes a kAppendSamples payload.
+std::vector<uint8_t> EncodeAppendSamples(const AppendSamplesMsg& msg);
+/// Decodes a kAppendSamples payload (rebuilds the [N, K] sample tensor).
+Status DecodeAppendSamples(const std::vector<uint8_t>& payload,
+                           AppendSamplesMsg* msg);
+
+/// Encodes a kAppendSamplesOk payload.
+std::vector<uint8_t> EncodeAppendSamplesOk(const AppendSamplesOkMsg& msg);
+/// Decodes a kAppendSamplesOk payload.
+Status DecodeAppendSamplesOk(const std::vector<uint8_t>& payload,
+                             AppendSamplesOkMsg* msg);
+
+/// Encodes a kStreamReports payload.
+std::vector<uint8_t> EncodeStreamReports(const StreamReportsMsg& msg);
+/// Decodes a kStreamReports payload.
+Status DecodeStreamReports(const std::vector<uint8_t>& payload,
+                           StreamReportsMsg* msg);
+
+/// Encodes a kStreamReportsResult payload (u32 count + repeated reports).
+std::vector<uint8_t> EncodeStreamReportsResult(
+    const std::vector<StreamReportMsg>& reports);
+/// Decodes a kStreamReportsResult payload.
+Status DecodeStreamReportsResult(const std::vector<uint8_t>& payload,
+                                 std::vector<StreamReportMsg>* reports);
 
 /// Encodes a kError payload from a Status (code + message).
 std::vector<uint8_t> EncodeError(const Status& status);

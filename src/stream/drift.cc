@@ -1,0 +1,87 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace stream {
+
+DriftReport CompareResults(const core::DetectionResult& prev,
+                           const core::DetectionResult& next,
+                           const DriftOptions& options) {
+  const int n = prev.scores.num_series();
+  CF_CHECK_EQ(next.scores.num_series(), n)
+      << "consecutive windows of one stream must agree on the series count";
+  DriftReport report;
+
+  // Score movement over every ordered pair, plus the previous window's peak
+  // magnitude as the drift scale (so the threshold is relative, not tied to
+  // one model's score units).
+  double sum_delta = 0;
+  double prev_peak = 0;
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < n; ++to) {
+      const double delta =
+          std::fabs(next.scores.at(from, to) - prev.scores.at(from, to));
+      sum_delta += delta;
+      report.max_abs_score_delta = std::max(report.max_abs_score_delta, delta);
+      prev_peak = std::max(prev_peak, std::fabs(prev.scores.at(from, to)));
+    }
+  }
+  report.mean_abs_score_delta = sum_delta / (static_cast<double>(n) * n);
+
+  // Edge flips by (from, to) endpoints; delay moves on kept edges are
+  // counted but do not flip the edge.
+  for (const CausalEdge& edge : next.graph.edges()) {
+    const auto old_edge = prev.graph.FindEdge(edge.from, edge.to);
+    if (!old_edge.has_value()) {
+      ++report.edges_added;
+      report.added.push_back(edge);
+    } else {
+      ++report.edges_kept;
+      if (old_edge->delay != edge.delay) ++report.delay_changes;
+    }
+  }
+  for (const CausalEdge& edge : prev.graph.edges()) {
+    if (!next.graph.HasEdge(edge.from, edge.to)) {
+      ++report.edges_removed;
+      report.removed.push_back(edge);
+    }
+  }
+  const int edge_union =
+      report.edges_kept + report.edges_added + report.edges_removed;
+  report.jaccard =
+      edge_union == 0
+          ? 1.0
+          : static_cast<double>(report.edges_kept) / edge_union;
+
+  const double scale = std::max(prev_peak, 1e-12);
+  report.drifted =
+      report.mean_abs_score_delta / scale > options.score_delta_threshold ||
+      1.0 - report.jaccard > options.flip_fraction_threshold;
+  return report;
+}
+
+DriftTracker::DriftTracker(const DriftOptions& options) : options_(options) {}
+
+std::optional<DriftReport> DriftTracker::Observe(
+    std::shared_ptr<const core::DetectionResult> result) {
+  CF_CHECK(result != nullptr);
+  if (prev_ == nullptr) {
+    prev_ = std::move(result);
+    consecutive_ = 0;
+    return std::nullopt;
+  }
+  DriftReport report = CompareResults(*prev_, *result, options_);
+  consecutive_ = report.drifted ? consecutive_ + 1 : 0;
+  report.consecutive_drifts = consecutive_;
+  report.regime_change = options_.stability_window > 0 &&
+                         consecutive_ >= options_.stability_window;
+  prev_ = std::move(result);
+  return report;
+}
+
+}  // namespace stream
+}  // namespace causalformer

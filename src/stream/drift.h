@@ -1,0 +1,89 @@
+#ifndef CAUSALFORMER_STREAM_DRIFT_H_
+#define CAUSALFORMER_STREAM_DRIFT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "graph/causal_graph.h"
+
+/// \file
+/// Drift detection over consecutive sliding-window causal graphs.
+///
+/// Non-stationary systems (TTCD-style, PAPERS.md) need more than a per-window
+/// graph: the interesting signal is the *change* between windows — edges
+/// appearing/disappearing, score mass moving, and whether a change persists
+/// long enough to call it a regime change rather than estimation noise.
+/// CompareResults scores one window pair; DriftTracker folds the pairwise
+/// comparisons into stability counters across a stream's lifetime.
+
+namespace causalformer {
+namespace stream {
+
+/// Drift-decision knobs.
+struct DriftOptions {
+  /// A window pair drifts when the mean |Δscore| over all (from, to) pairs
+  /// exceeds this fraction of the previous window's peak |score|.
+  double score_delta_threshold = 0.25;
+  /// ... or when the flipped fraction of the edge-set union (1 − Jaccard)
+  /// exceeds this.
+  double flip_fraction_threshold = 0.34;
+  /// Consecutive drifting windows before the tracker reports a regime
+  /// change (debounces single-window estimation noise).
+  int stability_window = 3;
+};
+
+/// The comparison of one consecutive window pair (plus tracker counters).
+struct DriftReport {
+  int edges_added = 0;    ///< edges in the new graph only
+  int edges_removed = 0;  ///< edges in the old graph only
+  int edges_kept = 0;     ///< edges in both (by endpoints)
+  int delay_changes = 0;  ///< kept edges whose delay estimate moved
+  /// |old ∩ new| / |old ∪ new| over (from, to) edge sets; 1.0 when both are
+  /// empty (identical graphs, no drift signal).
+  double jaccard = 1.0;
+  double mean_abs_score_delta = 0;  ///< mean |Δscore| over all pairs
+  double max_abs_score_delta = 0;   ///< max |Δscore| over all pairs
+  /// Edges that flipped, for operators chasing *what* changed.
+  std::vector<CausalEdge> added;    ///< new graph's novel edges
+  std::vector<CausalEdge> removed;  ///< old graph's vanished edges
+  bool drifted = false;  ///< this pair exceeded a drift threshold
+  /// Set by DriftTracker (never by CompareResults):
+  int consecutive_drifts = 0;  ///< drifting windows in a row, incl. this one
+  bool regime_change = false;  ///< consecutive_drifts reached stability_window
+};
+
+/// Compares consecutive window results (same series count). Fills every
+/// field except the tracker counters.
+DriftReport CompareResults(const core::DetectionResult& prev,
+                           const core::DetectionResult& next,
+                           const DriftOptions& options = {});
+
+/// Folds per-window results into drift reports with stability counters.
+/// Single-writer: the WindowScheduler calls Observe in window order.
+class DriftTracker {
+ public:
+  /// A tracker that has seen no window yet.
+  explicit DriftTracker(const DriftOptions& options = {});
+
+  /// Observes the next window's result. Returns the comparison against the
+  /// previous window, or nullopt for the stream's first window (no baseline).
+  /// Keeps `result` (shared, immutable) as the next comparison's baseline.
+  std::optional<DriftReport> Observe(
+      std::shared_ptr<const core::DetectionResult> result);
+
+  /// Drifting windows in a row as of the last Observe.
+  int consecutive_drifts() const { return consecutive_; }
+
+ private:
+  DriftOptions options_;
+  std::shared_ptr<const core::DetectionResult> prev_;
+  int consecutive_ = 0;
+};
+
+}  // namespace stream
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_STREAM_DRIFT_H_

@@ -1,0 +1,124 @@
+#include "stream/ring_series.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace stream {
+
+namespace {
+
+Status CheckSamples(const Tensor& samples, int64_t n) {
+  if (!samples.defined() || samples.ndim() != 2) {
+    return Status::InvalidArgument("samples must be a [N, K] tensor");
+  }
+  if (samples.dim(0) != n) {
+    return Status::InvalidArgument(
+        "samples have " + std::to_string(samples.dim(0)) +
+        " series, stream has " + std::to_string(n));
+  }
+  if (samples.dim(1) < 1) {
+    return Status::InvalidArgument("samples must carry at least one column");
+  }
+  return Status::Ok();
+}
+
+Status CheckWindowRange(int64_t end, int64_t width, int64_t oldest,
+                        int64_t total) {
+  if (width < 1) return Status::InvalidArgument("window width must be >= 1");
+  if (end > total) {
+    return Status::OutOfRange("window end " + std::to_string(end) +
+                              " is past the stream head " +
+                              std::to_string(total));
+  }
+  if (end - width < oldest) {
+    return Status::OutOfRange(
+        "window [" + std::to_string(end - width) + ", " + std::to_string(end) +
+        ") fell out of the ring (oldest retained sample: " +
+        std::to_string(oldest) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+RingSeries::RingSeries(int64_t num_series, int64_t capacity)
+    : n_(num_series), capacity_(capacity) {
+  CF_CHECK_GE(n_, 1);
+  CF_CHECK_GE(capacity_, 1);
+  data_.assign(static_cast<size_t>(n_ * capacity_), 0.0f);
+}
+
+Status RingSeries::Append(const Tensor& samples) {
+  CF_RETURN_IF_ERROR(CheckSamples(samples, n_));
+  const int64_t k = samples.dim(1);
+  const float* src = samples.data();
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t slot = (total_ + j) % capacity_;
+    for (int64_t i = 0; i < n_; ++i) {
+      data_[static_cast<size_t>(i * capacity_ + slot)] = src[i * k + j];
+    }
+  }
+  total_ += k;
+  return Status::Ok();
+}
+
+StatusOr<Tensor> RingSeries::Window(int64_t end, int64_t width) const {
+  CF_RETURN_IF_ERROR(CheckWindowRange(end, width, oldest(), total_));
+  Tensor out = Tensor::Zeros(Shape{1, n_, width});
+  float* dst = out.data();
+  const int64_t start = end - width;
+  for (int64_t i = 0; i < n_; ++i) {
+    for (int64_t j = 0; j < width; ++j) {
+      const int64_t slot = (start + j) % capacity_;
+      dst[i * width + j] = data_[static_cast<size_t>(i * capacity_ + slot)];
+    }
+  }
+  return out;
+}
+
+StatusOr<Tensor> RingSeries::Latest(int64_t width) const {
+  auto window = Window(total_, width);
+  if (!window.ok()) return window.status();
+  Tensor out = Tensor::Zeros(Shape{n_, width});
+  const float* src = window->data();
+  std::copy(src, src + n_ * width, out.data());
+  return out;
+}
+
+RollingWindowHasher::RollingWindowHasher(int64_t num_series, int64_t capacity)
+    : n_(num_series), capacity_(capacity) {
+  CF_CHECK_GE(n_, 1);
+  CF_CHECK_GE(capacity_, 1);
+  digests_.assign(static_cast<size_t>(capacity_), serve::ColumnDigest{});
+}
+
+Status RollingWindowHasher::Append(const Tensor& samples) {
+  CF_RETURN_IF_ERROR(CheckSamples(samples, n_));
+  const int64_t k = samples.dim(1);
+  const float* src = samples.data();
+  for (int64_t j = 0; j < k; ++j) {
+    // Column j of the [N, K] append tensor: values stride K apart.
+    digests_[static_cast<size_t>((total_ + j) % capacity_)] =
+        serve::HashWindowColumn(src + j, n_, k);
+  }
+  total_ += k;
+  return Status::Ok();
+}
+
+StatusOr<serve::WindowHash> RollingWindowHasher::Window(int64_t end,
+                                                       int64_t width) const {
+  const int64_t held = total_ < capacity_ ? total_ : capacity_;
+  CF_RETURN_IF_ERROR(CheckWindowRange(end, width, total_ - held, total_));
+  std::vector<serve::ColumnDigest> window(static_cast<size_t>(width));
+  const int64_t start = end - width;
+  for (int64_t j = 0; j < width; ++j) {
+    window[static_cast<size_t>(j)] =
+        digests_[static_cast<size_t>((start + j) % capacity_)];
+  }
+  return CombineColumnDigests(window, n_);
+}
+
+}  // namespace stream
+}  // namespace causalformer

@@ -1,0 +1,100 @@
+#ifndef CAUSALFORMER_STREAM_RING_SERIES_H_
+#define CAUSALFORMER_STREAM_RING_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/score_cache.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+/// \file
+/// Bounded ring storage for one live multivariate series, plus the rolling
+/// window hasher that prices an overlapping-window submission at
+/// O(stride·N + window) instead of O(window·N).
+///
+/// A stream appends samples (time-step columns of N values) as they arrive;
+/// the ring keeps the most recent `capacity` of them, addressed by their
+/// *absolute* sample index (0 = first sample ever appended), so window
+/// requests are phrased against stream time and fail loudly once the data
+/// has been overwritten. Window() materialises the `[1, N, width]` tensors
+/// the detector consumes.
+///
+/// RingSeries and RollingWindowHasher are deliberately unsynchronised single
+/// -writer structures; the WindowScheduler serialises access per stream.
+
+namespace causalformer {
+namespace stream {
+
+/// Bounded ring of multivariate samples, addressed by absolute sample index.
+class RingSeries {
+ public:
+  /// A ring for `num_series` series keeping the latest `capacity` samples.
+  RingSeries(int64_t num_series, int64_t capacity);
+
+  int64_t num_series() const { return n_; }   ///< series count N
+  int64_t capacity() const { return capacity_; }  ///< retained sample bound
+  /// Samples currently held (≤ capacity).
+  int64_t size() const { return total_ < capacity_ ? total_ : capacity_; }
+  /// Samples ever appended; the absolute index one past the newest sample.
+  int64_t total_appended() const { return total_; }
+  /// Absolute index of the oldest sample still in the ring.
+  int64_t oldest() const { return total_ - size(); }
+
+  /// Appends `samples` ([N, K], series-major — column k is the sample at
+  /// absolute index total_appended()+k). Fails on a geometry mismatch.
+  Status Append(const Tensor& samples);
+
+  /// The `[1, N, width]` window of samples [end-width, end) in absolute
+  /// indices, materialised for the detector. Fails when the range is empty,
+  /// still in the future, or already overwritten.
+  StatusOr<Tensor> Window(int64_t end, int64_t width) const;
+
+  /// The newest `width` samples as `[N, width]` (for inspection/replay).
+  StatusOr<Tensor> Latest(int64_t width) const;
+
+ private:
+  int64_t n_;
+  int64_t capacity_;
+  int64_t total_ = 0;
+  std::vector<float> data_;  // [N][capacity], column index = t % capacity
+};
+
+/// Rolling variant of serve::HashWindows over a live stream.
+///
+/// Keeps one serve::ColumnDigest per retained sample (computed once, O(N),
+/// when the sample is appended) and combines the `width` digests of a window
+/// in O(width) — so after the first window, advancing by `stride` costs
+/// O(stride·N) digest work plus an O(width) fold, not an O(width·N) rehash.
+/// Window() is bit-identical to serve::HashWindows of the materialised
+/// `[1, N, width]` tensor, so the hashes are valid ScoreCache keys and
+/// overlapping windows across streams with identical content collide into
+/// the same cache entry.
+class RollingWindowHasher {
+ public:
+  /// A hasher mirroring a RingSeries of the same geometry.
+  RollingWindowHasher(int64_t num_series, int64_t capacity);
+
+  /// Digests the appended `samples` ([N, K], same tensor handed to
+  /// RingSeries::Append), one ColumnDigest per sample.
+  Status Append(const Tensor& samples);
+
+  /// The WindowHash of the `[1, N, width]` window of samples [end-width,
+  /// end), equal to serve::HashWindows of the materialised tensor. Fails for
+  /// ranges outside the retained digests.
+  StatusOr<serve::WindowHash> Window(int64_t end, int64_t width) const;
+
+  /// Samples ever digested (kept in lockstep with the ring).
+  int64_t total_appended() const { return total_; }
+
+ private:
+  int64_t n_;
+  int64_t capacity_;
+  int64_t total_ = 0;
+  std::vector<serve::ColumnDigest> digests_;  // ring, index = t % capacity
+};
+
+}  // namespace stream
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_STREAM_RING_SERIES_H_

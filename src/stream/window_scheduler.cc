@@ -1,0 +1,400 @@
+#include "stream/window_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace stream {
+
+namespace {
+
+serve::wire::StreamReportMsg ToWire(const StreamReport& report) {
+  serve::wire::StreamReportMsg msg;
+  msg.window_index = report.window_index;
+  msg.window_start = report.window_start;
+  msg.cache_hit = report.cache_hit;
+  msg.has_baseline = report.has_baseline;
+  msg.drifted = report.drift.drifted;
+  msg.regime_change = report.drift.regime_change;
+  msg.batch_size = report.batch_size;
+  msg.latency_seconds = report.latency_seconds;
+  msg.num_series = report.num_series;
+  msg.edges = report.edges;
+  msg.consecutive_drifts = report.drift.consecutive_drifts;
+  msg.edges_added = report.drift.edges_added;
+  msg.edges_removed = report.drift.edges_removed;
+  msg.edges_kept = report.drift.edges_kept;
+  msg.delay_changes = report.drift.delay_changes;
+  msg.mean_abs_score_delta = report.drift.mean_abs_score_delta;
+  msg.max_abs_score_delta = report.drift.max_abs_score_delta;
+  msg.jaccard = report.drift.jaccard;
+  msg.added = report.drift.added;
+  msg.removed = report.drift.removed;
+  return msg;
+}
+
+}  // namespace
+
+WindowScheduler::Stream::Stream(StreamConfig cfg, int64_t num_series)
+    : config(std::move(cfg)),
+      ring(num_series, config.history),
+      hasher(num_series, config.history),
+      drift(config.drift),
+      next_end(config.window) {}
+
+WindowScheduler::WindowScheduler(serve::InferenceEngine* engine)
+    : engine_(engine) {
+  CF_CHECK(engine != nullptr);
+  completion_thread_ = std::thread([this] { CompletionLoop(); });
+}
+
+WindowScheduler::~WindowScheduler() {
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  idle_cv_.notify_all();
+  if (completion_thread_.joinable()) completion_thread_.join();
+}
+
+Status WindowScheduler::Open(const std::string& name, StreamConfig config,
+                             StreamConfig* resolved) {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream name must be non-empty");
+  }
+  const auto model = engine_->registry().Get(config.model);
+  if (model == nullptr) {
+    return Status::NotFound("model '" + config.model + "' is not registered");
+  }
+  const core::ModelOptions& mopt = model->options();
+  if (config.window == 0) config.window = mopt.window;
+  if (config.window != mopt.window) {
+    return Status::InvalidArgument(
+        "stream window " + std::to_string(config.window) +
+        " must match model window " + std::to_string(mopt.window));
+  }
+  if (config.stride < 1 || config.stride > kMaxStreamStride) {
+    return Status::InvalidArgument("stride must be in [1, " +
+                                   std::to_string(kMaxStreamStride) + "]");
+  }
+  if (config.max_in_flight < 1 || config.max_in_flight > kMaxStreamInFlight) {
+    return Status::InvalidArgument("max_in_flight must be in [1, " +
+                                   std::to_string(kMaxStreamInFlight) + "]");
+  }
+  if (config.max_reports < 1 || config.max_reports > kMaxStreamReports) {
+    return Status::InvalidArgument("max_reports must be in [1, " +
+                                   std::to_string(kMaxStreamReports) + "]");
+  }
+  // window (== the model's) and stride are both bounded here, so the
+  // arithmetic below cannot overflow.
+  if (config.window + config.stride > kMaxStreamHistory) {
+    return Status::InvalidArgument(
+        "window + stride exceeds the streaming history bound " +
+        std::to_string(kMaxStreamHistory));
+  }
+  if (config.history == 0) {
+    config.history = std::min<int64_t>(
+        std::max<int64_t>(4 * config.window,
+                          config.window + 8 * config.stride),
+        kMaxStreamHistory);
+  }
+  if (config.history < config.window + config.stride ||
+      config.history > kMaxStreamHistory) {
+    return Status::InvalidArgument(
+        "history must be in [window + stride, " +
+        std::to_string(kMaxStreamHistory) + "] (need >= " +
+        std::to_string(config.window + config.stride) + ", got " +
+        std::to_string(config.history) + ")");
+  }
+  // Reject detector options at open time, not per window: every window of a
+  // misconfigured stream would otherwise fail one by one.
+  const core::DetectorOptions& d = config.detector;
+  if (d.max_windows < 1 || d.num_clusters < 1 || d.top_clusters < 1 ||
+      d.top_clusters > d.num_clusters || !(d.epsilon > 0.0f)) {
+    return Status::InvalidArgument(
+        "invalid detector options: require max_windows >= 1, "
+        "1 <= top_clusters <= num_clusters, epsilon > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (streams_.size() >= kMaxOpenStreams) {
+    return Status::FailedPrecondition(
+        "too many open streams (bound: " + std::to_string(kMaxOpenStreams) +
+        ")");
+  }
+  if (streams_.count(name) != 0) {
+    return Status::FailedPrecondition("stream '" + name + "' already exists");
+  }
+  if (resolved != nullptr) *resolved = config;
+  streams_.emplace(name,
+                   std::make_shared<Stream>(std::move(config),
+                                            mopt.num_series));
+  return Status::Ok();
+}
+
+Status WindowScheduler::Close(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = streams_.find(name);
+    if (it == streams_.end()) {
+      return Status::NotFound("stream '" + name + "' is not open");
+    }
+    // In-flight completions still hold the shared Stream; the flag tells
+    // them to account the window but discard its report.
+    it->second->closed = true;
+    streams_.erase(it);
+  }
+  // A closing stream is exactly when TTL expiry has work to do: its cached
+  // windows will never be probed again, so sweep eagerly (no-op without a
+  // configured TTL).
+  engine_->PruneExpiredCache();
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<WindowScheduler::Stream>> WindowScheduler::FindLocked(
+    const std::string& name) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream '" + name + "' is not open");
+  }
+  return it->second;
+}
+
+StatusOr<StreamStats> WindowScheduler::Append(const std::string& name,
+                                              const Tensor& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = FindLocked(name);
+  if (!found.ok()) return found.status();
+  const std::shared_ptr<Stream>& stream = *found;
+  CF_RETURN_IF_ERROR(stream->ring.Append(samples));
+  // The hasher applies the same geometry checks the ring just passed, so the
+  // two stay in lockstep by construction.
+  CF_CHECK(stream->hasher.Append(samples).ok());
+  stream->stats.total_samples =
+      static_cast<uint64_t>(stream->ring.total_appended());
+  PumpLocked(stream);
+  return stream->stats;
+}
+
+StatusOr<StreamStats> WindowScheduler::GetStats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = FindLocked(name);
+  if (!found.ok()) return found.status();
+  return (*found)->stats;
+}
+
+StatusOr<std::vector<StreamReport>> WindowScheduler::Take(
+    const std::string& name, size_t max_reports) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = FindLocked(name);
+  if (!found.ok()) return found.status();
+  const std::shared_ptr<Stream>& stream = *found;
+  size_t count = stream->reports.size();
+  if (max_reports > 0 && max_reports < count) count = max_reports;
+  std::vector<StreamReport> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(std::move(stream->reports.front()));
+    stream->reports.pop_front();
+  }
+  return out;
+}
+
+void WindowScheduler::Flush() {
+  std::unique_lock<std::mutex> qlock(queue_mu_);
+  idle_cv_.wait(qlock, [this] {
+    return (in_flight_ == 0 && pending_.empty()) || shutdown_;
+  });
+}
+
+std::vector<std::string> WindowScheduler::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
+}
+
+void WindowScheduler::PumpLocked(const std::shared_ptr<Stream>& stream) {
+  if (stream->closed) return;  // deferred windows of a closed stream die
+  const int64_t width = stream->config.window;
+  const int64_t stride = stream->config.stride;
+  while (stream->next_end <= stream->ring.total_appended()) {
+    if (stream->stats.pending >=
+        static_cast<uint32_t>(stream->config.max_in_flight)) {
+      return;  // debounce: completions re-pump
+    }
+    const int64_t start = stream->next_end - width;
+    if (start < stream->ring.oldest()) {
+      // The producer outran detection and the ring overwrote this window's
+      // oldest samples: skip forward to the first fully retained window,
+      // counting every skipped emission.
+      const int64_t deficit = stream->ring.oldest() - start;
+      const int64_t skipped = (deficit + stride - 1) / stride;
+      stream->next_end += skipped * stride;
+      stream->next_window_index += static_cast<uint64_t>(skipped);
+      stream->stats.windows_dropped += static_cast<uint64_t>(skipped);
+      continue;
+    }
+    auto windows = stream->ring.Window(stream->next_end, width);
+    auto hash = stream->hasher.Window(stream->next_end, width);
+    CF_CHECK(windows.ok() && hash.ok());  // range established above
+    serve::DiscoveryRequest request;
+    request.model = stream->config.model;
+    request.windows = std::move(windows).value();
+    request.options = stream->config.detector;
+    request.has_window_hash = true;
+    request.window_hash = *hash;
+
+    PendingWindow pending;
+    pending.stream = stream;
+    pending.window_index = stream->next_window_index++;
+    pending.window_start = start;
+    pending.future = engine_->SubmitAsync(std::move(request));
+    ++stream->stats.windows_emitted;
+    ++stream->stats.pending;
+    stream->next_end += stride;
+    {
+      std::lock_guard<std::mutex> qlock(queue_mu_);
+      pending_.push_back(std::move(pending));
+      ++in_flight_;
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void WindowScheduler::CompletionLoop() {
+  const auto ready = [](const std::future<serve::DiscoveryResponse>& future) {
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  std::unique_lock<std::mutex> qlock(queue_mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (shutdown_) return;
+      queue_cv_.wait(qlock,
+                     [this] { return !pending_.empty() || shutdown_; });
+      continue;
+    }
+    if (shutdown_) return;  // in-flight engine work finishes unobserved
+
+    // Per-stream FIFO: only each stream's *oldest* pending window may be
+    // folded (drift compares consecutive windows), but a slow window on one
+    // stream must not head-of-line block other streams' completed work.
+    auto ready_it = pending_.end();
+    std::vector<const Stream*> seen;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      const Stream* stream = it->stream.get();
+      if (std::find(seen.begin(), seen.end(), stream) != seen.end()) continue;
+      seen.push_back(stream);
+      if (ready(it->future)) {
+        ready_it = it;
+        break;
+      }
+    }
+    if (ready_it == pending_.end()) {
+      // Wait briefly on the oldest future outside the lock (deque push_back
+      // never invalidates element references; only this thread erases).
+      std::future<serve::DiscoveryResponse>* stall = &pending_.front().future;
+      qlock.unlock();
+      stall->wait_for(std::chrono::milliseconds(1));
+      qlock.lock();
+      continue;
+    }
+    PendingWindow pending = std::move(*ready_it);
+    pending_.erase(ready_it);
+    qlock.unlock();
+
+    serve::DiscoveryResponse response = pending.future.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Stream& stream = *pending.stream;
+      ++stream.stats.windows_completed;
+      CF_CHECK_GT(stream.stats.pending, 0u);
+      --stream.stats.pending;
+      if (!response.status.ok()) {
+        ++stream.stats.windows_failed;
+      } else if (!stream.closed) {
+        if (response.cache_hit) ++stream.stats.cache_hits;
+        StreamReport report;
+        report.window_index = pending.window_index;
+        report.window_start = pending.window_start;
+        report.cache_hit = response.cache_hit;
+        report.batch_size = response.batch_size;
+        report.latency_seconds = response.latency_seconds;
+        report.num_series = response.result->scores.num_series();
+        report.edges = response.result->graph.edges();
+        auto drift = stream.drift.Observe(response.result);
+        report.has_baseline = drift.has_value();
+        if (drift.has_value()) report.drift = *std::move(drift);
+        stream.reports.push_back(std::move(report));
+        while (stream.reports.size() > stream.config.max_reports) {
+          stream.reports.pop_front();
+          ++stream.stats.reports_dropped;
+        }
+      }
+      // A completion frees an in-flight slot; deferred windows may be due.
+      PumpLocked(pending.stream);
+    }
+    qlock.lock();
+    --in_flight_;
+    if (in_flight_ == 0 && pending_.empty()) idle_cv_.notify_all();
+  }
+}
+
+// ---- serve::StreamBackend (the wire adapter) --------------------------------
+
+StatusOr<serve::wire::StreamOpenOkMsg> WindowScheduler::OpenStream(
+    const serve::wire::StreamOpenMsg& msg) {
+  StreamConfig config;
+  config.model = msg.model;
+  config.window = msg.window;
+  config.stride = msg.stride;
+  config.history = msg.history;
+  config.max_in_flight = static_cast<int>(msg.max_in_flight);
+  config.max_reports = msg.max_reports;
+  config.detector = msg.options;
+  config.drift.score_delta_threshold = msg.drift_score_threshold;
+  config.drift.flip_fraction_threshold = msg.drift_flip_threshold;
+  config.drift.stability_window = msg.stability_window;
+  StreamConfig resolved;
+  CF_RETURN_IF_ERROR(Open(msg.stream, std::move(config), &resolved));
+  serve::wire::StreamOpenOkMsg ok;
+  ok.window = resolved.window;
+  ok.stride = resolved.stride;
+  ok.history = resolved.history;
+  return ok;
+}
+
+Status WindowScheduler::CloseStream(const std::string& stream) {
+  return Close(stream);
+}
+
+StatusOr<serve::wire::AppendSamplesOkMsg> WindowScheduler::AppendSamples(
+    const std::string& stream, const Tensor& samples) {
+  auto stats = Append(stream, samples);
+  if (!stats.ok()) return stats.status();
+  serve::wire::AppendSamplesOkMsg ok;
+  ok.total_samples = stats->total_samples;
+  ok.windows_emitted = stats->windows_emitted;
+  ok.windows_dropped = stats->windows_dropped;
+  ok.windows_failed = stats->windows_failed;
+  ok.pending = stats->pending;
+  return ok;
+}
+
+StatusOr<std::vector<serve::wire::StreamReportMsg>>
+WindowScheduler::TakeReports(const std::string& stream, uint32_t max_reports) {
+  auto reports = Take(stream, max_reports);
+  if (!reports.ok()) return reports.status();
+  std::vector<serve::wire::StreamReportMsg> out;
+  out.reserve(reports->size());
+  for (const StreamReport& report : *reports) out.push_back(ToWire(report));
+  return out;
+}
+
+}  // namespace stream
+}  // namespace causalformer

@@ -308,6 +308,61 @@ TEST(WindowingTest, GatherSelectsRows) {
   EXPECT_FLOAT_EQ(g.at({1, 0, 0}), 0.0f);
 }
 
+TEST(WindowingTest, StrideLargerThanWindowSkipsSamples) {
+  // stride > window: windows start at 0 and 5, never overlapping and
+  // leaving a gap of (stride - window) samples between them.
+  Tensor s = Tensor::FromVector(Shape{1, 8}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor w = data::MakeWindows(s, 3, 5);
+  ASSERT_EQ(w.shape(), (Shape{2, 1, 3}));
+  EXPECT_FLOAT_EQ(w.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(w.at({0, 0, 2}), 2.0f);
+  EXPECT_FLOAT_EQ(w.at({1, 0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(w.at({1, 0, 2}), 7.0f);
+}
+
+TEST(WindowingTest, WindowEqualToSeriesLengthYieldsOneWindow) {
+  Tensor s = Tensor::FromVector(Shape{2, 4}, {0, 1, 2, 3, 10, 11, 12, 13});
+  for (const int64_t stride : {1, 2, 7}) {
+    Tensor w = data::MakeWindows(s, 4, stride);
+    ASSERT_EQ(w.shape(), (Shape{1, 2, 4})) << "stride " << stride;
+    EXPECT_FLOAT_EQ(w.at({0, 0, 0}), 0.0f);
+    EXPECT_FLOAT_EQ(w.at({0, 1, 3}), 13.0f);
+  }
+}
+
+TEST(WindowingTest, StrideNotDividingRangeDropsTrailingRemainder) {
+  // L=9, window=3: starts at 0, 4, 8 would need samples past the end for
+  // 8; covered starts are {0, 4} — the trailing remainder is dropped, never
+  // padded.
+  Tensor s = Tensor::FromVector(Shape{1, 9}, {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor w = data::MakeWindows(s, 3, 4);
+  ASSERT_EQ(w.dim(0), 2);
+  EXPECT_FLOAT_EQ(w.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(w.at({1, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(w.at({1, 0, 2}), 6.0f);
+}
+
+TEST(WindowingTest, GatherRepeatedIndicesDuplicatesRows) {
+  // The serving layer's window pools gather with repetition; every copy
+  // must be an independent full row.
+  Tensor s = Tensor::FromVector(Shape{1, 6}, {0, 1, 2, 3, 4, 5});
+  Tensor w = data::MakeWindows(s, 2, 1);
+  Tensor g = data::GatherWindows(w, {3, 3, 0, 3});
+  ASSERT_EQ(g.shape(), (Shape{4, 1, 2}));
+  EXPECT_FLOAT_EQ(g.at({0, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(g.at({1, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(g.at({1, 0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(g.at({2, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(g.at({3, 0, 0}), 3.0f);
+}
+
+TEST(WindowingTest, GatherEmptyIndexListYieldsEmptyBatch) {
+  Tensor s = Tensor::FromVector(Shape{1, 4}, {0, 1, 2, 3});
+  Tensor w = data::MakeWindows(s, 2, 1);
+  Tensor g = data::GatherWindows(w, {});
+  EXPECT_EQ(g.shape(), (Shape{0, 1, 2}));
+}
+
 TEST(WindowingTest, BatchesCoverAllIndices) {
   Rng rng(10);
   const auto batches = data::MakeBatches(10, 3, &rng);

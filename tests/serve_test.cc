@@ -238,6 +238,90 @@ TEST(ScoreCacheTest, WindowHashSensitivity) {
   EXPECT_FALSE(HashWindows(w1) == HashWindows(w2));
 }
 
+TEST(ScoreCacheTest, TtlExpiresIdleEntries) {
+  // A controllable clock so the test ages entries deterministically.
+  double now = 100.0;
+  ScoreCacheOptions options;
+  options.capacity = 8;
+  options.ttl_seconds = 10.0;
+  options.clock_for_testing = [&now] { return now; };
+  ScoreCache cache(options);
+  auto result = std::make_shared<const core::DetectionResult>(2);
+
+  CacheKey a{"m", {1, 1}, "o"};
+  CacheKey b{"m", {2, 2}, "o"};
+  cache.Put(a, result);
+  now += 6;
+  cache.Put(b, result);
+  EXPECT_NE(cache.Get(a), nullptr);  // age 6 < ttl; Get does not reset age
+  now += 6;                          // a is 12 old, b is 6 old
+  EXPECT_EQ(cache.Get(a), nullptr);  // expired, counted below
+  EXPECT_NE(cache.Get(b), nullptr);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.evictions, 0u);  // age-out is not an LRU eviction
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.ttl_seconds, 10.0);
+
+  // A Put refresh makes the entry young again.
+  now += 6;  // b is 12 old
+  cache.Put(b, result);
+  now += 6;
+  EXPECT_NE(cache.Get(b), nullptr);  // 6 since the refresh
+}
+
+TEST(ScoreCacheTest, PruneExpiredDropsEveryStaleEntry) {
+  double now = 0.0;
+  ScoreCacheOptions options;
+  options.capacity = 8;
+  options.ttl_seconds = 5.0;
+  options.clock_for_testing = [&now] { return now; };
+  ScoreCache cache(options);
+  auto result = std::make_shared<const core::DetectionResult>(2);
+  cache.Put({"m", {1, 1}, "o"}, result);
+  cache.Put({"m", {2, 2}, "o"}, result);
+  now = 4;
+  cache.Put({"m", {3, 3}, "o"}, result);
+  EXPECT_EQ(cache.PruneExpired(), 0u);  // nothing past 5s yet
+  now = 7;
+  EXPECT_EQ(cache.PruneExpired(), 2u);  // the two 7s-old entries
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.expirations, 2u);
+}
+
+TEST(ScoreCacheTest, ZeroTtlNeverExpires) {
+  double now = 0.0;
+  ScoreCacheOptions options;
+  options.capacity = 4;
+  options.ttl_seconds = 0;
+  options.clock_for_testing = [&now] { return now; };
+  ScoreCache cache(options);
+  auto result = std::make_shared<const core::DetectionResult>(2);
+  cache.Put({"m", {1, 1}, "o"}, result);
+  now = 1e9;
+  EXPECT_NE(cache.Get({"m", {1, 1}, "o"}), nullptr);
+  EXPECT_EQ(cache.PruneExpired(), 0u);
+  EXPECT_EQ(cache.stats().expirations, 0u);
+}
+
+TEST(ScoreCacheTest, ColumnDigestsComposeToHashWindows) {
+  // The incremental-hash identity at the score-cache level: folding
+  // per-time-step column digests reproduces HashWindows of a [1, N, T]
+  // tensor exactly.
+  Rng rng(17);
+  const Tensor window = Tensor::Randn(Shape{1, 4, 6}, &rng);
+  std::vector<ColumnDigest> digests;
+  for (int64_t t = 0; t < 6; ++t) {
+    // Column t: the 4 series values, stride T apart in [1, N, T] layout.
+    digests.push_back(HashWindowColumn(window.data() + t, 4, 6));
+  }
+  const WindowHash combined = CombineColumnDigests(digests, 4);
+  const WindowHash direct = HashWindows(window);
+  EXPECT_TRUE(combined == direct);
+}
+
 TEST(InferenceEngineTest, RejectsUnknownModelAndBadGeometry) {
   ModelRegistry registry;
   ASSERT_TRUE(registry.Register("m", TinyModel()).ok());

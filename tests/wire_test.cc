@@ -81,7 +81,7 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
 
 TEST(WireFrameTest, DocumentedPingFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x01, 0x01, 0x00, 0x00,  // magic, v1, Ping
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x01, 0x00, 0x00,  // magic, v2, Ping
       0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
   };
@@ -95,7 +95,7 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   // The worked Detect hex dump: model "demo", default detector options,
   // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x01, 0x07, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x07, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
       0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
       0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -111,6 +111,187 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   msg.windows = Tensor::FromVector(Shape{1, 2, 2}, {1.f, 2.f, 3.f, 4.f});
   const auto frame =
       wire::EncodeFrame(wire::MessageType::kDetect, wire::EncodeDetect(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+// The v2 streaming frames, byte for byte against the §7.4–§7.7 hex dumps of
+// docs/wire-protocol.md. One documented-frame test per new message type, so
+// any layout change must touch the spec too.
+
+TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
+  // Stream "s1" on model "demo": stride 2, defaults everywhere else
+  // (window/history 0 = server-resolved, max_in_flight 4, max_reports 256,
+  // default detector options, drift thresholds 0.25/0.34, stability 3).
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x0f, 0x00, 0x00,
+      0x57, 0x00, 0x00, 0x00, 0x26, 0x66, 0x96, 0xf6,
+      0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
+      0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,
+      0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x02, 0x00,
+      0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x20, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0f, 0xbd,
+      0x37, 0x86, 0x35, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0xd0, 0x3f, 0xc3, 0xf5, 0x28, 0x5c, 0x8f,
+      0xc2, 0xd5, 0x3f, 0x03, 0x00, 0x00, 0x00,
+  };
+  wire::StreamOpenMsg msg;
+  msg.stream = "s1";
+  msg.model = "demo";
+  msg.stride = 2;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStreamOpen,
+                                       wire::EncodeStreamOpen(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
+  // Resolved config: window 8, stride 2, history 32.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x10, 0x00, 0x00,
+      0x18, 0x00, 0x00, 0x00, 0xab, 0xb1, 0x1a, 0x0f,
+      0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x20, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  wire::StreamOpenOkMsg msg;
+  msg.window = 8;
+  msg.stride = 2;
+  msg.history = 32;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStreamOpenOk,
+                                       wire::EncodeStreamOpenOk(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x11, 0x00, 0x00,
+      0x06, 0x00, 0x00, 0x00, 0xa7, 0x2a, 0xc6, 0xa9,
+      0x02, 0x00, 0x00, 0x00, 0x73, 0x31,
+  };
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStreamClose,
+                                       wire::EncodeStreamClose("s1"));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
+  // Empty payload: header only, CRC of zero bytes is 0.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x12, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStreamCloseOk, {});
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
+  // Stream "s1", samples [N=2, K=2] = {1, 2, 3, 4} (series-major).
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x13, 0x00, 0x00,
+      0x1e, 0x00, 0x00, 0x00, 0x89, 0x85, 0x94, 0x52,
+      0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x02, 0x00,
+      0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x80, 0x3f, 0x00, 0x00, 0x00, 0x40, 0x00, 0x00,
+      0x40, 0x40, 0x00, 0x00, 0x80, 0x40,
+  };
+  wire::AppendSamplesMsg msg;
+  msg.stream = "s1";
+  msg.samples = Tensor::FromVector(Shape{2, 2}, {1.f, 2.f, 3.f, 4.f});
+  const auto frame = wire::EncodeFrame(wire::MessageType::kAppendSamples,
+                                       wire::EncodeAppendSamples(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
+  // total_samples 10, windows_emitted 2, windows_dropped 0,
+  // windows_failed 0, pending 1.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x14, 0x00, 0x00,
+      0x24, 0x00, 0x00, 0x00, 0xcf, 0x31, 0x51, 0x50,
+      0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00,
+  };
+  wire::AppendSamplesOkMsg msg;
+  msg.total_samples = 10;
+  msg.windows_emitted = 2;
+  msg.pending = 1;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kAppendSamplesOk,
+                                       wire::EncodeAppendSamplesOk(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStreamReportsFrameBytes) {
+  // Stream "s1", max_reports 4.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x15, 0x00, 0x00,
+      0x0a, 0x00, 0x00, 0x00, 0x45, 0xc1, 0xea, 0x79,
+      0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
+      0x00, 0x00,
+  };
+  wire::StreamReportsMsg msg;
+  msg.stream = "s1";
+  msg.max_reports = 4;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStreamReports,
+                                       wire::EncodeStreamReports(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
+  // One report: window #3 starting at sample 6, has_baseline + drifted
+  // (flags 0x06), batch 2, latency 0.5 s, n=2, one edge S0->S1(d=2, 1.0),
+  // one consecutive drift, one edge added (also listed), mean Δ 0.25,
+  // max Δ 0.5, jaccard 0, nothing removed.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x02, 0x16, 0x00, 0x00,
+      0x85, 0x00, 0x00, 0x00, 0xcb, 0x65, 0x43, 0x3f,
+      0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x06, 0x02, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f, 0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00,
+      0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0xf0, 0x3f, 0x01, 0x00, 0x00,
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xd0,
+      0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0,
+      0x3f, 0x00, 0x00, 0x00, 0x00,
+  };
+  wire::StreamReportMsg report;
+  report.window_index = 3;
+  report.window_start = 6;
+  report.has_baseline = true;
+  report.drifted = true;
+  report.batch_size = 2;
+  report.latency_seconds = 0.5;
+  report.num_series = 2;
+  report.edges.push_back({0, 1, 2, 1.0});
+  report.consecutive_drifts = 1;
+  report.edges_added = 1;
+  report.mean_abs_score_delta = 0.25;
+  report.max_abs_score_delta = 0.5;
+  report.jaccard = 0.0;
+  report.added.push_back({0, 1, 2, 1.0});
+  const auto frame =
+      wire::EncodeFrame(wire::MessageType::kStreamReportsResult,
+                        wire::EncodeStreamReportsResult({report}));
   ASSERT_EQ(frame.size(), sizeof(kExpected));
   EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
 }
@@ -414,6 +595,7 @@ TEST(WireMessageTest, StatsResultRoundTrip) {
   wire::StatsResultMsg msg;
   msg.cache_hits = 10;
   msg.cache_misses = 20;
+  msg.cache_expirations = 5;
   msg.batch_requests = 30;
   msg.batch_max = 7;
   msg.server_connections = 3;
@@ -429,10 +611,187 @@ TEST(WireMessageTest, StatsResultRoundTrip) {
   ASSERT_TRUE(
       wire::DecodeStatsResult(wire::EncodeStatsResult(msg), &decoded).ok());
   EXPECT_EQ(decoded.cache_hits, 10u);
+  EXPECT_EQ(decoded.cache_expirations, 5u);
   EXPECT_EQ(decoded.batch_max, 7);
   ASSERT_EQ(decoded.models.size(), 1u);
   EXPECT_EQ(decoded.models[0].name, "m");
   EXPECT_EQ(decoded.models[0].window, 8);
+}
+
+// ---- Streaming messages (v2) ----------------------------------------------
+
+TEST(WireMessageTest, StreamOpenRoundTrip) {
+  wire::StreamOpenMsg msg;
+  msg.stream = "sensors";
+  msg.model = "prod";
+  msg.window = 16;
+  msg.stride = 4;
+  msg.history = 128;
+  msg.max_in_flight = 2;
+  msg.max_reports = 64;
+  msg.options.num_clusters = 3;
+  msg.options.use_gradient = false;
+  msg.drift_score_threshold = 0.5;
+  msg.drift_flip_threshold = 0.25;
+  msg.stability_window = 5;
+
+  wire::StreamOpenMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeStreamOpen(wire::EncodeStreamOpen(msg), &decoded).ok());
+  EXPECT_EQ(decoded.stream, "sensors");
+  EXPECT_EQ(decoded.model, "prod");
+  EXPECT_EQ(decoded.window, 16);
+  EXPECT_EQ(decoded.stride, 4);
+  EXPECT_EQ(decoded.history, 128);
+  EXPECT_EQ(decoded.max_in_flight, 2u);
+  EXPECT_EQ(decoded.max_reports, 64u);
+  EXPECT_EQ(decoded.options.num_clusters, 3);
+  EXPECT_FALSE(decoded.options.use_gradient);
+  EXPECT_EQ(decoded.drift_score_threshold, 0.5);
+  EXPECT_EQ(decoded.drift_flip_threshold, 0.25);
+  EXPECT_EQ(decoded.stability_window, 5);
+}
+
+TEST(WireMessageTest, AppendSamplesRoundTripPreservesData) {
+  wire::AppendSamplesMsg msg;
+  msg.stream = "s";
+  msg.samples =
+      Tensor::FromVector(Shape{3, 2}, {1.f, -2.f, 3.5f, 0.f, 1e-8f, 4e6f});
+
+  wire::AppendSamplesMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeAppendSamples(wire::EncodeAppendSamples(msg), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.stream, "s");
+  ASSERT_EQ(decoded.samples.dim(0), 3);
+  ASSERT_EQ(decoded.samples.dim(1), 2);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(decoded.samples.data()[i], msg.samples.data()[i]);
+  }
+}
+
+TEST(WireMessageTest, AppendSamplesRejectsTruncatedData) {
+  wire::AppendSamplesMsg msg;
+  msg.stream = "s";
+  msg.samples = Tensor::FromVector(Shape{2, 2}, {1.f, 2.f, 3.f, 4.f});
+  auto payload = wire::EncodeAppendSamples(msg);
+  payload.resize(payload.size() - 4);  // lose the last float
+  wire::AppendSamplesMsg decoded;
+  EXPECT_FALSE(wire::DecodeAppendSamples(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, StreamReportRoundTripPreservesDriftFields) {
+  wire::StreamReportMsg report;
+  report.window_index = 41;
+  report.window_start = 120;
+  report.cache_hit = true;
+  report.has_baseline = true;
+  report.drifted = true;
+  report.regime_change = true;
+  report.batch_size = 3;
+  report.latency_seconds = 0.0125;
+  report.num_series = 3;
+  report.edges.push_back({0, 1, 2, 0.75});
+  report.edges.push_back({2, 2, 1, 0.5});
+  report.consecutive_drifts = 4;
+  report.edges_added = 1;
+  report.edges_removed = 2;
+  report.edges_kept = 1;
+  report.delay_changes = 1;
+  report.mean_abs_score_delta = 0.125;
+  report.max_abs_score_delta = 0.5;
+  report.jaccard = 0.25;
+  report.added.push_back({0, 1, 2, 0.75});
+  report.removed.push_back({1, 0, 3, 0.25});
+
+  std::vector<wire::StreamReportMsg> decoded;
+  ASSERT_TRUE(wire::DecodeStreamReportsResult(
+                  wire::EncodeStreamReportsResult({report}), &decoded)
+                  .ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  const auto& got = decoded[0];
+  EXPECT_EQ(got.window_index, 41u);
+  EXPECT_EQ(got.window_start, 120);
+  EXPECT_TRUE(got.cache_hit);
+  EXPECT_TRUE(got.has_baseline);
+  EXPECT_TRUE(got.drifted);
+  EXPECT_TRUE(got.regime_change);
+  EXPECT_EQ(got.batch_size, 3);
+  EXPECT_EQ(got.latency_seconds, 0.0125);
+  ASSERT_EQ(got.edges.size(), 2u);
+  EXPECT_EQ(got.edges[1].from, 2);
+  EXPECT_EQ(got.edges[1].delay, 1);
+  EXPECT_EQ(got.consecutive_drifts, 4);
+  EXPECT_EQ(got.edges_added, 1);
+  EXPECT_EQ(got.edges_removed, 2);
+  EXPECT_EQ(got.edges_kept, 1);
+  EXPECT_EQ(got.delay_changes, 1);
+  EXPECT_EQ(got.mean_abs_score_delta, 0.125);
+  EXPECT_EQ(got.max_abs_score_delta, 0.5);
+  EXPECT_EQ(got.jaccard, 0.25);
+  ASSERT_EQ(got.added.size(), 1u);
+  ASSERT_EQ(got.removed.size(), 1u);
+  EXPECT_EQ(got.removed[0].delay, 3);
+}
+
+TEST(WireMessageTest, StreamReportRejectsReservedFlagBits) {
+  wire::StreamReportMsg report;
+  report.num_series = 1;
+  auto payload = wire::EncodeStreamReportsResult({report});
+  // Payload layout: u32 count, u64 index, i64 start, then the flags byte.
+  payload[4 + 8 + 8] |= 0x10;
+  std::vector<wire::StreamReportMsg> decoded;
+  EXPECT_FALSE(wire::DecodeStreamReportsResult(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, StreamReportRejectsEdgeEndpointOutOfRange) {
+  wire::StreamReportMsg report;
+  report.num_series = 2;
+  report.edges.push_back({0, 5, 0, 1.0});  // endpoint 5 out of [0, 2)
+  auto payload = wire::EncodeStreamReportsResult({report});
+  std::vector<wire::StreamReportMsg> decoded;
+  EXPECT_FALSE(wire::DecodeStreamReportsResult(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, StreamReportsRequestRoundTrip) {
+  wire::StreamReportsMsg msg;
+  msg.stream = "sensors";
+  msg.max_reports = 17;
+  wire::StreamReportsMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeStreamReports(wire::EncodeStreamReports(msg), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.stream, "sensors");
+  EXPECT_EQ(decoded.max_reports, 17u);
+}
+
+TEST(WireMessageTest, StreamOpenOkAndAppendOkRoundTrip) {
+  wire::StreamOpenOkMsg ok;
+  ok.window = 8;
+  ok.stride = 2;
+  ok.history = 64;
+  wire::StreamOpenOkMsg ok_decoded;
+  ASSERT_TRUE(
+      wire::DecodeStreamOpenOk(wire::EncodeStreamOpenOk(ok), &ok_decoded)
+          .ok());
+  EXPECT_EQ(ok_decoded.window, 8);
+  EXPECT_EQ(ok_decoded.history, 64);
+
+  wire::AppendSamplesOkMsg ack;
+  ack.total_samples = 100;
+  ack.windows_emitted = 47;
+  ack.windows_dropped = 3;
+  ack.windows_failed = 1;
+  ack.pending = 2;
+  wire::AppendSamplesOkMsg ack_decoded;
+  ASSERT_TRUE(wire::DecodeAppendSamplesOk(wire::EncodeAppendSamplesOk(ack),
+                                          &ack_decoded)
+                  .ok());
+  EXPECT_EQ(ack_decoded.total_samples, 100u);
+  EXPECT_EQ(ack_decoded.windows_emitted, 47u);
+  EXPECT_EQ(ack_decoded.windows_dropped, 3u);
+  EXPECT_EQ(ack_decoded.windows_failed, 1u);
+  EXPECT_EQ(ack_decoded.pending, 2u);
 }
 
 TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
@@ -630,6 +989,48 @@ TEST_F(WireLoopbackTest, LoadAndUnloadOverTheWire) {
   std::remove(path.c_str());
 }
 
+TEST_F(WireLoopbackTest, PipelinedFramesObserveEarlierLoadModel) {
+  // LoadModel runs on a worker thread, but a Detect pipelined behind it on
+  // the same connection must still see the loaded model: the server parks
+  // the connection's later frames until the load's effects are visible
+  // (per-connection effect order == per-connection response order).
+  const std::string path = "wire_test_pipeline_ck.cfpm";
+  {
+    auto model = TinyModel(31);
+    ASSERT_TRUE(SaveParameters(*model, path).ok());
+  }
+  wire::LoadModelMsg load;
+  load.name = "m3";
+  load.checkpoint_path = path;
+  load.options = TinyModelOptions();
+  wire::DetectMsg detect;
+  detect.model = "m3";
+  detect.windows = RandomWindows(1, 62);
+  ASSERT_TRUE(client_.SendFrame(wire::MessageType::kLoadModel,
+                                wire::EncodeLoadModel(load))
+                  .ok());
+  ASSERT_TRUE(client_.SendFrame(wire::MessageType::kDetect,
+                                wire::EncodeDetect(detect))
+                  .ok());
+  // And an unload of the same name right behind: it must run *after* the
+  // load (and after the detect was dispatched), never overtake it.
+  ASSERT_TRUE(client_.SendFrame(wire::MessageType::kUnloadModel,
+                                wire::EncodeUnloadModel("m3"))
+                  .ok());
+
+  auto first = client_.RecvFrame();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->type, wire::MessageType::kLoadModelOk);
+  auto second = client_.RecvFrame();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->type, wire::MessageType::kDetectResult)
+      << "pipelined Detect raced the off-thread LoadModel";
+  auto third = client_.RecvFrame();
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->type, wire::MessageType::kUnloadModelOk);
+  std::remove(path.c_str());
+}
+
 TEST_F(WireLoopbackTest, AdminFramesCanBeDisabled) {
   WireServerOptions opts;
   opts.allow_admin = false;
@@ -689,7 +1090,7 @@ TEST_F(WireLoopbackTest, PipelinedDetectsAnswerInOrder) {
 TEST_F(WireLoopbackTest, UnsupportedVersionAnswersErrorThenCloses) {
   RawConn raw(server_->port());
   auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(1));
-  bytes[4] = 2;  // future version
+  bytes[4] = 3;  // future version
   raw.Send(bytes);
   wire::Frame frame;
   ASSERT_TRUE(raw.Recv(&frame));

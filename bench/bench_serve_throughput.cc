@@ -4,10 +4,18 @@
 // for both a cold cache (every query computes, micro-batching carries the
 // load) and a hot cache (repeats of a small working set).
 //
+// A duplicate-heavy scenario follows: 64 closed-loop clients hammering 8
+// distinct window batches with the cache disabled, once with in-flight dedup
+// off (the baseline — every duplicate recomputes) and once with it on
+// (duplicates coalesce onto the running leader). Reported with the dedup
+// ratio (fraction of requests answered by fan-in) and the on/off speedup.
+//
 // Results are printed as a table and written to BENCH_serve.json.
 //
 // Environment knobs: CF_BENCH_QUERIES (per concurrency level, default 150),
-// CF_BENCH_DISTINCT (cold working set size, default 32), CF_FAST=1 (smoke).
+// CF_BENCH_DISTINCT (cold working set size, default 32), CF_BENCH_DUP_CONNS
+// (duplicate-scenario clients, default 64), CF_BENCH_DUP_QUERIES
+// (duplicate-scenario total queries, default 600), CF_FAST=1 (smoke).
 
 #include <algorithm>
 #include <atomic>
@@ -117,6 +125,72 @@ RunResult RunLoad(cf::serve::ModelRegistry* registry,
   return result;
 }
 
+struct DedupResult {
+  bool dedup = false;   // in-flight dedup enabled for this run
+  int concurrency = 0;
+  int distinct = 0;     // distinct window batches in the hot set
+  int queries = 0;
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double dedup_ratio = 0;  // requests answered by fan-in / total
+};
+
+// Duplicate-heavy closed loop: `concurrency` clients all hammer the same
+// `distinct`-entry working set with the cache disabled, so at any instant
+// many in-flight queries are content-identical. With dedup off every one of
+// them runs the full detection pass; with dedup on the duplicates park on
+// the leader — the classic serving win for replayed/overlapping streaming
+// workloads.
+DedupResult RunDuplicateHeavy(cf::serve::ModelRegistry* registry,
+                              const std::vector<cf::Tensor>& batches,
+                              int concurrency, int total_queries,
+                              bool dedup_on) {
+  cf::serve::EngineOptions eopts;
+  eopts.cache_capacity = 0;  // isolate dedup: no after-the-fact caching
+  eopts.dedup_in_flight = dedup_on;
+  cf::serve::InferenceEngine engine(registry, eopts);
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(total_queries));
+
+  cf::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> local;
+      for (int i = next.fetch_add(1); i < total_queries;
+           i = next.fetch_add(1)) {
+        cf::serve::DiscoveryRequest request;
+        request.model = "bench";
+        request.windows = batches[static_cast<size_t>(i) % batches.size()];
+        cf::Stopwatch timer;
+        const auto response = engine.Discover(std::move(request));
+        if (!response.status.ok()) std::abort();
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  DedupResult result;
+  result.dedup = dedup_on;
+  result.concurrency = concurrency;
+  result.distinct = static_cast<int>(batches.size());
+  result.queries = total_queries;
+  result.rps = total_queries / wall.ElapsedSeconds();
+  result.p50_ms = Percentile(latencies, 0.50) * 1e3;
+  result.p99_ms = Percentile(latencies, 0.99) * 1e3;
+  result.dedup_ratio =
+      static_cast<double>(engine.dedup_stats().hits) /
+      static_cast<double>(total_queries);
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -176,6 +250,28 @@ int main() {
     }
   }
 
+  // Duplicate-heavy dedup scenario: baseline (dedup off) first, then dedup
+  // on, in the same process against the same model and working set.
+  const int dup_conns = EnvInt("CF_BENCH_DUP_CONNS", fast ? 16 : 64);
+  const int dup_queries = EnvInt("CF_BENCH_DUP_QUERIES", fast ? 160 : 600);
+  std::vector<cf::Tensor> dup_batches(
+      batches.begin(), batches.begin() + std::min<size_t>(8, batches.size()));
+  std::vector<DedupResult> dedup_results;
+  for (const bool dedup_on : {false, true}) {
+    dedup_results.push_back(RunDuplicateHeavy(&registry, dup_batches,
+                                              dup_conns, dup_queries,
+                                              dedup_on));
+    const DedupResult& r = dedup_results.back();
+    std::fprintf(stderr,
+                 "  [dup dedup=%s c=%2d] %.1f req/s p50=%.2fms p99=%.2fms "
+                 "dedup_ratio=%.2f\n",
+                 r.dedup ? "on " : "off", r.concurrency, r.rps, r.p50_ms,
+                 r.p99_ms, r.dedup_ratio);
+  }
+  const double dedup_speedup =
+      dedup_results[0].rps > 0 ? dedup_results[1].rps / dedup_results[0].rps
+                               : 0.0;
+
   cf::Table table({"cache", "concurrency", "req/s", "p50 ms", "p99 ms",
                    "max batch", "cache hits"});
   for (const auto& r : results) {
@@ -186,6 +282,19 @@ int main() {
                   std::to_string(static_cast<unsigned long long>(r.cache_hits))});
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  cf::Table dedup_table({"dedup", "concurrency", "distinct", "req/s",
+                         "p50 ms", "p99 ms", "dedup ratio"});
+  for (const auto& r : dedup_results) {
+    dedup_table.AddRow({r.dedup ? "on" : "off", std::to_string(r.concurrency),
+                        std::to_string(r.distinct),
+                        cf::StrFormat("%.1f", r.rps),
+                        cf::StrFormat("%.2f", r.p50_ms),
+                        cf::StrFormat("%.2f", r.p99_ms),
+                        cf::StrFormat("%.2f", r.dedup_ratio)});
+  }
+  std::printf("%s\nduplicate-heavy dedup speedup: %.2fx\n",
+              dedup_table.ToString().c_str(), dedup_speedup);
 
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
@@ -206,7 +315,19 @@ int main() {
                  static_cast<unsigned long long>(r.cache_hits),
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n  \"dedup_runs\": [\n");
+  for (size_t i = 0; i < dedup_results.size(); ++i) {
+    const auto& r = dedup_results[i];
+    std::fprintf(json,
+                 "    {\"dedup\": %s, \"concurrency\": %d, \"distinct\": %d, "
+                 "\"queries\": %d, \"requests_per_sec\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"dedup_ratio\": %.4f}%s\n",
+                 r.dedup ? "true" : "false", r.concurrency, r.distinct,
+                 r.queries, r.rps, r.p50_ms, r.p99_ms, r.dedup_ratio,
+                 i + 1 < dedup_results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"dedup_speedup\": %.3f\n}\n", dedup_speedup);
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
   return 0;

@@ -58,6 +58,7 @@ struct RunResult {
   double p50_ms = 0;          // append→graph latency, live pass
   double p99_ms = 0;
   double replay_reuse = 0;    // cache-hit fraction of the replay pass
+  double twin_dedup = 0;      // in-flight dedup fraction of a lockstep twin
   double inc_hash_us = 0;     // incremental hash cost per window advance
   double full_hash_us = 0;    // full HashWindows rehash per window
 };
@@ -197,27 +198,62 @@ int main() {
             : static_cast<double>(hits) /
                   static_cast<double>(replay_stats.windows_emitted);
 
+    // Twin pass: two subscribers fed in lockstep with the cache *disabled*,
+    // so the twin's identical windows can only be saved by in-flight dedup —
+    // they park on the primary's still-running detections instead of
+    // recomputing (the cross-stream dedup path; the fraction depends on how
+    // often the twin's append lands while the primary's window is still in
+    // flight).
+    {
+      cf::serve::EngineOptions eopts;
+      eopts.cache_capacity = 0;
+      cf::serve::InferenceEngine dedup_engine(&registry, eopts);
+      cf::stream::WindowScheduler twin_scheduler(&dedup_engine);
+      cf::stream::StreamConfig twin_config = config;
+      twin_config.max_in_flight = 8;  // widen the in-flight overlap window
+      if (!twin_scheduler.Open("t1", twin_config).ok()) return 1;
+      if (!twin_scheduler.Open("t2", twin_config).ok()) return 1;
+      const int64_t length = dataset.series.dim(1);
+      for (int64_t t = 0; t < length; t += stride) {
+        const int64_t k = std::min(stride, length - t);
+        const cf::Tensor samples =
+            cf::Slice(dataset.series, 1, t, t + k).Detach();
+        if (!twin_scheduler.Append("t1", samples).ok()) std::abort();
+        if (!twin_scheduler.Append("t2", samples).ok()) std::abort();
+      }
+      twin_scheduler.Flush();
+      const auto twin_stats = *twin_scheduler.GetStats("t2");
+      result.twin_dedup =
+          twin_stats.windows_emitted == 0
+              ? 0.0
+              : static_cast<double>(twin_stats.windows_deduped) /
+                    static_cast<double>(twin_stats.windows_emitted);
+    }
+
     HashCosts(dataset.series, window, stride, &result.inc_hash_us,
               &result.full_hash_us);
     results.push_back(result);
     std::fprintf(stderr,
                  "  [w=%lld s=%lld] %llu windows p50=%.2fms p99=%.2fms "
-                 "reuse=%.2f inc_hash=%.2fus full_hash=%.2fus\n",
+                 "reuse=%.2f twin_dedup=%.2f inc_hash=%.2fus "
+                 "full_hash=%.2fus\n",
                  static_cast<long long>(result.window),
                  static_cast<long long>(result.stride),
                  static_cast<unsigned long long>(result.windows),
                  result.p50_ms, result.p99_ms, result.replay_reuse,
-                 result.inc_hash_us, result.full_hash_us);
+                 result.twin_dedup, result.inc_hash_us, result.full_hash_us);
   }
 
   cf::Table table({"window", "stride", "windows", "p50 ms", "p99 ms",
-                   "replay reuse", "inc hash us", "full hash us"});
+                   "replay reuse", "twin dedup", "inc hash us",
+                   "full hash us"});
   for (const auto& r : results) {
     table.AddRow({std::to_string(r.window), std::to_string(r.stride),
                   std::to_string(static_cast<unsigned long long>(r.windows)),
                   cf::StrFormat("%.2f", r.p50_ms),
                   cf::StrFormat("%.2f", r.p99_ms),
                   cf::StrFormat("%.2f", r.replay_reuse),
+                  cf::StrFormat("%.2f", r.twin_dedup),
                   cf::StrFormat("%.2f", r.inc_hash_us),
                   cf::StrFormat("%.2f", r.full_hash_us)});
   }
@@ -237,13 +273,14 @@ int main() {
                  "\"append_to_graph_p50_ms\": %.3f, "
                  "\"append_to_graph_p99_ms\": %.3f, "
                  "\"replay_cache_reuse\": %.4f, "
+                 "\"twin_inflight_dedup\": %.4f, "
                  "\"incremental_hash_us_per_window\": %.3f, "
                  "\"full_hash_us_per_window\": %.3f}%s\n",
                  static_cast<long long>(r.window),
                  static_cast<long long>(r.stride),
                  static_cast<unsigned long long>(r.windows), r.p50_ms,
-                 r.p99_ms, r.replay_reuse, r.inc_hash_us, r.full_hash_us,
-                 i + 1 < results.size() ? "," : "");
+                 r.p99_ms, r.replay_reuse, r.twin_dedup, r.inc_hash_us,
+                 r.full_hash_us, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

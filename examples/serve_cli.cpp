@@ -351,10 +351,11 @@ void PrintResponse(const std::string& tag,
                 response.status.ToString().c_str());
     return;
   }
-  std::printf("%s edges=[%s] cache_hit=%d batch=%d latency=%.3fms\n",
+  std::printf("%s edges=[%s] cache_hit=%d deduped=%d batch=%d "
+              "latency=%.3fms\n",
               tag.c_str(), response.result->graph.ToString().c_str(),
-              response.cache_hit ? 1 : 0, response.batch_size,
-              response.latency_seconds * 1e3);
+              response.cache_hit ? 1 : 0, response.deduped ? 1 : 0,
+              response.batch_size, response.latency_seconds * 1e3);
 }
 
 int RunServe(const CliOptions& opts) {
@@ -416,19 +417,25 @@ int RunServe(const CliOptions& opts) {
     }
     if (cmd == "stats") {
       drain();
-      const auto cache = engine.cache_stats();
-      const auto batch = engine.batcher_stats();
+      const auto stats = engine.stats();
+      const auto& cache = stats.cache;
+      const auto& batch = stats.batcher;
       std::printf(
           "  cache: %llu hits / %llu misses, %zu/%zu entries, "
           "%llu expired\n"
-          "  batcher: %llu requests, %llu batches (max %d), %llu coalesced\n",
+          "  batcher: %llu requests, %llu batches (max %d), %llu coalesced, "
+          "admission %d/%d\n"
+          "  dedup: %llu coalesced followers, %zu in flight\n",
           static_cast<unsigned long long>(cache.hits),
           static_cast<unsigned long long>(cache.misses), cache.size,
           cache.capacity,
           static_cast<unsigned long long>(cache.expirations),
           static_cast<unsigned long long>(batch.requests),
           static_cast<unsigned long long>(batch.batches), batch.max_batch,
-          static_cast<unsigned long long>(batch.coalesced));
+          static_cast<unsigned long long>(batch.coalesced),
+          batch.in_flight_limit, eopts.batcher.max_in_flight_batches,
+          static_cast<unsigned long long>(stats.dedup.hits),
+          stats.dedup.in_flight);
       continue;
     }
     if (cmd == "q") {
@@ -624,7 +631,9 @@ int RunQuery(const CliOptions& opts) {
       std::printf(
           "  cache: %llu hits / %llu misses, %llu/%llu entries, "
           "%llu expired\n"
-          "  batcher: %llu requests, %llu batches (max %d), %llu coalesced\n"
+          "  batcher: %llu requests, %llu batches (max %d), %llu coalesced, "
+          "admission %d, %d buckets\n"
+          "  dedup: %llu coalesced followers, %llu in flight\n"
           "  server: %llu connections, %llu frames, %llu wire errors\n",
           static_cast<unsigned long long>(remote->cache_hits),
           static_cast<unsigned long long>(remote->cache_misses),
@@ -635,6 +644,9 @@ int RunQuery(const CliOptions& opts) {
           static_cast<unsigned long long>(remote->batch_batches),
           remote->batch_max,
           static_cast<unsigned long long>(remote->batch_coalesced),
+          remote->batch_in_flight_limit, remote->batch_shape_buckets,
+          static_cast<unsigned long long>(remote->dedup_hits),
+          static_cast<unsigned long long>(remote->dedup_in_flight),
           static_cast<unsigned long long>(remote->server_connections),
           static_cast<unsigned long long>(remote->server_frames),
           static_cast<unsigned long long>(remote->server_wire_errors));
@@ -657,10 +669,11 @@ int RunQuery(const CliOptions& opts) {
         std::printf("%s ERROR %s\n", tag.c_str(),
                     result.status().ToString().c_str());
       } else {
-        std::printf("%s edges=[%s] cache_hit=%d batch=%d latency=%.3fms\n",
+        std::printf("%s edges=[%s] cache_hit=%d deduped=%d batch=%d "
+                    "latency=%.3fms\n",
                     tag.c_str(), result->result.graph.ToString().c_str(),
-                    result->cache_hit ? 1 : 0, result->batch_size,
-                    result->latency_seconds * 1e3);
+                    result->cache_hit ? 1 : 0, result->deduped ? 1 : 0,
+                    result->batch_size, result->latency_seconds * 1e3);
       }
       ++query_no;
       continue;
@@ -684,12 +697,13 @@ void PrintReport(const cf::serve::wire::StreamReportMsg& report,
              std::to_string(edge.to) + "(d=" + std::to_string(edge.delay) +
              ")";
   }
-  std::printf("w#%llu [%lld,%lld) edges=[%s] cache_hit=%d batch=%d "
-              "latency=%.3fms",
+  std::printf("w#%llu [%lld,%lld) edges=[%s] cache_hit=%d deduped=%d "
+              "batch=%d latency=%.3fms",
               static_cast<unsigned long long>(report.window_index),
               static_cast<long long>(report.window_start),
               static_cast<long long>(report.window_start + width),
-              edges.c_str(), report.cache_hit ? 1 : 0, report.batch_size,
+              edges.c_str(), report.cache_hit ? 1 : 0,
+              report.deduped ? 1 : 0, report.batch_size,
               report.latency_seconds * 1e3);
   if (report.has_baseline) {
     std::printf(" drift(+%d -%d ~%d jaccard=%.2f dmean=%.4g)%s%s",
@@ -763,6 +777,7 @@ int RunStream(const CliOptions& opts) {
   uint64_t drifted = 0;
   uint64_t regime_changes = 0;
   uint64_t cache_hits = 0;
+  uint64_t deduped = 0;
   auto drain = [&](uint32_t max_reports) -> bool {
     const auto reports = client.StreamReports(opts.stream_name, max_reports);
     if (!reports.ok()) {
@@ -774,6 +789,7 @@ int RunStream(const CliOptions& opts) {
       PrintReport(report, opened->window);
       ++reported;
       if (report.cache_hit) ++cache_hits;
+      if (report.deduped) ++deduped;
       if (report.drifted) ++drifted;
       if (report.regime_change) ++regime_changes;
     }
@@ -832,12 +848,13 @@ int RunStream(const CliOptions& opts) {
   // a floor.
   std::fprintf(stderr,
                "streamed %lld samples -> >=%llu windows, %llu reports "
-               "(%llu cache hits, %llu drifted, %llu regime changes, "
-               "%llu failed)\n",
+               "(%llu cache hits, %llu deduped, %llu drifted, "
+               "%llu regime changes, %llu failed)\n",
                static_cast<long long>(length),
                static_cast<unsigned long long>(emitted),
                static_cast<unsigned long long>(reported),
                static_cast<unsigned long long>(cache_hits),
+               static_cast<unsigned long long>(deduped),
                static_cast<unsigned long long>(drifted),
                static_cast<unsigned long long>(regime_changes),
                static_cast<unsigned long long>(failed));

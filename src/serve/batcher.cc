@@ -17,25 +17,38 @@ DiscoveryResponse Rejection(Status status) {
   return response;
 }
 
-// Two requests may share one batched pass iff the detector would treat them
-// interchangeably: same model handle (pointer identity, so requests validated
-// against different instances of a hot-swapped name never merge), identical
-// options, same window geometry (batch length may differ).
-bool Compatible(const BatchItem& a, const BatchItem& b) {
-  return a.model == b.model && a.request.model == b.request.model &&
-         SameDetectorOptions(a.request.options, b.request.options) &&
-         a.request.windows.dim(1) == b.request.windows.dim(1) &&
-         a.request.windows.dim(2) == b.request.windows.dim(2);
+}  // namespace
+
+void BatchItem::Resolve(DiscoveryResponse response) {
+  // Fan out before fulfilling the leader's promise: a follower must never
+  // observe its leader "done" while the entry is still open.
+  if (inflight_table != nullptr && inflight != nullptr) {
+    inflight_table->Complete(inflight, response);
+  }
+  promise.set_value(std::move(response));
 }
 
-}  // namespace
+size_t MicroBatcher::ShapeKeyHash::operator()(const ShapeKey& key) const {
+  size_t h = std::hash<const void*>()(key.model);
+  h ^= std::hash<int64_t>()(key.n) + 0x9E3779B97F4A7C15ULL + (h << 6);
+  h ^= std::hash<int64_t>()(key.t) + 0x9E3779B97F4A7C15ULL + (h << 6);
+  h ^= std::hash<std::string>()(key.name) + (h >> 2);
+  h ^= std::hash<std::string>()(key.options) + (h << 3);
+  return h;
+}
 
 MicroBatcher::MicroBatcher(const BatcherOptions& options, ExecuteFn execute)
     : options_(options), execute_(std::move(execute)) {
   CF_CHECK_GT(options_.max_batch_requests, 0);
   CF_CHECK_GT(options_.max_batch_windows, 0);
   CF_CHECK_GT(options_.max_in_flight_batches, 0);
+  CF_CHECK_GT(options_.min_in_flight_batches, 0);
+  CF_CHECK_LE(options_.min_in_flight_batches, options_.max_in_flight_batches);
   CF_CHECK(execute_ != nullptr);
+  // Admission starts wide open: sparse traffic dispatches with no extra
+  // latency, and the limit only tightens once observed occupancy shows that
+  // concurrent batches are running under-filled.
+  admitted_ = options_.max_in_flight_batches;
   executors_.reserve(options_.max_in_flight_batches);
   for (int i = 0; i < options_.max_in_flight_batches; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
@@ -47,77 +60,139 @@ MicroBatcher::~MicroBatcher() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    orphans.reserve(queue_.size());
-    while (!queue_.empty()) {
-      orphans.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    orphans.reserve(queued_);
+    for (auto& [shape, bucket] : buckets_) {
+      while (!bucket.empty()) {
+        orphans.push_back(std::move(bucket.front()));
+        bucket.pop_front();
+      }
     }
+    buckets_.clear();
+    queued_ = 0;
   }
   work_cv_.notify_all();
   // Joining the executors is the in-flight barrier: each finishes its current
   // batch (resolving its promises) before exiting.
   for (auto& executor : executors_) executor.join();
   for (auto& item : orphans) {
-    item.promise.set_value(
+    item.Resolve(
         Rejection(Status::FailedPrecondition("batcher shutting down")));
   }
 }
 
 std::future<DiscoveryResponse> MicroBatcher::Submit(
     DiscoveryRequest request, CacheKey key,
-    std::shared_ptr<const core::CausalityTransformer> model) {
+    std::shared_ptr<const core::CausalityTransformer> model,
+    InFlightTable* inflight_table, std::shared_ptr<InFlightEntry> inflight) {
   BatchItem item;
   item.request = std::move(request);
   item.key = std::move(key);
   item.model = std::move(model);
+  item.inflight_table = inflight_table;
+  item.inflight = std::move(inflight);
   std::future<DiscoveryResponse> future = item.promise.get_future();
+  Status rejection;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       ++stats_.rejected;
-      item.promise.set_value(
-          Rejection(Status::FailedPrecondition("batcher shutting down")));
-      return future;
-    }
-    if (queue_.size() >= options_.max_queue) {
+      rejection = Status::FailedPrecondition("batcher shutting down");
+    } else if (queued_ >= options_.max_queue) {
       ++stats_.rejected;
-      item.promise.set_value(Rejection(Status::FailedPrecondition(
-          "request queue full (" + std::to_string(options_.max_queue) + ")")));
-      return future;
+      rejection = Status::FailedPrecondition(
+          "request queue full (" + std::to_string(options_.max_queue) + ")");
+    } else {
+      ++stats_.requests;
+      item.seq = next_seq_++;
+      ShapeKey shape;
+      shape.model = item.model.get();
+      shape.n = item.request.windows.dim(1);
+      shape.t = item.request.windows.dim(2);
+      shape.name = item.request.model;
+      shape.options = item.key.options;
+      buckets_[std::move(shape)].push_back(std::move(item));
+      ++queued_;
     }
-    ++stats_.requests;
-    queue_.push_back(std::move(item));
+  }
+  if (!rejection.ok()) {
+    // Resolve outside mu_ (matching the destructor's orphan drain): the
+    // promise fulfilment wakes the caller and fans out to any parked dedup
+    // followers, none of which should serialise against Submit/Collect.
+    item.Resolve(Rejection(std::move(rejection)));
+    return future;
   }
   work_cv_.notify_one();
   return future;
 }
 
 std::vector<BatchItem> MicroBatcher::CollectBatchLocked() {
+  // Serve the bucket whose head request has waited longest: cross-bucket
+  // FIFO, so a hot shape cannot starve a lone request of another shape.
+  auto best = buckets_.end();
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    if (best == buckets_.end() ||
+        it->second.front().seq < best->second.front().seq) {
+      best = it;
+    }
+  }
+  CF_CHECK(best != buckets_.end());
+  std::deque<BatchItem>& bucket = best->second;
+
   std::vector<BatchItem> batch;
   batch.reserve(static_cast<size_t>(options_.max_batch_requests));
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
+  batch.push_back(std::move(bucket.front()));
+  bucket.pop_front();
   int64_t windows_taken =
       std::min<int64_t>(batch.front().request.windows.dim(0),
                         batch.front().request.options.max_windows);
-  for (auto it = queue_.begin();
-       it != queue_.end() &&
-       static_cast<int>(batch.size()) < options_.max_batch_requests;) {
-    const int64_t cost = std::min<int64_t>(it->request.windows.dim(0),
-                                           it->request.options.max_windows);
-    // batch.front() is re-read each iteration: a held reference would dangle
-    // if a push_back ever reallocated (the reserve above makes that
-    // impossible today, but only as an optimization, not a correctness
-    // requirement).
-    if (Compatible(batch.front(), *it) &&
-        windows_taken + cost <= options_.max_batch_windows) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-      windows_taken += cost;
-    } else {
-      ++it;
+  // Every bucket entry is compatible by construction, so riders come
+  // straight off the front — no compatibility scan over unrelated traffic.
+  while (!bucket.empty() &&
+         static_cast<int>(batch.size()) < options_.max_batch_requests) {
+    const int64_t cost =
+        std::min<int64_t>(bucket.front().request.windows.dim(0),
+                          bucket.front().request.options.max_windows);
+    if (windows_taken + cost > options_.max_batch_windows) break;
+    batch.push_back(std::move(bucket.front()));
+    bucket.pop_front();
+    windows_taken += cost;
+  }
+  if (bucket.empty()) buckets_.erase(best);
+  queued_ -= batch.size();
+
+  if (options_.adaptive_in_flight) {
+    // Occupancy feedback: full batches mean demand saturates every pass, so
+    // more may run side by side; sparse batches mean concurrency is
+    // fragmenting arrivals, so tighten admission and let them coalesce. A
+    // batch is "full" against whichever cap it hit — request count or the
+    // summed-window budget — so windows-saturated batches of few large
+    // requests never read as sparse.
+    const double occupancy =
+        std::max(static_cast<double>(batch.size()) /
+                     static_cast<double>(options_.max_batch_requests),
+                 static_cast<double>(windows_taken) /
+                     static_cast<double>(options_.max_batch_windows));
+    // Requests in different buckets can never coalesce, so serializing them
+    // buys nothing: admission is floored at one executor per pending shape
+    // (plus this batch), capped by the executor count.
+    const int distinct_floor =
+        std::min(static_cast<int>(buckets_.size()) + 1,
+                 options_.max_in_flight_batches);
+    if (admitted_ < distinct_floor) {
+      ++stats_.limit_grows;
+      admitted_ = distinct_floor;
+    } else if (occupancy >= options_.grow_occupancy &&
+               admitted_ < options_.max_in_flight_batches) {
+      ++admitted_;
+      ++stats_.limit_grows;
+    } else if (occupancy <= options_.shrink_occupancy &&
+               admitted_ >
+                   std::max(options_.min_in_flight_batches, distinct_floor)) {
+      --admitted_;
+      ++stats_.limit_shrinks;
     }
   }
+
   ++stats_.batches;
   stats_.max_batch = std::max(stats_.max_batch, static_cast<int>(batch.size()));
   if (batch.size() > 1) stats_.coalesced += batch.size();
@@ -129,17 +204,33 @@ void MicroBatcher::ExecutorLoop() {
     std::vector<BatchItem> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Admission gate: beyond having work, an executor needs a slot under
+      // the adaptive limit. Executors over the limit park here and requests
+      // pile into their buckets — that is the coalescing lever.
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (queued_ > 0 && active_ < admitted_);
+      });
       if (shutdown_) return;
       batch = CollectBatchLocked();
+      ++active_;
     }
     execute_(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    // A slot freed and the limit may have grown: wake peers, not just one —
+    // several parked executors might now be admissible.
+    work_cv_.notify_all();
   }
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.in_flight_limit = admitted_;
+  s.shape_buckets = static_cast<int>(buckets_.size());
+  return s;
 }
 
 }  // namespace serve

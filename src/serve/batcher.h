@@ -10,24 +10,44 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/causality_transformer.h"
+#include "serve/inflight.h"
 #include "serve/score_cache.h"
 #include "serve/types.h"
 #include "util/stopwatch.h"
 
 /// \file
-/// Micro-batching request queue.
+/// Micro-batching request queue: shape-bucketed pending work plus adaptive
+/// executor admission.
 ///
 /// Concurrent discovery queries against the same model are coalesced into one
 /// batched forward + backward pass (core::DetectCausalGraphBatched), which
 /// amortises the per-pass fixed cost (tape construction, n backward walks)
-/// across every rider. Batching is adaptive with no timed linger: while every
-/// executor is busy, newly arriving requests pile up in the queue, so batches
-/// grow exactly when the service is saturated and a lone request is
-/// dispatched immediately when it is not — the standard continuous-batching
-/// behaviour of model servers.
+/// across every rider. Pending requests are kept in *shape buckets* — one
+/// queue per (model handle, detector options, N×T window geometry) — so a
+/// dispatch drains riders straight from the head of one bucket in O(batch)
+/// instead of scanning the whole mixed queue for compatible entries, and any
+/// compatible request can ride regardless of how much incompatible traffic
+/// arrived between it and the batch head. Across buckets, the bucket whose
+/// head request has waited longest dispatches first (no bucket starves).
+///
+/// Batching is adaptive with no timed linger: while every admitted executor
+/// is busy, newly arriving requests pile up in their buckets, so batches grow
+/// exactly when the service is saturated and a lone request is dispatched
+/// immediately when it is not — the standard continuous-batching behaviour of
+/// model servers. On top of that, the *admission limit* (how many executors
+/// may run batches concurrently) adapts to observed batch occupancy — the
+/// fill fraction against whichever cap binds, request count or the summed-
+/// window budget: full batches grow the limit toward max_in_flight_batches
+/// (demand saturates every pass, parallelism drains the backlog), while
+/// sparse batches shrink it toward min_in_flight_batches so concurrent
+/// arrivals coalesce into fewer, fuller passes instead of fragmenting
+/// across executors. The limit never drops below one executor per pending
+/// shape bucket: requests of different shapes can never share a batch, so
+/// serializing them would cost latency and buy no coalescing.
 ///
 /// Batches execute on dedicated executor threads (not on the global
 /// ThreadPool): a pool worker running a batch would force every nested
@@ -50,6 +70,18 @@ struct BatchItem {
   std::shared_ptr<const core::CausalityTransformer> model;
   std::promise<DiscoveryResponse> promise;  ///< fulfilled by the executor
   Stopwatch since_submit;  ///< started at Submit() for end-to-end latency
+  uint64_t seq = 0;  ///< admission order, for cross-bucket FIFO fairness
+  /// Dedup lease: when this item leads an in-flight entry, resolving it
+  /// (success, rejection and shutdown alike) fans the response out to the
+  /// entry's parked followers before fulfilling the promise.
+  InFlightTable* inflight_table = nullptr;
+  std::shared_ptr<InFlightEntry> inflight;  ///< the led entry, if any
+
+  /// The single completion path: fans out to dedup followers (when the item
+  /// leads an entry), then fulfils the promise. Every resolver — executor,
+  /// submit-time rejection, shutdown drain — must go through here so
+  /// followers can never be left parked on a dead leader.
+  void Resolve(DiscoveryResponse response);
 };
 
 /// MicroBatcher tuning knobs.
@@ -61,9 +93,23 @@ struct BatcherOptions {
   int64_t max_batch_windows = 256;
   /// Queued (not yet dispatched) request bound; Submit rejects beyond it.
   size_t max_queue = 1024;
-  /// Executor threads, i.e. batches allowed to execute concurrently. Safe at
-  /// any value: batched detection is re-entrant per model.
+  /// Executor threads, i.e. the ceiling on batches executing concurrently.
+  /// Safe at any value: batched detection is re-entrant per model.
   int max_in_flight_batches = 2;
+  /// Adapt the admission limit between min_in_flight_batches and
+  /// max_in_flight_batches from observed batch occupancy. When off, every
+  /// executor is always admitted (the pre-adaptive behaviour).
+  bool adaptive_in_flight = true;
+  /// Floor of the adaptive admission limit (≥ 1 so a lone request always
+  /// dispatches immediately).
+  int min_in_flight_batches = 1;
+  /// Batch fill fraction — against whichever cap binds, max_batch_requests
+  /// or max_batch_windows — at or above which a dispatch grows the
+  /// admission limit by one.
+  double grow_occupancy = 0.75;
+  /// Batch fill fraction at or below which a dispatch shrinks it by one
+  /// (never below one executor per pending shape bucket).
+  double shrink_occupancy = 0.25;
 };
 
 /// The adaptive micro-batching queue between the engine and the detector.
@@ -88,10 +134,14 @@ class MicroBatcher {
   /// runs the batch on it directly. Deliberately no default: an executor that
   /// expects the handle (InferenceEngine) would otherwise abort at runtime on
   /// a call site that forgot it. Executors that resolve models themselves may
-  /// pass nullptr explicitly.
+  /// pass nullptr explicitly. `inflight_table`/`inflight` (optional) attach
+  /// the in-flight dedup entry this request leads; its followers fan in on
+  /// whatever outcome the request reaches.
   std::future<DiscoveryResponse> Submit(
       DiscoveryRequest request, CacheKey key,
-      std::shared_ptr<const core::CausalityTransformer> model);
+      std::shared_ptr<const core::CausalityTransformer> model,
+      InFlightTable* inflight_table = nullptr,
+      std::shared_ptr<InFlightEntry> inflight = nullptr);
 
   /// Point-in-time batching counters.
   struct Stats {
@@ -100,15 +150,43 @@ class MicroBatcher {
     uint64_t coalesced = 0;  ///< requests that rode in a batch of size > 1
     int max_batch = 0;       ///< largest batch dispatched so far
     uint64_t rejected = 0;   ///< requests refused (queue full / shutdown)
+    int in_flight_limit = 0;  ///< current adaptive admission limit (gauge)
+    int shape_buckets = 0;    ///< buckets holding pending requests (gauge)
+    uint64_t limit_grows = 0;    ///< admission-limit increments so far
+    uint64_t limit_shrinks = 0;  ///< admission-limit decrements so far
   };
   /// Snapshot of the batching counters.
   Stats stats() const;
 
  private:
-  /// Executor loop: pop a coalesced batch, run execute_, repeat.
+  /// Identity of one shape bucket: requests in the same bucket are
+  /// batch-compatible by construction (same pinned model handle — pointer
+  /// identity, so hot-swapped instances of one name never merge — same
+  /// registry name, identical detector options via their exact encoding, and
+  /// the same N×T window geometry; batch length B may differ per rider).
+  struct ShapeKey {
+    const core::CausalityTransformer* model = nullptr;  ///< handle identity
+    int64_t n = 0;        ///< window series count
+    int64_t t = 0;        ///< window width
+    std::string name;     ///< registry name the request addressed
+    std::string options;  ///< EncodeDetectorOptions of the request
+    /// Field-wise equality.
+    bool operator==(const ShapeKey& o) const {
+      return model == o.model && n == o.n && t == o.t && name == o.name &&
+             options == o.options;
+    }
+  };
+  /// Hash functor over ShapeKey.
+  struct ShapeKeyHash {
+    size_t operator()(const ShapeKey& key) const;
+  };
+
+  /// Executor loop: await admission + work, pop a coalesced batch, run
+  /// execute_, repeat.
   void ExecutorLoop();
-  /// Pops the head plus every compatible queued request (same model, same
-  /// options, same window geometry) within the batch caps. Holds mu_.
+  /// Pops the head of the longest-waiting bucket plus every rider within the
+  /// batch caps, and adapts the admission limit from the observed occupancy.
+  /// Holds mu_.
   std::vector<BatchItem> CollectBatchLocked();
 
   BatcherOptions options_;
@@ -116,7 +194,12 @@ class MicroBatcher {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<BatchItem> queue_;
+  /// Pending requests, one FIFO per compatibility shape.
+  std::unordered_map<ShapeKey, std::deque<BatchItem>, ShapeKeyHash> buckets_;
+  size_t queued_ = 0;      ///< total pending across buckets
+  uint64_t next_seq_ = 0;  ///< admission counter feeding BatchItem::seq
+  int admitted_ = 0;       ///< current adaptive admission limit
+  int active_ = 0;         ///< batches executing right now
   bool shutdown_ = false;
   Stats stats_;
 

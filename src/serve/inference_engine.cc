@@ -31,6 +31,7 @@ ScoreCacheOptions CacheOptions(const EngineOptions& options) {
   ScoreCacheOptions cache;
   cache.capacity = options.cache_capacity;
   cache.ttl_seconds = options.cache_ttl_seconds;
+  cache.clock_for_testing = options.cache_clock_for_testing;
   return cache;
 }
 
@@ -39,12 +40,21 @@ ScoreCacheOptions CacheOptions(const EngineOptions& options) {
 InferenceEngine::InferenceEngine(ModelRegistry* registry,
                                  const EngineOptions& options)
     : registry_(registry),
+      options_(options),
       cache_(CacheOptions(options)),
       batcher_(options.batcher,
                [this](std::vector<BatchItem> items) {
                  ExecuteBatch(std::move(items));
                }) {
   CF_CHECK(registry != nullptr);
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
+  s.cache = cache_.stats();
+  s.batcher = batcher_.stats();
+  s.dedup = inflight_.stats();
+  return s;
 }
 
 std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
@@ -96,6 +106,15 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
     response.latency_seconds = latency.ElapsedSeconds();
     return Ready(std::move(response));
   }
+  if (options_.dedup_in_flight) {
+    // An identical query (same generation, window hash, options) already in
+    // flight makes this caller a follower: park on the leader's entry and
+    // share its result — error, cancellation and hot-swap outcomes included.
+    InFlightTicket ticket = inflight_.Join(key);
+    if (!ticket.leader) return std::move(ticket.follower);
+    return batcher_.Submit(std::move(request), std::move(key), model,
+                           &inflight_, std::move(ticket.entry));
+  }
   return batcher_.Submit(std::move(request), std::move(key), model);
 }
 
@@ -128,14 +147,19 @@ void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
   CF_CHECK_EQ(results.size(), items.size());
 
   for (size_t i = 0; i < items.size(); ++i) {
+    if (options_.detect_observer_for_testing) {
+      options_.detect_observer_for_testing(items[i].key);
+    }
     auto shared =
         std::make_shared<const core::DetectionResult>(std::move(results[i]));
+    // Cache fill before Resolve: once followers (and the leader) see the
+    // result, any brand-new identical query must already find it cached.
     cache_.Put(items[i].key, shared);
     DiscoveryResponse response;
     response.result = std::move(shared);
     response.batch_size = static_cast<int>(items.size());
     response.latency_seconds = items[i].since_submit.ElapsedSeconds();
-    items[i].promise.set_value(std::move(response));
+    items[i].Resolve(std::move(response));
   }
 }
 

@@ -2,12 +2,14 @@
 #define CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "serve/batcher.h"
+#include "serve/inflight.h"
 #include "serve/model_registry.h"
 #include "serve/score_cache.h"
 #include "serve/types.h"
@@ -20,8 +22,11 @@
 /// Request path:
 ///   SubmitAsync -> validate against the registry -> ScoreCache probe
 ///     -> hit: resolved future, no model work at all
-///     -> miss: MicroBatcher queue -> coalesced DetectCausalGraphBatched
-///        on a thread-pool worker -> cache fill -> futures resolve.
+///     -> miss, identical query already in flight: park as a dedup follower
+///        on the leader's InFlightTable entry — no model work of its own
+///     -> miss, novel: lead an in-flight entry -> MicroBatcher shape bucket
+///        -> coalesced DetectCausalGraphBatched on an executor thread
+///        -> cache fill -> leader + parked followers resolve together.
 ///
 /// Every layer below is immutable or internally synchronised, so any number
 /// of client threads may submit concurrently, for any mix of models.
@@ -37,6 +42,27 @@ struct EngineOptions {
   /// Max age of a cached result in seconds (0 = never expires). Lets the
   /// windows of a dead stream age out even when capacity is never reached.
   double cache_ttl_seconds = 0;
+  /// Coalesce identical in-flight queries: a query whose exact cache key
+  /// (model generation, window hash, options fingerprint) is already running
+  /// parks on the running query's result instead of recomputing. Off, every
+  /// cache miss computes — the baseline the dedup bench compares against.
+  bool dedup_in_flight = true;
+  /// Test seam: seconds-valued monotonic clock driving the cache's TTL
+  /// (ScoreCacheOptions::clock_for_testing). Null uses steady_clock.
+  std::function<double()> cache_clock_for_testing;
+  /// Test seam: invoked once per request the detector actually computes
+  /// (inside the batch executor, per batch item), with the request's cache
+  /// key. The concurrency harness counts these to prove dedup: invocations
+  /// must equal unique keys, never submissions. Null in production.
+  std::function<void(const CacheKey&)> detect_observer_for_testing;
+};
+
+/// One point-in-time snapshot of every engine counter family — cache,
+/// batcher and in-flight dedup — taken for stats endpoints and tests.
+struct EngineStats {
+  ScoreCache::Stats cache;       ///< score-cache counters
+  MicroBatcher::Stats batcher;   ///< micro-batcher counters
+  InFlightTable::Stats dedup;    ///< in-flight dedup counters
 };
 
 /// The long-lived service object answering discovery queries.
@@ -45,15 +71,17 @@ class InferenceEngine {
   /// `registry` must outlive the engine.
   explicit InferenceEngine(ModelRegistry* registry,
                            const EngineOptions& options = {});
-  /// Drains the batcher (rejecting queued work) before members go away.
+  /// Drains the batcher (rejecting queued work, fanning followers in on the
+  /// rejection) before members go away.
   ~InferenceEngine() = default;
 
   InferenceEngine(const InferenceEngine&) = delete;             ///< not copyable
   InferenceEngine& operator=(const InferenceEngine&) = delete;  ///< not copyable
 
   /// Validates and enqueues one discovery query. Never blocks on model work:
-  /// rejections and cache hits resolve immediately, misses resolve when the
-  /// request's micro-batch completes.
+  /// rejections and cache hits resolve immediately, dedup followers resolve
+  /// with their leader, misses resolve when the request's micro-batch
+  /// completes.
   std::future<DiscoveryResponse> SubmitAsync(DiscoveryRequest request);
 
   /// Convenience synchronous wrapper around SubmitAsync.
@@ -74,14 +102,23 @@ class InferenceEngine {
   ScoreCache::Stats cache_stats() const { return cache_.stats(); }
   /// Snapshot of the micro-batcher counters.
   MicroBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+  /// Snapshot of the in-flight dedup counters.
+  InFlightTable::Stats dedup_stats() const { return inflight_.stats(); }
+  /// One snapshot of every counter family.
+  EngineStats stats() const;
 
  private:
-  /// Batch executor: runs the coalesced detection and resolves every rider.
+  /// Batch executor: runs the coalesced detection and resolves every rider
+  /// (and, through each rider's in-flight entry, its parked followers).
   void ExecuteBatch(std::vector<BatchItem> items);
 
   ModelRegistry* registry_;
+  EngineOptions options_;
   ScoreCache cache_;
-  MicroBatcher batcher_;  // last member: its threads touch cache_/registry_
+  InFlightTable inflight_;
+  MicroBatcher batcher_;  // last member: its threads touch the layers above,
+                          // and its destructor resolves queued leaders while
+                          // inflight_ is still alive to fan followers in
 };
 
 }  // namespace serve

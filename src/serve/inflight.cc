@@ -1,0 +1,101 @@
+#include "serve/inflight.h"
+
+#include <utility>
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+// The response a follower receives: the leader's outcome with the dedup
+// markers set. The shared result pointer is copied, not cloned, so every
+// follower reads the exact bytes the leader computed; the latency is the
+// leader's (submit-to-completion of the work that actually ran).
+DiscoveryResponse FollowerResponse(const DiscoveryResponse& leader) {
+  DiscoveryResponse response = leader;
+  response.deduped = true;
+  response.cache_hit = false;
+  return response;
+}
+
+}  // namespace
+
+InFlightTable::~InFlightTable() {
+  // Every leader resolves its entry through Complete() on success, rejection
+  // and shutdown alike, so this loop is a failsafe: if an entry is somehow
+  // still open, failing its followers beats abandoning their promises
+  // (future.get() would throw std::future_error instead of returning).
+  std::vector<std::promise<DiscoveryResponse>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, entry] : index_) {
+      entry->completed = true;
+      for (auto& follower : entry->followers) {
+        orphans.push_back(std::move(follower));
+      }
+      entry->followers.clear();
+    }
+    index_.clear();
+  }
+  DiscoveryResponse failure;
+  failure.status = Status::FailedPrecondition("engine shutting down");
+  failure.deduped = true;
+  for (auto& orphan : orphans) orphan.set_value(failure);
+}
+
+InFlightTicket InFlightTable::Join(const CacheKey& key) {
+  InFlightTicket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    auto entry = std::make_shared<InFlightEntry>();
+    entry->key = key;
+    index_.emplace(key, entry);
+    ++leaders_;
+    ticket.leader = true;
+    ticket.entry = std::move(entry);
+    return ticket;
+  }
+  ++hits_;
+  it->second->followers.emplace_back();
+  ticket.follower = it->second->followers.back().get_future();
+  return ticket;
+}
+
+void InFlightTable::Complete(const std::shared_ptr<InFlightEntry>& entry,
+                             const DiscoveryResponse& response) {
+  if (entry == nullptr) return;
+  std::vector<std::promise<DiscoveryResponse>> followers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->completed) return;
+    entry->completed = true;
+    followers = std::move(entry->followers);
+    entry->followers.clear();
+    // Erase by key only if this entry still owns the slot (it always does
+    // today — completion is the only eraser — but a stale shared_ptr must
+    // never evict a successor leader's entry).
+    const auto it = index_.find(entry->key);
+    if (it != index_.end() && it->second == entry) index_.erase(it);
+    if (!response.status.ok()) {
+      failed_fanins_ += static_cast<uint64_t>(followers.size());
+    }
+  }
+  // Fulfil outside the lock: set_value wakes parked threads, and none of
+  // them should contend with the table mutex to observe their result.
+  const DiscoveryResponse fanned = FollowerResponse(response);
+  for (auto& follower : followers) follower.set_value(fanned);
+}
+
+InFlightTable::Stats InFlightTable::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.leaders = leaders_;
+  s.hits = hits_;
+  s.failed_fanins = failed_fanins_;
+  s.in_flight = index_.size();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace causalformer

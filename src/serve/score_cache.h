@@ -94,6 +94,18 @@ struct CacheKey {
   }
 };
 
+/// Hash functor over CacheKey — the key machinery shared by the ScoreCache
+/// (completed results) and the InFlightTable (running queries), so both
+/// layers agree byte-for-byte on what "the same query" means.
+struct CacheKeyHash {
+  /// Mixes the 128-bit window hash, generation and model name.
+  size_t operator()(const CacheKey& key) const {
+    return static_cast<size_t>(key.windows.lo ^ (key.windows.hi >> 1) ^
+                               (key.generation * 0x9E3779B97F4A7C15ULL) ^
+                               std::hash<std::string>()(key.model));
+  }
+};
+
 /// ScoreCache construction knobs.
 struct ScoreCacheOptions {
   /// LRU entry bound (0 disables caching).
@@ -156,13 +168,6 @@ class ScoreCache {
   Stats stats() const;
 
  private:
-  struct KeyHasher {
-    size_t operator()(const CacheKey& key) const {
-      return static_cast<size_t>(key.windows.lo ^ (key.windows.hi >> 1) ^
-                                 (key.generation * 0x9E3779B97F4A7C15ULL) ^
-                                 std::hash<std::string>()(key.model));
-    }
-  };
   struct Entry {
     std::shared_ptr<const core::DetectionResult> result;
     double put_time = 0;  ///< clock seconds at the last Put
@@ -176,7 +181,7 @@ class ScoreCache {
   mutable std::mutex mu_;
   ScoreCacheOptions options_;
   LruList lru_;  // front = most recent
-  std::unordered_map<CacheKey, LruList::iterator, KeyHasher> index_;
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -24,6 +24,7 @@ constexpr size_t kReadChunk = 64 * 1024;
 wire::DetectResultMsg ToResultMsg(const DiscoveryResponse& response) {
   wire::DetectResultMsg msg;
   msg.cache_hit = response.cache_hit;
+  msg.deduped = response.deduped;
   msg.batch_size = response.batch_size;
   msg.latency_seconds = response.latency_seconds;
   msg.result = *response.result;
@@ -253,19 +254,24 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     }
     case MessageType::kStats: {
       wire::StatsResultMsg msg;
-      const auto cache = engine_->cache_stats();
+      const EngineStats engine_stats = engine_->stats();
+      const auto& cache = engine_stats.cache;
       msg.cache_hits = cache.hits;
       msg.cache_misses = cache.misses;
       msg.cache_evictions = cache.evictions;
       msg.cache_expirations = cache.expirations;
       msg.cache_size = cache.size;
       msg.cache_capacity = cache.capacity;
-      const auto batch = engine_->batcher_stats();
+      const auto& batch = engine_stats.batcher;
       msg.batch_requests = batch.requests;
       msg.batch_batches = batch.batches;
       msg.batch_coalesced = batch.coalesced;
       msg.batch_max = batch.max_batch;
       msg.batch_rejected = batch.rejected;
+      msg.batch_in_flight_limit = batch.in_flight_limit;
+      msg.batch_shape_buckets = batch.shape_buckets;
+      msg.dedup_hits = engine_stats.dedup.hits;
+      msg.dedup_in_flight = engine_stats.dedup.in_flight;
       {
         std::lock_guard<std::mutex> lock(mu_);
         msg.server_connections = stats_.connections_accepted;

@@ -51,6 +51,11 @@ struct DiscoveryResponse {
   std::shared_ptr<const core::DetectionResult> result;
 
   bool cache_hit = false;      ///< answered from the ScoreCache
+  /// Answered by fanning in on an identical in-flight query: this caller was
+  /// a dedup *follower* and shares the leader's result object (bit-identical
+  /// scores) without a detection pass of its own. Mutually exclusive with
+  /// cache_hit; batch_size/latency_seconds describe the leader's run.
+  bool deduped = false;
   int batch_size = 0;          ///< requests coalesced into the executing batch
   double latency_seconds = 0;  ///< submit-to-completion wall time
 };

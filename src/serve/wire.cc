@@ -112,7 +112,10 @@ Status ReadModelOptions(PayloadReader* r, core::ModelOptions* o) {
 
 void WriteDetectResult(PayloadWriter* w, const DetectResultMsg& msg) {
   const int n = msg.result.scores.num_series();
-  w->U8(msg.cache_hit ? 1 : 0);
+  uint8_t flags = 0;
+  if (msg.cache_hit) flags |= 1u << 0;
+  if (msg.deduped) flags |= 1u << 1;
+  w->U8(flags);
   w->I32(msg.batch_size);
   w->F64(msg.latency_seconds);
   w->U32(static_cast<uint32_t>(n));
@@ -136,12 +139,13 @@ void WriteDetectResult(PayloadWriter* w, const DetectResultMsg& msg) {
 }
 
 Status ReadDetectResult(PayloadReader* r, DetectResultMsg* msg) {
-  uint8_t hit = 0;
-  CF_RETURN_IF_ERROR(r->U8(&hit));
-  if (hit > 1) {
-    return Status::InvalidArgument("detect result: cache_hit must be 0/1");
+  uint8_t flags = 0;
+  CF_RETURN_IF_ERROR(r->U8(&flags));
+  if ((flags & ~0x03u) != 0) {
+    return Status::InvalidArgument("detect result: reserved flag bits set");
   }
-  msg->cache_hit = hit == 1;
+  msg->cache_hit = (flags & (1u << 0)) != 0;
+  msg->deduped = (flags & (1u << 1)) != 0;
   CF_RETURN_IF_ERROR(r->I32(&msg->batch_size));
   CF_RETURN_IF_ERROR(r->F64(&msg->latency_seconds));
   uint32_t n32 = 0;
@@ -242,6 +246,7 @@ void WriteStreamReport(PayloadWriter* w, const StreamReportMsg& msg) {
   if (msg.has_baseline) flags |= 1u << 1;
   if (msg.drifted) flags |= 1u << 2;
   if (msg.regime_change) flags |= 1u << 3;
+  if (msg.deduped) flags |= 1u << 4;
   w->U8(flags);
   w->I32(msg.batch_size);
   w->F64(msg.latency_seconds);
@@ -264,13 +269,14 @@ Status ReadStreamReport(PayloadReader* r, StreamReportMsg* msg) {
   CF_RETURN_IF_ERROR(r->I64(&msg->window_start));
   uint8_t flags = 0;
   CF_RETURN_IF_ERROR(r->U8(&flags));
-  if ((flags & ~0x0Fu) != 0) {
+  if ((flags & ~0x1Fu) != 0) {
     return Status::InvalidArgument("stream report: reserved flag bits set");
   }
   msg->cache_hit = (flags & (1u << 0)) != 0;
   msg->has_baseline = (flags & (1u << 1)) != 0;
   msg->drifted = (flags & (1u << 2)) != 0;
   msg->regime_change = (flags & (1u << 3)) != 0;
+  msg->deduped = (flags & (1u << 4)) != 0;
   CF_RETURN_IF_ERROR(r->I32(&msg->batch_size));
   CF_RETURN_IF_ERROR(r->F64(&msg->latency_seconds));
   CF_RETURN_IF_ERROR(r->I32(&msg->num_series));
@@ -651,6 +657,10 @@ std::vector<uint8_t> EncodeStatsResult(const StatsResultMsg& msg) {
   w.U64(msg.batch_coalesced);
   w.I32(msg.batch_max);
   w.U64(msg.batch_rejected);
+  w.U64(msg.dedup_hits);
+  w.U64(msg.dedup_in_flight);
+  w.I32(msg.batch_in_flight_limit);
+  w.I32(msg.batch_shape_buckets);
   w.U64(msg.server_connections);
   w.U64(msg.server_frames);
   w.U64(msg.server_wire_errors);
@@ -679,6 +689,10 @@ Status DecodeStatsResult(const std::vector<uint8_t>& payload,
   CF_RETURN_IF_ERROR(r.U64(&msg->batch_coalesced));
   CF_RETURN_IF_ERROR(r.I32(&msg->batch_max));
   CF_RETURN_IF_ERROR(r.U64(&msg->batch_rejected));
+  CF_RETURN_IF_ERROR(r.U64(&msg->dedup_hits));
+  CF_RETURN_IF_ERROR(r.U64(&msg->dedup_in_flight));
+  CF_RETURN_IF_ERROR(r.I32(&msg->batch_in_flight_limit));
+  CF_RETURN_IF_ERROR(r.I32(&msg->batch_shape_buckets));
   CF_RETURN_IF_ERROR(r.U64(&msg->server_connections));
   CF_RETURN_IF_ERROR(r.U64(&msg->server_frames));
   CF_RETURN_IF_ERROR(r.U64(&msg->server_wire_errors));
@@ -814,6 +828,7 @@ std::vector<uint8_t> EncodeAppendSamplesOk(const AppendSamplesOkMsg& msg) {
   w.U64(msg.windows_dropped);
   w.U64(msg.windows_failed);
   w.U32(msg.pending);
+  w.U64(msg.deduped_windows);
   return payload;
 }
 
@@ -825,6 +840,7 @@ Status DecodeAppendSamplesOk(const std::vector<uint8_t>& payload,
   CF_RETURN_IF_ERROR(r.U64(&msg->windows_dropped));
   CF_RETURN_IF_ERROR(r.U64(&msg->windows_failed));
   CF_RETURN_IF_ERROR(r.U32(&msg->pending));
+  CF_RETURN_IF_ERROR(r.U64(&msg->deduped_windows));
   return r.ExpectEnd();
 }
 

@@ -39,9 +39,11 @@ namespace wire {
 inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
 /// Protocol version spoken by this build (header byte 4). Version 2 added
 /// the streaming frames (StreamOpen/Append/Reports) and the
-/// cache_expirations field of StatsResult — see docs/wire-protocol.md §3
-/// for the version history and negotiation rules.
-inline constexpr uint8_t kVersion = 2;
+/// cache_expirations field of StatsResult; version 3 added the in-flight
+/// dedup and adaptive-batcher gauges to StatsResult, `deduped_windows` to
+/// AppendSamplesOk and the `deduped` report flag — see docs/wire-protocol.md
+/// §3 for the version history and negotiation rules.
+inline constexpr uint8_t kVersion = 3;
 /// Fixed frame header size in bytes (payload follows immediately).
 inline constexpr size_t kHeaderSize = 16;
 /// Upper bound on the payload length field; larger frames are malformed
@@ -197,6 +199,7 @@ struct DetectBatchMsg {
 /// kDetectResult response (also the repeated unit of kDetectBatchResult).
 struct DetectResultMsg {
   bool cache_hit = false;       ///< answered from the server's ScoreCache
+  bool deduped = false;         ///< answered by in-flight dedup fan-in (v3)
   int32_t batch_size = 0;       ///< requests coalesced into the executing batch
   double latency_seconds = 0;   ///< server-side submit-to-completion time
   /// Scores, delays and graph edges. Default-constructed as a 1-series
@@ -225,6 +228,14 @@ struct StatsResultMsg {
   uint64_t batch_coalesced = 0;   ///< requests that rode in a batch of > 1
   int32_t batch_max = 0;          ///< largest batch dispatched so far
   uint64_t batch_rejected = 0;    ///< requests rejected (queue full/shutdown)
+  /// Followers coalesced onto an identical in-flight query (v3).
+  uint64_t dedup_hits = 0;
+  /// Unique queries currently in flight in the dedup table (gauge, v3).
+  uint64_t dedup_in_flight = 0;
+  /// Current adaptive executor-admission limit of the batcher (gauge, v3).
+  int32_t batch_in_flight_limit = 0;
+  /// Shape buckets currently holding pending requests (gauge, v3).
+  int32_t batch_shape_buckets = 0;
   uint64_t server_connections = 0;  ///< connections accepted since start
   uint64_t server_frames = 0;       ///< request frames decoded
   uint64_t server_wire_errors = 0;  ///< malformed frames / protocol errors
@@ -277,6 +288,9 @@ struct AppendSamplesOkMsg {
   uint64_t windows_dropped = 0;  ///< windows lost to ring overrun (lifetime)
   uint64_t windows_failed = 0;   ///< detections that errored (lifetime)
   uint32_t pending = 0;          ///< detections currently in flight
+  /// Windows answered by in-flight dedup fan-in — another stream or ad-hoc
+  /// query was already computing the identical window (lifetime, v3).
+  uint64_t deduped_windows = 0;
 };
 
 /// kStreamReports request: drain up to max_reports completed-window reports
@@ -293,6 +307,7 @@ struct StreamReportMsg {
   uint64_t window_index = 0;   ///< ordinal of the window in its stream
   int64_t window_start = 0;    ///< absolute sample index of the first column
   bool cache_hit = false;      ///< answered from the ScoreCache
+  bool deduped = false;        ///< answered by in-flight dedup fan-in (v3)
   bool has_baseline = false;   ///< false for the stream's first window
   bool drifted = false;        ///< the pair exceeded a drift threshold
   bool regime_change = false;  ///< drift persisted for stability_window

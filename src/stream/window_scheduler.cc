@@ -16,6 +16,7 @@ serve::wire::StreamReportMsg ToWire(const StreamReport& report) {
   msg.window_index = report.window_index;
   msg.window_start = report.window_start;
   msg.cache_hit = report.cache_hit;
+  msg.deduped = report.deduped;
   msg.has_baseline = report.has_baseline;
   msg.drifted = report.drift.drifted;
   msg.regime_change = report.drift.regime_change;
@@ -319,10 +320,12 @@ void WindowScheduler::CompletionLoop() {
         ++stream.stats.windows_failed;
       } else if (!stream.closed) {
         if (response.cache_hit) ++stream.stats.cache_hits;
+        if (response.deduped) ++stream.stats.windows_deduped;
         StreamReport report;
         report.window_index = pending.window_index;
         report.window_start = pending.window_start;
         report.cache_hit = response.cache_hit;
+        report.deduped = response.deduped;
         report.batch_size = response.batch_size;
         report.latency_seconds = response.latency_seconds;
         report.num_series = response.result->scores.num_series();
@@ -383,6 +386,7 @@ StatusOr<serve::wire::AppendSamplesOkMsg> WindowScheduler::AppendSamples(
   ok.windows_dropped = stats->windows_dropped;
   ok.windows_failed = stats->windows_failed;
   ok.pending = stats->pending;
+  ok.deduped_windows = stats->windows_deduped;
   return ok;
 }
 

@@ -28,7 +28,10 @@
 /// config) out of the stream's ring, hashes each window incrementally
 /// (RollingWindowHasher — O(stride·N + width) per window, and the hash
 /// doubles as the ScoreCache key, so identical windows across streams or
-/// replays skip detection entirely), and submits them through
+/// replays skip detection entirely; when the identical window is still *in
+/// flight* rather than cached, the engine's InFlightTable parks this
+/// stream's submission on the running one instead of double-running it,
+/// counted as StreamStats::windows_deduped), and submits them through
 /// InferenceEngine::SubmitAsync — the same entry point one-shot queries use,
 /// so windows from concurrent streams coalesce with each other and with
 /// ad-hoc Detect traffic in the micro-batcher. A completion thread awaits
@@ -77,6 +80,11 @@ struct StreamStats {
   uint64_t windows_dropped = 0;   ///< windows lost to ring overrun
   uint64_t reports_dropped = 0;   ///< reports lost to the report bound
   uint64_t cache_hits = 0;        ///< windows answered from the ScoreCache
+  /// Windows answered by fanning in on an identical in-flight query —
+  /// another stream (or ad-hoc Detect traffic) was already computing the
+  /// same (model generation, window hash, options) key, so this stream's
+  /// submission parked as a dedup follower instead of double-running.
+  uint64_t windows_deduped = 0;
   uint32_t pending = 0;           ///< detections currently in flight
 };
 
@@ -87,6 +95,7 @@ struct StreamReport {
   uint64_t window_index = 0;   ///< ordinal of the window in its stream
   int64_t window_start = 0;    ///< absolute sample index of the first column
   bool cache_hit = false;      ///< answered from the ScoreCache
+  bool deduped = false;        ///< answered by in-flight dedup fan-in
   int batch_size = 0;          ///< micro-batch size the window rode in
   double latency_seconds = 0;  ///< submit→completion seconds
   int num_series = 0;          ///< series count of the stream

@@ -17,90 +17,18 @@
 #include "serve/inference_engine.h"
 #include "serve/model_registry.h"
 #include "serve/score_cache.h"
+#include "serve_test_util.h"
 #include "util/thread_pool.h"
 
 namespace causalformer {
 namespace serve {
 namespace {
 
-core::ModelOptions TinyModelOptions(int64_t num_series = 3,
-                                    int64_t window = 8) {
-  core::ModelOptions opt;
-  opt.num_series = num_series;
-  opt.window = window;
-  opt.d_model = 16;
-  opt.d_qk = 16;
-  opt.heads = 2;
-  opt.d_ffn = 16;
-  return opt;
-}
-
-std::unique_ptr<core::CausalityTransformer> TinyModel(uint64_t seed = 7) {
-  Rng rng(seed);
-  return std::make_unique<core::CausalityTransformer>(TinyModelOptions(), &rng);
-}
-
-Tensor RandomWindows(int64_t b, uint64_t seed) {
-  Rng rng(seed);
-  return Tensor::Randn(Shape{b, 3, 8}, &rng);
-}
-
-// Parks every global ThreadPool worker until Release() (or destruction), so
-// detection kernels cannot progress and engine submissions stay queued — the
-// lever the batching and hot-swap tests use to control dispatch timing.
-// Releasing in the destructor keeps workers from blocking forever on dead
-// stack state when a test assertion fails mid-scope; the destructor also
-// waits for every hostage to leave the wait before the primitives go away.
-class PoolHostage {
- public:
-  PoolHostage() : hostages_(ThreadPool::Global().num_threads()) {
-    for (int i = 0; i < hostages_; ++i) {
-      ThreadPool::Global().Schedule([this] {
-        ++blocked_;
-        {
-          std::unique_lock<std::mutex> lock(mu_);
-          cv_.wait(lock, [this] { return release_; });
-        }
-        ++exited_;
-      });
-    }
-    while (blocked_.load() < hostages_) std::this_thread::yield();
-  }
-
-  ~PoolHostage() {
-    Release();
-    while (exited_.load() < hostages_) std::this_thread::yield();
-  }
-
-  void Release() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      release_ = true;
-    }
-    cv_.notify_all();
-  }
-
- private:
-  const int hostages_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool release_ = false;
-  std::atomic<int> blocked_{0};
-  std::atomic<int> exited_{0};
-};
-
-void ExpectSameDetection(const core::DetectionResult& a,
-                         const core::DetectionResult& b) {
-  const int n = a.scores.num_series();
-  ASSERT_EQ(b.scores.num_series(), n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      EXPECT_EQ(a.scores.at(i, j), b.scores.at(i, j)) << i << "," << j;
-      EXPECT_EQ(a.delays[i][j], b.delays[i][j]) << i << "," << j;
-    }
-  }
-  EXPECT_EQ(a.graph.ToString(), b.graph.ToString());
-}
+using testutil::ExpectSameDetection;
+using testutil::PoolHostage;
+using testutil::RandomWindows;
+using testutil::TinyModel;
+using testutil::TinyModelOptions;
 
 TEST(ModelRegistryTest, LoadUnloadList) {
   Rng rng(3);

@@ -11,10 +11,12 @@
 #include "serve/model_registry.h"
 #include "serve/score_cache.h"
 #include "serve/server.h"
+#include "serve_test_util.h"
 #include "stream/drift.h"
 #include "stream/ring_series.h"
 #include "stream/window_scheduler.h"
 #include "tensor/tensor.h"
+#include "util/thread_pool.h"
 
 namespace causalformer {
 namespace stream {
@@ -543,6 +545,78 @@ TEST(StreamWireTest, EndToEndOverTcp) {
   ASSERT_TRUE(client.CloseStream("tcp").ok());
   EXPECT_EQ(client.CloseStream("tcp").code(), StatusCode::kNotFound);
   ASSERT_TRUE(client.Ping(1).ok());
+}
+
+// The ISSUE-5 satellite fix: two streams replaying the same ring pattern
+// used to double-run every overlapping window whose twin was still in
+// flight (the cache only catches *completed* work). The precomputed
+// incremental hash now feeds the engine's in-flight dedup table, so the
+// second stream's identical windows park as followers instead — observable
+// as StreamStats::windows_deduped, the per-report `deduped` flag and the
+// AppendSamplesOk `deduped_windows` counter.
+TEST_F(SchedulerTest, IdenticalWindowsAcrossStreamsDedupInFlight) {
+  if (ThreadPool::Global().num_threads() <= 1) {
+    GTEST_SKIP() << "needs a multi-worker pool to hold windows in flight";
+  }
+  // Count what the detector actually computes; disable the cache so only
+  // in-flight dedup can coalesce the twin stream.
+  std::atomic<int> computed{0};
+  serve::EngineOptions eopts;
+  eopts.cache_capacity = 0;
+  eopts.detect_observer_for_testing = [&](const serve::CacheKey&) {
+    ++computed;
+  };
+  serve::InferenceEngine engine(&registry(), eopts);
+  WindowScheduler scheduler(&engine);
+
+  StreamConfig config = Config(/*stride=*/2);
+  config.history = 64;
+  config.max_in_flight = 16;  // hold every window of the feed in flight
+  ASSERT_TRUE(scheduler.Open("a", config).ok());
+  ASSERT_TRUE(scheduler.Open("b", config).ok());
+
+  // 24 samples, width 8, stride 2: windows end at 8, 10, ..., 24 — nine per
+  // stream, identical content across the two streams.
+  const Tensor series = RandomSeries(3, 24, 77);
+
+  serve::testutil::PoolHostage hostage;
+  ASSERT_TRUE(scheduler.Append("a", series).ok());
+  const auto b_ack = scheduler.AppendSamples("b", series);  // wire adapter
+  ASSERT_TRUE(b_ack.ok());
+  EXPECT_EQ(b_ack->windows_emitted, 9u);
+
+  // All 9 of a's windows are in flight; all 9 of b's parked on them.
+  EXPECT_EQ(engine.dedup_stats().hits, 9u);
+  hostage.Release();
+  scheduler.Flush();
+
+  EXPECT_EQ(computed.load(), 9);  // b's feed cost zero detection passes
+  const auto a_stats = *scheduler.GetStats("a");
+  const auto b_stats = *scheduler.GetStats("b");
+  EXPECT_EQ(a_stats.windows_completed, 9u);
+  EXPECT_EQ(a_stats.windows_deduped, 0u);
+  EXPECT_EQ(b_stats.windows_completed, 9u);
+  EXPECT_EQ(b_stats.windows_deduped, 9u);
+  EXPECT_EQ(b_stats.windows_failed, 0u);
+
+  // The lifetime counter reaches the wire ack struct (a no-window append
+  // returns the post-append counters without emitting anything new).
+  const auto idle_ack =
+      scheduler.AppendSamples("b", Tensor::Zeros(Shape{3, 1}));
+  ASSERT_TRUE(idle_ack.ok());
+  EXPECT_EQ(idle_ack->deduped_windows, 9u);
+
+  // And the per-report flag survives the wire mapping: every one of b's
+  // reports is marked deduped, with graphs identical to a's.
+  const auto a_reports = *scheduler.Take("a");
+  const auto b_reports = *scheduler.TakeReports("b", 0);
+  ASSERT_EQ(a_reports.size(), 9u);
+  ASSERT_EQ(b_reports.size(), 9u);
+  for (size_t i = 0; i < b_reports.size(); ++i) {
+    EXPECT_TRUE(b_reports[i].deduped) << "report " << i;
+    EXPECT_FALSE(a_reports[i].deduped) << "report " << i;
+    ASSERT_EQ(b_reports[i].edges.size(), a_reports[i].edges.size());
+  }
 }
 
 TEST(StreamWireTest, StreamingDisabledWithoutBackend) {

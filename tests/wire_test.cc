@@ -81,7 +81,7 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
 
 TEST(WireFrameTest, DocumentedPingFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x01, 0x00, 0x00,  // magic, v2, Ping
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x01, 0x00, 0x00,  // magic, v3, Ping
       0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
   };
@@ -95,7 +95,7 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   // The worked Detect hex dump: model "demo", default detector options,
   // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x07, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x07, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
       0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
       0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -124,7 +124,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
   // (window/history 0 = server-resolved, max_in_flight 4, max_reports 256,
   // default detector options, drift thresholds 0.25/0.34, stability 3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x0f, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x0f, 0x00, 0x00,
       0x57, 0x00, 0x00, 0x00, 0x26, 0x66, 0x96, 0xf6,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f, 0x00, 0x00,
@@ -151,7 +151,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
   // Resolved config: window 8, stride 2, history 32.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x10, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x10, 0x00, 0x00,
       0x18, 0x00, 0x00, 0x00, 0xab, 0xb1, 0x1a, 0x0f,
       0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -169,7 +169,7 @@ TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
 
 TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x11, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x11, 0x00, 0x00,
       0x06, 0x00, 0x00, 0x00, 0xa7, 0x2a, 0xc6, 0xa9,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31,
   };
@@ -182,7 +182,7 @@ TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
   // Empty payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x12, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x12, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kStreamCloseOk, {});
@@ -193,7 +193,7 @@ TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
 TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
   // Stream "s1", samples [N=2, K=2] = {1, 2, 3, 4} (series-major).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x13, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x13, 0x00, 0x00,
       0x1e, 0x00, 0x00, 0x00, 0x89, 0x85, 0x94, 0x52,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x02, 0x00,
       0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -211,22 +211,73 @@ TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
 
 TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
   // total_samples 10, windows_emitted 2, windows_dropped 0,
-  // windows_failed 0, pending 1.
+  // windows_failed 0, pending 1, deduped_windows 1 (v3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x14, 0x00, 0x00,
-      0x24, 0x00, 0x00, 0x00, 0xcf, 0x31, 0x51, 0x50,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x14, 0x00, 0x00,
+      0x2c, 0x00, 0x00, 0x00, 0x13, 0x30, 0xdb, 0xfb,
       0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-      0x01, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00,
   };
   wire::AppendSamplesOkMsg msg;
   msg.total_samples = 10;
   msg.windows_emitted = 2;
   msg.pending = 1;
+  msg.deduped_windows = 1;
   const auto frame = wire::EncodeFrame(wire::MessageType::kAppendSamplesOk,
                                        wire::EncodeAppendSamplesOk(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
+  // The §7.8 StatsResult dump: cache 7 hits / 2 misses / 1 eviction /
+  // 0 expirations, 4/256 entries; batcher 9 requests, 5 batches (max 3),
+  // 4 coalesced, 0 rejected; dedup 6 hits, 1 in flight; admission limit 2,
+  // 1 shape bucket; server 1 connection, 12 frames, 0 wire errors; no
+  // models.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x0c, 0x00, 0x00,
+      0x88, 0x00, 0x00, 0x00, 0x3b, 0x7e, 0xf3, 0x49,
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x0c, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  wire::StatsResultMsg msg;
+  msg.cache_hits = 7;
+  msg.cache_misses = 2;
+  msg.cache_evictions = 1;
+  msg.cache_size = 4;
+  msg.cache_capacity = 256;
+  msg.batch_requests = 9;
+  msg.batch_batches = 5;
+  msg.batch_coalesced = 4;
+  msg.batch_max = 3;
+  msg.dedup_hits = 6;
+  msg.dedup_in_flight = 1;
+  msg.batch_in_flight_limit = 2;
+  msg.batch_shape_buckets = 1;
+  msg.server_connections = 1;
+  msg.server_frames = 12;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kStatsResult,
+                                       wire::EncodeStatsResult(msg));
   ASSERT_EQ(frame.size(), sizeof(kExpected));
   EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
 }
@@ -234,7 +285,7 @@ TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamReportsFrameBytes) {
   // Stream "s1", max_reports 4.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x15, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x15, 0x00, 0x00,
       0x0a, 0x00, 0x00, 0x00, 0x45, 0xc1, 0xea, 0x79,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00,
@@ -254,7 +305,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
   // one consecutive drift, one edge added (also listed), mean Δ 0.25,
   // max Δ 0.5, jaccard 0, nothing removed.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x02, 0x16, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x03, 0x16, 0x00, 0x00,
       0x85, 0x00, 0x00, 0x00, 0xcb, 0x65, 0x43, 0x3f,
       0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
@@ -522,6 +573,7 @@ TEST(WireMessageTest, DetectResultRejectsOverflowingSeriesCount) {
 TEST(WireMessageTest, DetectResultRoundTrip) {
   wire::DetectResultMsg msg;
   msg.cache_hit = true;
+  msg.deduped = true;
   msg.batch_size = 4;
   msg.latency_seconds = 0.125;
   msg.result = core::DetectionResult(3);
@@ -539,6 +591,7 @@ TEST(WireMessageTest, DetectResultRoundTrip) {
   ASSERT_TRUE(
       wire::DecodeDetectResult(wire::EncodeDetectResult(msg), &decoded).ok());
   EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_TRUE(decoded.deduped);
   EXPECT_EQ(decoded.batch_size, 4);
   EXPECT_EQ(decoded.latency_seconds, 0.125);
   ASSERT_EQ(decoded.result.scores.num_series(), 3);
@@ -598,6 +651,10 @@ TEST(WireMessageTest, StatsResultRoundTrip) {
   msg.cache_expirations = 5;
   msg.batch_requests = 30;
   msg.batch_max = 7;
+  msg.dedup_hits = 11;
+  msg.dedup_in_flight = 2;
+  msg.batch_in_flight_limit = 3;
+  msg.batch_shape_buckets = 4;
   msg.server_connections = 3;
   wire::StatsResultMsg::Model model;
   model.name = "m";
@@ -613,6 +670,10 @@ TEST(WireMessageTest, StatsResultRoundTrip) {
   EXPECT_EQ(decoded.cache_hits, 10u);
   EXPECT_EQ(decoded.cache_expirations, 5u);
   EXPECT_EQ(decoded.batch_max, 7);
+  EXPECT_EQ(decoded.dedup_hits, 11u);
+  EXPECT_EQ(decoded.dedup_in_flight, 2u);
+  EXPECT_EQ(decoded.batch_in_flight_limit, 3);
+  EXPECT_EQ(decoded.batch_shape_buckets, 4);
   ASSERT_EQ(decoded.models.size(), 1u);
   EXPECT_EQ(decoded.models[0].name, "m");
   EXPECT_EQ(decoded.models[0].window, 8);
@@ -685,6 +746,7 @@ TEST(WireMessageTest, StreamReportRoundTripPreservesDriftFields) {
   report.window_index = 41;
   report.window_start = 120;
   report.cache_hit = true;
+  report.deduped = true;
   report.has_baseline = true;
   report.drifted = true;
   report.regime_change = true;
@@ -713,6 +775,7 @@ TEST(WireMessageTest, StreamReportRoundTripPreservesDriftFields) {
   EXPECT_EQ(got.window_index, 41u);
   EXPECT_EQ(got.window_start, 120);
   EXPECT_TRUE(got.cache_hit);
+  EXPECT_TRUE(got.deduped);
   EXPECT_TRUE(got.has_baseline);
   EXPECT_TRUE(got.drifted);
   EXPECT_TRUE(got.regime_change);
@@ -739,7 +802,8 @@ TEST(WireMessageTest, StreamReportRejectsReservedFlagBits) {
   report.num_series = 1;
   auto payload = wire::EncodeStreamReportsResult({report});
   // Payload layout: u32 count, u64 index, i64 start, then the flags byte.
-  payload[4 + 8 + 8] |= 0x10;
+  // Bit 4 became `deduped` in v3; bit 5 is the lowest still-reserved bit.
+  payload[4 + 8 + 8] |= 0x20;
   std::vector<wire::StreamReportMsg> decoded;
   EXPECT_FALSE(wire::DecodeStreamReportsResult(payload, &decoded).ok());
 }
@@ -783,6 +847,7 @@ TEST(WireMessageTest, StreamOpenOkAndAppendOkRoundTrip) {
   ack.windows_dropped = 3;
   ack.windows_failed = 1;
   ack.pending = 2;
+  ack.deduped_windows = 9;
   wire::AppendSamplesOkMsg ack_decoded;
   ASSERT_TRUE(wire::DecodeAppendSamplesOk(wire::EncodeAppendSamplesOk(ack),
                                           &ack_decoded)
@@ -792,6 +857,7 @@ TEST(WireMessageTest, StreamOpenOkAndAppendOkRoundTrip) {
   EXPECT_EQ(ack_decoded.windows_dropped, 3u);
   EXPECT_EQ(ack_decoded.windows_failed, 1u);
   EXPECT_EQ(ack_decoded.pending, 2u);
+  EXPECT_EQ(ack_decoded.deduped_windows, 9u);
 }
 
 TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
@@ -1090,7 +1156,7 @@ TEST_F(WireLoopbackTest, PipelinedDetectsAnswerInOrder) {
 TEST_F(WireLoopbackTest, UnsupportedVersionAnswersErrorThenCloses) {
   RawConn raw(server_->port());
   auto bytes = wire::EncodeFrame(wire::MessageType::kPing, wire::EncodePing(1));
-  bytes[4] = 3;  // future version
+  bytes[4] = wire::kVersion + 1;  // future version
   raw.Send(bytes);
   wire::Frame frame;
   ASSERT_TRUE(raw.Recv(&frame));

@@ -5,7 +5,10 @@
 // reuse rate when a second subscriber replays the same feed (every window is
 // content-identical, so the incremental hashes land on the same cache keys
 // and detection is skipped entirely), and the per-window cost of the
-// incremental hasher vs a full HashWindows rehash.
+// incremental hasher vs a full HashWindows rehash. A final pass measures the
+// observability overhead: the live pass with and without the obs bundle
+// attached (per-stream histograms, drift counters, engine traces), whose
+// delta must hold the ≤ 2% budget (docs/observability.md).
 //
 // Run: ./build/bench_stream_latency   (CF_FAST=1 for a smoke-sized run)
 //
@@ -23,6 +26,7 @@
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "obs/observability.h"
 #include "serve/inference_engine.h"
 #include "serve/score_cache.h"
 #include "stream/ring_series.h"
@@ -244,6 +248,57 @@ int main() {
                  result.twin_dedup, result.inc_hash_us, result.full_hash_us);
   }
 
+  // Observability overhead: the live pass at one stride, uninstrumented vs
+  // carrying the obs bundle (per-stream append→graph histogram, drift
+  // counters, engine traces). The yardstick is the *minimum across rounds*
+  // of each arm's p50 append→graph latency: scheduling noise on a shared
+  // machine only ever adds latency, so the per-arm minimum converges on
+  // the intrinsic cost. The delta shares the serve bench's ≤ 2% budget
+  // (docs/observability.md).
+  const int64_t obs_stride = strides.back();
+  const int obs_reps = fast ? 3 : 5;
+  // One pass over the series is a few tens of windows — over in
+  // milliseconds, where scheduler/thread startup would dominate. Each arm
+  // replays the series several times into one continuous stream (cache off,
+  // so every window carries detection work) to measure steady state.
+  const int obs_passes = fast ? 2 : 8;
+  double obs_off_p50 = 0, obs_on_p50 = 0;
+  cf::obs::Observability obs;
+  for (int rep = 0; rep < obs_reps; ++rep) {
+    const bool on_first = (rep % 2) != 0;
+    double off_ms = 0, on_ms = 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool with_obs = (arm == 0) == on_first;
+      cf::serve::EngineOptions eopts;
+      eopts.cache_capacity = 0;
+      eopts.obs = with_obs ? &obs : nullptr;
+      cf::serve::InferenceEngine engine(&registry, eopts);
+      cf::stream::WindowScheduler scheduler(&engine,
+                                            with_obs ? &obs : nullptr);
+      cf::stream::StreamConfig config;
+      config.model = "bench";
+      config.stride = obs_stride;
+      config.history = samples;
+      const std::string name = with_obs ? "obs_on" : "obs_off";
+      if (!scheduler.Open(name, config).ok()) return 1;
+      std::vector<double> latencies;
+      for (int pass = 0; pass < obs_passes; ++pass) {
+        const auto pass_latencies =
+            Replay(&scheduler, name, dataset.series, window, obs_stride);
+        latencies.insert(latencies.end(), pass_latencies.begin(),
+                         pass_latencies.end());
+      }
+      (with_obs ? on_ms : off_ms) = Percentile(latencies, 0.50) * 1e3;
+    }
+    obs_off_p50 = rep == 0 ? off_ms : std::min(obs_off_p50, off_ms);
+    obs_on_p50 = rep == 0 ? on_ms : std::min(obs_on_p50, on_ms);
+    std::fprintf(stderr, "  [obs rep %d] off p50=%.3fms on p50=%.3fms\n",
+                 rep + 1, off_ms, on_ms);
+  }
+  const double obs_overhead_pct =
+      obs_off_p50 > 0 ? (obs_on_p50 - obs_off_p50) / obs_off_p50 * 100.0
+                      : 0.0;
+
   cf::Table table({"window", "stride", "windows", "p50 ms", "p99 ms",
                    "replay reuse", "twin dedup", "inc hash us",
                    "full hash us"});
@@ -258,6 +313,10 @@ int main() {
                   cf::StrFormat("%.2f", r.full_hash_us)});
   }
   std::printf("%s\n", table.ToString().c_str());
+  std::printf("observability overhead (live pass, stride %lld): "
+              "off p50=%.3fms on p50=%.3fms overhead=%.2f%%\n",
+              static_cast<long long>(obs_stride), obs_off_p50, obs_on_p50,
+              obs_overhead_pct);
 
   FILE* json = std::fopen("BENCH_stream.json", "w");
   if (json == nullptr) {
@@ -282,7 +341,15 @@ int main() {
                  r.p99_ms, r.replay_reuse, r.twin_dedup, r.inc_hash_us,
                  r.full_hash_us, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"obs_overhead\": {\"scenario\": \"live_pass\", "
+               "\"stride\": %lld, "
+               "\"off_p50_ms\": %.4f, "
+               "\"on_p50_ms\": %.4f, "
+               "\"overhead_pct\": %.2f}\n}\n",
+               static_cast<long long>(obs_stride), obs_off_p50, obs_on_p50,
+               obs_overhead_pct);
   std::fclose(json);
   std::printf("wrote BENCH_stream.json\n");
   return 0;

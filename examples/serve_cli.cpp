@@ -26,10 +26,17 @@
 //   #     (docs/streaming.md):
 //   serve_cli stream --connect 127.0.0.1:7071 --csv ck.cfpm.csv --stride 2
 //
+//   # 2d. Observe the server: one-shot metrics scrape (Prometheus-style
+//   #     text exposition + per-histogram p50/p90/p99) or a live top-style
+//   #     refresh (docs/observability.md):
+//   serve_cli metrics --connect 127.0.0.1:7071
+//   serve_cli top --connect 127.0.0.1:7071 --watch --interval 2
+//
 //   Query language (one command per line, serve/query modes):
 //     q <start> <count>   discover on `count` windows starting at row <start>
 //     models              list registered models
 //     stats               engine/cache/batcher (and wire server) counters
+//     metrics             latency histogram quantiles (query mode only)
 //     ping                wire liveness round-trip (query mode only)
 //     quit                exit
 //
@@ -63,11 +70,13 @@
 #include "data/synthetic.h"
 #include "data/windowing.h"
 #include "nn/serialize.h"
+#include "obs/observability.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/server.h"
 #include "stream/window_scheduler.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -76,7 +85,8 @@ namespace cf = causalformer;
 namespace {
 
 struct CliOptions {
-  // "train", "serve", "selftest", "netserve", "query" or "stream".
+  // "train", "serve", "selftest", "netserve", "query", "stream", "metrics"
+  // or "top".
   std::string mode;
   std::string checkpoint;
   std::string csv;
@@ -89,6 +99,11 @@ struct CliOptions {
   int queries = 120;  // selftest query count
   int64_t stride = 1;  // stream mode: samples between detection windows
   int64_t chunk = 0;   // stream mode: samples per append (0 = stride)
+  bool watch = false;      // top mode: refresh until interrupted
+  int64_t interval = 2;    // top mode: seconds between refreshes
+  // netserve: requests slower than this log one structured warning line
+  // with the full span/phase breakdown (0 disables).
+  double slow_request = 0.0;
   // serve/netserve: score-cache max age. Dead streams' and one-off queries'
   // cached windows age out even when LRU capacity is never reached; 0
   // disables expiry.
@@ -113,11 +128,15 @@ void Usage() {
                "  serve_cli --checkpoint <ck.cfpm> --csv <data.csv> "
                "[--replay <queries.txt>] [model flags]\n"
                "  serve_cli serve --port <N> --checkpoint <ck.cfpm> "
-               "[--no-admin] [--cache-ttl SECONDS] [model flags]\n"
+               "[--no-admin] [--cache-ttl SECONDS] [--slow-request MS] "
+               "[model flags]\n"
                "  serve_cli query --connect <host:port> --csv <data.csv> "
                "[--replay <queries.txt>] [--model name]\n"
                "  serve_cli stream --connect <host:port> --csv <data.csv> "
                "[--stream name] [--model name] [--stride S] [--chunk K]\n"
+               "  serve_cli metrics --connect <host:port>\n"
+               "  serve_cli top --connect <host:port> [--watch] "
+               "[--interval SECONDS]\n"
                "  serve_cli --selftest [--queries N]\n"
                "model flags: --series N --window T --d_model D --d_qk D "
                "--heads H --d_ffn D\n");
@@ -133,6 +152,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->mode = "query";
     } else if (sub == "stream") {
       opts->mode = "stream";
+    } else if (sub == "metrics") {
+      opts->mode = "metrics";
+    } else if (sub == "top") {
+      opts->mode = "top";
     } else {
       std::fprintf(stderr, "unknown subcommand: %s\n", sub.c_str());
       return false;
@@ -176,6 +199,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->port = static_cast<int>(v);
     } else if (arg == "--no-admin") {
       opts->allow_admin = false;
+    } else if (arg == "--watch") {
+      opts->watch = true;
+    } else if (arg == "--interval") {
+      if (!next(&opts->interval) || opts->interval < 1) return false;
+    } else if (arg == "--slow-request") {
+      int64_t v;
+      if (!next(&v) || v < 0) return false;
+      opts->slow_request = static_cast<double>(v) * 1e-3;  // milliseconds
     } else if (arg == "--selftest") {
       opts->mode = "selftest";
     } else if (arg == "--queries") {
@@ -203,7 +234,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     std::fprintf(stderr, "serve mode needs --checkpoint\n");
     return false;
   }
-  if ((opts->mode == "query" || opts->mode == "stream") &&
+  if ((opts->mode == "query" || opts->mode == "stream" ||
+       opts->mode == "metrics" || opts->mode == "top") &&
       opts->connect.empty()) {
     std::fprintf(stderr, "%s mode needs --connect host:port\n",
                  opts->mode.c_str());
@@ -258,7 +290,7 @@ int RunTrain(const CliOptions& opts) {
   if (!opts.csv.empty()) {
     auto loaded = LoadSeriesCsv(opts.csv);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "csv: %s\n", loaded.status().ToString().c_str());
+      CF_LOG(kError) << "csv: " << loaded.status().ToString();
       return 1;
     }
     series = *loaded;
@@ -284,7 +316,7 @@ int RunTrain(const CliOptions& opts) {
 
   cf::Status st = SaveParameters(model, opts.checkpoint);
   if (!st.ok()) {
-    std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "save: " << st.ToString();
     return 1;
   }
   std::printf("checkpoint -> %s (N=%lld, T=%lld)\n", opts.checkpoint.c_str(),
@@ -306,7 +338,7 @@ int RunTrain(const CliOptions& opts) {
     }
     st = cf::WriteCsv(csv_out, rows);
     if (!st.ok()) {
-      std::fprintf(stderr, "csv save: %s\n", st.ToString().c_str());
+      CF_LOG(kError) << "csv save: " << st.ToString();
       return 1;
     }
     std::printf("series -> %s\n", csv_out.c_str());
@@ -322,7 +354,7 @@ bool OpenInput(const std::string& replay, std::ifstream* file,
   if (replay.empty()) return true;
   file->open(replay);
   if (!*file) {
-    std::fprintf(stderr, "cannot open replay file %s\n", replay.c_str());
+    CF_LOG(kError) << "cannot open replay file " << replay;
     return false;
   }
   *in = file;
@@ -361,8 +393,8 @@ void PrintResponse(const std::string& tag,
 int RunServe(const CliOptions& opts) {
   auto loaded = LoadSeriesCsv(opts.csv);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "csv: %s (use --csv; --train writes one)\n",
-                 loaded.status().ToString().c_str());
+    CF_LOG(kError) << "csv: " << loaded.status().ToString()
+                   << " (use --csv; --train writes one)";
     return 1;
   }
   const cf::Tensor series = *loaded;
@@ -372,7 +404,7 @@ int RunServe(const CliOptions& opts) {
   cf::serve::ModelRegistry registry;
   cf::Status st = registry.Load("default", opts.checkpoint, mopt);
   if (!st.ok()) {
-    std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "registry: " << st.ToString();
     return 1;
   }
   cf::serve::EngineOptions eopts;
@@ -462,9 +494,8 @@ int RunServe(const CliOptions& opts) {
   drain();
   std::fflush(stdout);
   const auto batch = engine.batcher_stats();
-  std::fprintf(stderr, "served %lld queries in %llu batches (max batch %d)\n",
-               static_cast<long long>(query_no),
-               static_cast<unsigned long long>(batch.batches), batch.max_batch);
+  CF_LOG(kInfo) << "served " << query_no << " queries in " << batch.batches
+                << " batches (max batch " << batch.max_batch << ")";
   return 0;
 }
 
@@ -480,23 +511,31 @@ int RunNetServe(const CliOptions& opts) {
   cf::serve::ModelRegistry registry;
   cf::Status st = registry.Load("default", opts.checkpoint, mopt);
   if (!st.ok()) {
-    std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "registry: " << st.ToString();
     return 1;
   }
+  // One observability bundle for the whole serving stack: the engine, wire
+  // server and streaming scheduler all record into it, and clients scrape it
+  // through the v4 Metrics frame (`serve_cli metrics --connect ...`).
+  cf::obs::ObservabilityOptions oopts;
+  oopts.slow_request_seconds = opts.slow_request;
+  cf::obs::Observability obs(oopts);
   cf::serve::EngineOptions eopts;
   eopts.cache_ttl_seconds = opts.cache_ttl;
+  eopts.obs = &obs;
   cf::serve::InferenceEngine engine(&registry, eopts);
   // The streaming scheduler shares the engine (and so the micro-batcher and
   // score cache) with one-shot Detect traffic; it must outlive the server.
-  cf::stream::WindowScheduler scheduler(&engine);
+  cf::stream::WindowScheduler scheduler(&engine, &obs);
   cf::serve::WireServerOptions sopts;
   sopts.port = static_cast<uint16_t>(opts.port);
   sopts.allow_admin = opts.allow_admin;
   sopts.stream_backend = &scheduler;
+  sopts.obs = &obs;
   cf::serve::WireServer server(&engine, sopts);
   st = server.Start();
   if (!st.ok()) {
-    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "server: " << st.ToString();
     return 1;
   }
   std::signal(SIGINT, OnSignal);
@@ -522,12 +561,24 @@ int RunNetServe(const CliOptions& opts) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   const auto stats = server.stats();
-  std::fprintf(stderr,
-               "wire server: %llu connections, %llu frames, %llu errors\n",
-               static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.frames),
-               static_cast<unsigned long long>(stats.wire_errors));
+  CF_LOG(kInfo) << "wire server: " << stats.connections_accepted
+                << " connections, " << stats.frames << " frames, "
+                << stats.wire_errors << " errors";
   return 0;
+}
+
+// Renders the per-histogram quantile rows of a Metrics response as an
+// aligned table. Values are whatever unit the histogram records (seconds
+// for latency series, batch items for occupancy).
+void PrintHistogramTable(
+    const std::vector<cf::serve::wire::HistogramSummaryMsg>& rows) {
+  std::printf("  %-52s %10s %12s %12s %12s\n", "histogram", "count", "p50",
+              "p90", "p99");
+  for (const auto& row : rows) {
+    std::printf("  %-52s %10llu %12.6g %12.6g %12.6g\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.count), row.p50, row.p90,
+                row.p99);
+  }
 }
 
 // `query --connect host:port`: the RunServe query language, but each `q`
@@ -536,21 +587,21 @@ int RunQuery(const CliOptions& opts) {
   std::string host;
   uint16_t port = 0;
   if (!ParseHostPort(opts.connect, &host, &port)) {
-    std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
-                 opts.connect.c_str());
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
     return 1;
   }
   cf::serve::WireClient client;
   cf::Status st = client.Connect(host, port);
   if (!st.ok()) {
-    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "connect: " << st.ToString();
     return 1;
   }
 
   // The model's window geometry comes from the server, not from flags.
   auto stats = client.Stats();
   if (!stats.ok()) {
-    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    CF_LOG(kError) << "stats: " << stats.status().ToString();
     return 1;
   }
   int64_t num_series = 0, window = 0;
@@ -561,22 +612,21 @@ int RunQuery(const CliOptions& opts) {
     }
   }
   if (window == 0) {
-    std::fprintf(stderr, "server has no model '%s' (%zu models registered)\n",
-                 opts.model_name.c_str(), stats->models.size());
+    CF_LOG(kError) << "server has no model '" << opts.model_name << "' ("
+                   << stats->models.size() << " models registered)";
     return 1;
   }
 
   auto loaded = LoadSeriesCsv(opts.csv);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "csv: %s (use --csv; --train writes one)\n",
-                 loaded.status().ToString().c_str());
+    CF_LOG(kError) << "csv: " << loaded.status().ToString()
+                   << " (use --csv; --train writes one)";
     return 1;
   }
   const cf::Tensor series = *loaded;
   if (series.dim(0) != num_series) {
-    std::fprintf(stderr, "csv has %lld series, server model wants %lld\n",
-                 static_cast<long long>(series.dim(0)),
-                 static_cast<long long>(num_series));
+    CF_LOG(kError) << "csv has " << series.dim(0)
+                   << " series, server model wants " << num_series;
     return 1;
   }
   std::printf("connected to %s:%u — model '%s' (N=%lld, T=%lld)\n",
@@ -652,6 +702,16 @@ int RunQuery(const CliOptions& opts) {
           static_cast<unsigned long long>(remote->server_wire_errors));
       continue;
     }
+    if (cmd == "metrics") {
+      const auto metrics = client.Metrics();
+      if (!metrics.ok()) {
+        std::printf("metrics ERROR %s\n",
+                    metrics.status().ToString().c_str());
+        continue;
+      }
+      PrintHistogramTable(metrics->histograms);
+      continue;
+    }
     if (cmd == "q") {
       int64_t start = 0, count = 0;
       tokens >> start >> count;  // extraction failure leaves 0 0 -> rejected
@@ -681,8 +741,7 @@ int RunQuery(const CliOptions& opts) {
     std::printf("unknown command: %s\n", cmd.c_str());
   }
   std::fflush(stdout);
-  std::fprintf(stderr, "sent %lld queries over the wire\n",
-               static_cast<long long>(query_no));
+  CF_LOG(kInfo) << "sent " << query_no << " queries over the wire";
   return 0;
 }
 
@@ -725,21 +784,21 @@ int RunStream(const CliOptions& opts) {
   std::string host;
   uint16_t port = 0;
   if (!ParseHostPort(opts.connect, &host, &port)) {
-    std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
-                 opts.connect.c_str());
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
     return 1;
   }
   cf::serve::WireClient client;
   cf::Status st = client.Connect(host, port);
   if (!st.ok()) {
-    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "connect: " << st.ToString();
     return 1;
   }
 
   auto loaded = LoadSeriesCsv(opts.csv);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "csv: %s (use --csv; --train writes one)\n",
-                 loaded.status().ToString().c_str());
+    CF_LOG(kError) << "csv: " << loaded.status().ToString()
+                   << " (use --csv; --train writes one)";
     return 1;
   }
   const cf::Tensor series = *loaded;
@@ -752,8 +811,7 @@ int RunStream(const CliOptions& opts) {
   open.options = opts.detector;
   const auto opened = client.OpenStream(open);
   if (!opened.ok()) {
-    std::fprintf(stderr, "stream open: %s\n",
-                 opened.status().ToString().c_str());
+    CF_LOG(kError) << "stream open: " << opened.status().ToString();
     return 1;
   }
   std::printf("stream '%s' open on %s:%u — model '%s', window %lld, "
@@ -781,8 +839,7 @@ int RunStream(const CliOptions& opts) {
   auto drain = [&](uint32_t max_reports) -> bool {
     const auto reports = client.StreamReports(opts.stream_name, max_reports);
     if (!reports.ok()) {
-      std::fprintf(stderr, "reports: %s\n",
-                   reports.status().ToString().c_str());
+      CF_LOG(kError) << "reports: " << reports.status().ToString();
       return false;
     }
     for (const auto& report : *reports) {
@@ -801,13 +858,13 @@ int RunStream(const CliOptions& opts) {
     const cf::Tensor samples = cf::Slice(series, 1, t, t + k).Detach();
     const auto ack = client.AppendSamples(opts.stream_name, samples);
     if (!ack.ok()) {
-      std::fprintf(stderr, "append: %s\n", ack.status().ToString().c_str());
+      CF_LOG(kError) << "append: " << ack.status().ToString();
       return bail();
     }
     emitted = ack->windows_emitted;
     if (ack->windows_failed > failed) {
-      std::fprintf(stderr, "warning: %llu windows failed server-side\n",
-                   static_cast<unsigned long long>(ack->windows_failed));
+      CF_LOG(kWarning) << ack->windows_failed
+                       << " windows failed server-side";
       failed = ack->windows_failed;
     }
     if (!drain(0)) return bail();
@@ -839,26 +896,117 @@ int RunStream(const CliOptions& opts) {
 
   st = client.CloseStream(opts.stream_name);
   if (!st.ok()) {
-    std::fprintf(stderr, "stream close: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "stream close: " << st.ToString();
     return 1;
   }
   std::fflush(stdout);
   // `emitted` is the last append ack's lifetime counter — windows emitted
   // after that ack (as in-flight slots freed) aren't in it, so report it as
   // a floor.
-  std::fprintf(stderr,
-               "streamed %lld samples -> >=%llu windows, %llu reports "
-               "(%llu cache hits, %llu deduped, %llu drifted, "
-               "%llu regime changes, %llu failed)\n",
-               static_cast<long long>(length),
-               static_cast<unsigned long long>(emitted),
-               static_cast<unsigned long long>(reported),
-               static_cast<unsigned long long>(cache_hits),
-               static_cast<unsigned long long>(deduped),
-               static_cast<unsigned long long>(drifted),
-               static_cast<unsigned long long>(regime_changes),
-               static_cast<unsigned long long>(failed));
+  CF_LOG(kInfo) << "streamed " << length << " samples -> >=" << emitted
+                << " windows, " << reported << " reports (" << cache_hits
+                << " cache hits, " << deduped << " deduped, " << drifted
+                << " drifted, " << regime_changes << " regime changes, "
+                << failed << " failed)";
   return reported > 0 ? 0 : 1;
+}
+
+// `metrics --connect host:port`: one-shot scrape of the server's metrics
+// state over the v4 Metrics frame. Prints the Prometheus-style text
+// exposition (counters, gauges, histogram buckets) followed by the
+// pre-computed quantile table — scrape-friendly first, human-friendly after.
+int RunMetrics(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
+    return 1;
+  }
+  cf::serve::WireClient client;
+  const cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    CF_LOG(kError) << "connect: " << st.ToString();
+    return 1;
+  }
+  const auto metrics = client.Metrics();
+  if (!metrics.ok()) {
+    CF_LOG(kError) << "metrics: " << metrics.status().ToString();
+    return 1;
+  }
+  std::fputs(metrics->text.c_str(), stdout);
+  if (!metrics->histograms.empty()) {
+    std::printf("\n");
+    PrintHistogramTable(metrics->histograms);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+// `top --connect host:port [--watch]`: a compact live view of the serving
+// pipeline — the request/queue/batch histograms plus the counter and gauge
+// lines of the exposition (bucket detail elided). With --watch it refreshes
+// every --interval seconds until interrupted.
+int RunTop(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
+    return 1;
+  }
+  cf::serve::WireClient client;
+  const cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    CF_LOG(kError) << "connect: " << st.ToString();
+    return 1;
+  }
+  if (opts.watch) {
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+  }
+  uint64_t refresh = 0;
+  do {
+    const auto metrics = client.Metrics();
+    if (!metrics.ok()) {
+      CF_LOG(kError) << "metrics: " << metrics.status().ToString();
+      return 1;
+    }
+    if (opts.watch && refresh > 0) {
+      std::printf("\x1b[H\x1b[2J");  // home + clear between refreshes
+    }
+    std::printf("serve_cli top — %s:%u (refresh %llu)\n", host.c_str(), port,
+                static_cast<unsigned long long>(refresh));
+    PrintHistogramTable(metrics->histograms);
+    // Counter/gauge one-liners: every exposition sample line that is not a
+    // histogram series (those carry _bucket/_sum/_count suffixes and are
+    // already summarized above).
+    std::printf("  counters:\n");
+    std::istringstream lines(metrics->text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const size_t name_end = line.find_first_of(" {");
+      const std::string base = line.substr(0, name_end);
+      auto ends_with = [&base](const char* suffix) {
+        const size_t n = std::strlen(suffix);
+        return base.size() >= n &&
+               base.compare(base.size() - n, n, suffix) == 0;
+      };
+      if (ends_with("_bucket") || ends_with("_sum") || ends_with("_count")) {
+        continue;
+      }
+      std::printf("    %s\n", line.c_str());
+    }
+    std::fflush(stdout);
+    ++refresh;
+    for (int64_t waited = 0;
+         opts.watch && !g_interrupted && waited < opts.interval * 10;
+         ++waited) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  } while (opts.watch && !g_interrupted);
+  return 0;
 }
 
 int RunSelfTest(const CliOptions& opts) {
@@ -880,7 +1028,7 @@ int RunSelfTest(const CliOptions& opts) {
   const std::string checkpoint = "serve_selftest.cfpm";
   cf::Status st = SaveParameters(model, checkpoint);
   if (!st.ok()) {
-    std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "save: " << st.ToString();
     return 1;
   }
 
@@ -888,7 +1036,7 @@ int RunSelfTest(const CliOptions& opts) {
   cf::serve::ModelRegistry registry;
   st = registry.Load("default", checkpoint, mopt);
   if (!st.ok()) {
-    std::fprintf(stderr, "registry: %s\n", st.ToString().c_str());
+    CF_LOG(kError) << "registry: " << st.ToString();
     return 1;
   }
 
@@ -923,8 +1071,8 @@ int RunSelfTest(const CliOptions& opts) {
   for (auto& f : futures) {
     responses.push_back(f.get());
     if (!responses.back().status.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   responses.back().status.ToString().c_str());
+      CF_LOG(kError) << "query failed: "
+                     << responses.back().status.ToString();
       return 1;
     }
     max_batch = std::max(max_batch, responses.back().batch_size);
@@ -936,7 +1084,7 @@ int RunSelfTest(const CliOptions& opts) {
               num_queries, elapsed, num_queries / elapsed, max_batch,
               cache_hits);
   if (max_batch < 2) {
-    std::fprintf(stderr, "FAIL: no micro-batching observed\n");
+    CF_LOG(kError) << "FAIL: no micro-batching observed";
     return 1;
   }
 
@@ -956,7 +1104,8 @@ int RunSelfTest(const CliOptions& opts) {
       for (int b = 0; b < mopt.num_series; ++b) {
         if (got.scores.at(a, b) != expected.result->scores.at(a, b) ||
             got.delays[a][b] != expected.result->delays[a][b]) {
-          std::fprintf(stderr, "FAIL: batched != sequential at (%d,%d)\n", a, b);
+          CF_LOG(kError) << "FAIL: batched != sequential at (" << a << ","
+                         << b << ")";
           return 1;
         }
       }
@@ -974,7 +1123,7 @@ int RunSelfTest(const CliOptions& opts) {
     const auto response = engine.Discover(hot);
     const double seconds = timer.ElapsedSeconds();
     if (!response.status.ok() || response.cache_hit != expect_hit) {
-      std::fprintf(stderr, "FAIL: unexpected cache state\n");
+      CF_LOG(kError) << "FAIL: unexpected cache state";
       std::exit(1);
     }
     return seconds;
@@ -1001,7 +1150,7 @@ int RunSelfTest(const CliOptions& opts) {
   std::printf("      cold %.3fms (median of %zu) vs cached %.3fms -> %.0fx\n",
               cold * 1e3, cold_runs.size(), warm_best * 1e3, cold / warm_best);
   if (cold < warm_best * 10.0) {
-    std::fprintf(stderr, "FAIL: cached query not >= 10x faster\n");
+    CF_LOG(kError) << "FAIL: cached query not >= 10x faster";
     return 1;
   }
 
@@ -1025,5 +1174,7 @@ int main(int argc, char** argv) {
   if (opts.mode == "netserve") return RunNetServe(opts);
   if (opts.mode == "query") return RunQuery(opts);
   if (opts.mode == "stream") return RunStream(opts);
+  if (opts.mode == "metrics") return RunMetrics(opts);
+  if (opts.mode == "top") return RunTop(opts);
   return RunSelfTest(opts);
 }

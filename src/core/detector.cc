@@ -5,6 +5,7 @@
 #include "data/windowing.h"
 #include "interpret/gradient_modulation.h"
 #include "interpret/relevance.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -105,7 +106,10 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
   results.reserve(num_requests);
   for (int r = 0; r < num_requests; ++r) results.emplace_back(n);
 
-  const ForwardResult fwd = model.ForwardGrouped(x, row_groups, num_requests);
+  const ForwardResult fwd = [&] {
+    obs::ScopedPhaseTimer timer("forward");
+    return model.ForwardGrouped(x, row_groups, num_requests);
+  }();
   const bool shared = !mopt.multi_kernel;
   const int64_t kdim2 = fwd.kernel_groups.dim(2);
 
@@ -164,13 +168,19 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
         }
       }
 
-      const GradientMap grads = ComputeGradients(fwd.prediction, seed, order);
+      const GradientMap grads = [&] {
+        obs::ScopedPhaseTimer timer("backward");
+        return ComputeGradients(fwd.prediction, seed, order);
+      }();
 
       interpret::RelevanceOptions ropts;
       ropts.epsilon = options.epsilon;
       ropts.bias_absorption = options.bias_absorption;
-      const interpret::RelevanceMap relevance =
-          interpret::PropagateRelevance(fwd.prediction, seed, ropts, order);
+      const interpret::RelevanceMap relevance = [&] {
+        obs::ScopedPhaseTimer timer("relevance");
+        return interpret::PropagateRelevance(fwd.prediction, seed, ropts,
+                                             order);
+      }();
 
       // Attention scores (S(A)[target]) per request.
       for (const Tensor& a : fwd.attention) {
@@ -205,9 +215,12 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
   }
 
   const ClusterSelectOptions copts{options.num_clusters, options.top_clusters};
-  for (int r = 0; r < num_requests; ++r) {
-    results[r].graph =
-        GraphFromScores(results[r].scores, copts, &results[r].delays);
+  {
+    obs::ScopedPhaseTimer timer("cluster");
+    for (int r = 0; r < num_requests; ++r) {
+      results[r].graph =
+          GraphFromScores(results[r].scores, copts, &results[r].delays);
+    }
   }
   return results;
 }

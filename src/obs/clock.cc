@@ -1,0 +1,15 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace causalformer {
+namespace obs {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace causalformer

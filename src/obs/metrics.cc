@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace obs {
+
+namespace {
+
+// Stripe index of the calling thread. A cheap hash of the thread id keeps
+// concurrent recorders on distinct cache lines most of the time; collisions
+// only cost contention, never correctness.
+int ShardIndex() {
+  static thread_local const int shard = [] {
+    const size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+    return static_cast<int>(h % static_cast<size_t>(kMetricShards));
+  }();
+  return shard;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Lock-free `*sum += value` on an IEEE-754 bit-pattern atomic.
+void AtomicAddDouble(std::atomic<uint64_t>* sum_bits, double value) {
+  uint64_t expected = sum_bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t desired = DoubleToBits(BitsToDouble(expected) + value);
+    if (sum_bits->compare_exchange_weak(expected, desired,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+// Formats a metric value the way Prometheus exposition expects: integers
+// without a fraction, everything else in shortest round-trip-ish form.
+std::string FormatValue(double v) {
+  std::ostringstream out;
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    out << static_cast<int64_t>(v);
+  } else {
+    out.precision(9);
+    out << v;
+  }
+  return out.str();
+}
+
+// Splits "name{a=\"b\"}" into base name and the inner label text ("a=\"b\"",
+// no braces); labels empty when the name carries none.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  CF_CHECK(close != std::string::npos && close > brace)
+      << "unbalanced label braces in metric name: " << name;
+  *labels = name.substr(brace + 1, close - brace - 1);
+}
+
+// "name_suffix{labels,extra}" with correct comma/brace placement for any
+// combination of empty labels/extra.
+std::string SeriesLine(const std::string& base, const char* suffix,
+                       const std::string& labels, const std::string& extra) {
+  std::string out = base + suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Counter ----------------------------------------------------------------
+
+Counter::Counter() = default;
+
+void Counter::Increment(uint64_t n) {
+  shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---- Gauge ------------------------------------------------------------------
+
+void Gauge::Set(double value) {
+  bits_.store(DoubleToBits(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return BitsToDouble(bits_.load(std::memory_order_relaxed));
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(const HistogramOptions& options) : options_(options) {
+  CF_CHECK_GT(options_.min_value, 0.0);
+  CF_CHECK_GT(options_.growth, 1.0);
+  CF_CHECK_GE(options_.num_buckets, 2);
+  inv_log_growth_ = 1.0 / std::log(options_.growth);
+  shards_.reserve(kMetricShards);
+  for (int i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.num_buckets));
+  }
+}
+
+int Histogram::BucketFor(double value) const {
+  if (!(value > options_.min_value)) return 0;  // NaN and <= min land in 0
+  // Bucket i (i >= 1) covers (min·growth^(i-1), min·growth^i].
+  const int i = static_cast<int>(
+                    std::ceil(std::log(value / options_.min_value) *
+                              inv_log_growth_ - 1e-9)) ;
+  return std::min(std::max(i, 1), options_.num_buckets - 1);
+}
+
+double Histogram::UpperBound(int i) const {
+  if (i >= options_.num_buckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min_value * std::pow(options_.growth, i);
+}
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  Shard& shard = *shards_[static_cast<size_t>(ShardIndex())];
+  shard.buckets[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum_bits, value);
+}
+
+double Histogram::Snapshot::Quantile(double q,
+                                     const HistogramOptions& options) const {
+  if (count == 0) return 0;
+  // rank in [1, count]: the q-th sample in sorted order, nearest-rank style
+  // with interpolation inside the containing bucket.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double lo =
+          i == 0 ? 0.0
+                 : options.min_value *
+                       std::pow(options.growth, static_cast<double>(i) - 1);
+      double hi = options.min_value *
+                  std::pow(options.growth, static_cast<double>(i));
+      if (i == 0) hi = options.min_value;
+      if (i + 1 == buckets.size()) hi = lo * options.growth;  // overflow cap
+      const double frac =
+          (rank - before) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+    }
+  }
+  return 0;
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.buckets.assign(static_cast<size_t>(options_.num_buckets), 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->buckets.size(); ++i) {
+      snap.buckets[i] += shard->buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += BitsToDouble(shard->sum_bits.load(std::memory_order_relaxed));
+  }
+  for (const uint64_t b : snap.buckets) snap.count += b;
+  snap.p50 = snap.Quantile(0.50, options_);
+  snap.p90 = snap.Quantile(0.90, options_);
+  snap.p99 = snap.Quantile(0.99, options_);
+  return snap;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    out << "# TYPE " << base << " counter\n";
+    out << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    out << "# TYPE " << base << " gauge\n";
+    out << name << " " << FormatValue(gauge->Value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    const Histogram::Snapshot snap = histogram->GetSnapshot();
+    out << "# TYPE " << base << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      cumulative += snap.buckets[i];
+      if (snap.buckets[i] == 0 && i + 1 != snap.buckets.size()) {
+        continue;  // keep the exposition compact: skip interior empties
+      }
+      const double ub = histogram->UpperBound(static_cast<int>(i));
+      std::string le = std::isinf(ub) ? "+Inf" : FormatValue(ub);
+      out << SeriesLine(base, "_bucket", labels, "le=\"" + le + "\"") << " "
+          << cumulative << "\n";
+    }
+    out << SeriesLine(base, "_sum", labels, "") << " "
+        << FormatValue(snap.sum) << "\n";
+    out << SeriesLine(base, "_count", labels, "") << " " << snap.count
+        << "\n";
+  }
+  return out.str();
+}
+
+std::vector<HistogramSummary> MetricsRegistry::HistogramSummaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSummary> rows;
+  rows.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->GetSnapshot();
+    HistogramSummary row;
+    row.name = name;
+    row.count = snap.count;
+    row.sum = snap.sum;
+    row.p50 = snap.p50;
+    row.p90 = snap.p90;
+    row.p99 = snap.p99;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace causalformer

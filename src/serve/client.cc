@@ -236,5 +236,14 @@ StatusOr<wire::StatsResultMsg> WireClient::Stats() {
   return stats;
 }
 
+StatusOr<wire::MetricsResultMsg> WireClient::Metrics() {
+  auto frame =
+      Call(wire::MessageType::kMetrics, {}, wire::MessageType::kMetricsResult);
+  if (!frame.ok()) return frame.status();
+  wire::MetricsResultMsg metrics;
+  CF_RETURN_IF_ERROR(wire::DecodeMetricsResult(frame->payload, &metrics));
+  return metrics;
+}
+
 }  // namespace serve
 }  // namespace causalformer

@@ -67,6 +67,11 @@ class WireClient {
   /// Fetches the server's engine/server counters and model list.
   StatusOr<wire::StatsResultMsg> Stats();
 
+  /// Fetches the server's metrics state (protocol v4): the Prometheus-style
+  /// text exposition plus per-histogram quantile summaries. Fails with
+  /// kFailedPrecondition when the server runs without observability.
+  StatusOr<wire::MetricsResultMsg> Metrics();
+
   /// Opens a named sliding-window stream on the server (protocol v2);
   /// returns the config after server-side defaulting.
   StatusOr<wire::StreamOpenOkMsg> OpenStream(const wire::StreamOpenMsg& msg);

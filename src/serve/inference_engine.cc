@@ -32,6 +32,14 @@ ScoreCacheOptions CacheOptions(const EngineOptions& options) {
   cache.capacity = options.cache_capacity;
   cache.ttl_seconds = options.cache_ttl_seconds;
   cache.clock_for_testing = options.cache_clock_for_testing;
+  // One injected time source for everything: when the bundle carries a
+  // scripted clock and no cache-specific hook was given, the TTL reads the
+  // bundle's clock too (the real clock stays on the cheaper direct path).
+  if (!cache.clock_for_testing && options.obs != nullptr &&
+      options.obs->clock().is_scripted()) {
+    obs::Observability* obs = options.obs;
+    cache.clock_for_testing = [obs] { return obs->clock().Now(); };
+  }
   return cache;
 }
 
@@ -47,6 +55,34 @@ InferenceEngine::InferenceEngine(ModelRegistry* registry,
                  ExecuteBatch(std::move(items));
                }) {
   CF_CHECK(registry != nullptr);
+  if (options_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = options_.obs->metrics();
+    obs_.requests = metrics.GetCounter("serve_requests_total");
+    obs_.cache_hits = metrics.GetCounter("serve_cache_hits_total");
+    obs_.dedup_followers = metrics.GetCounter("serve_dedup_followers_total");
+    obs_.batches = metrics.GetCounter("serve_batches_total");
+    obs_.request_latency =
+        metrics.GetHistogram("serve_request_latency_seconds");
+    obs_.queue_wait = metrics.GetHistogram("serve_queue_wait_seconds");
+    obs::HistogramOptions occupancy;
+    occupancy.min_value = 1.0;  // batch sizes, not seconds
+    occupancy.growth = 2.0;
+    occupancy.num_buckets = 12;
+    obs_.batch_occupancy =
+        metrics.GetHistogram("serve_batch_occupancy", occupancy);
+    for (const char* phase : {"forward", "backward", "relevance", "cluster"}) {
+      obs_.phase_hists.emplace_back(
+          phase, metrics.GetHistogram(std::string("detect_phase_seconds{"
+                                                  "phase=\"") +
+                                      phase + "\"}"));
+    }
+    for (const char* kernel : {"matmul", "softmax"}) {
+      obs_.phase_hists.emplace_back(
+          std::string("kernel.") + kernel,
+          metrics.GetHistogram(std::string("kernel_seconds{kernel=\"") +
+                               kernel + "\"}"));
+    }
+  }
 }
 
 EngineStats InferenceEngine::stats() const {
@@ -60,6 +96,7 @@ EngineStats InferenceEngine::stats() const {
 std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
     DiscoveryRequest request) {
   Stopwatch latency;
+  if (obs_.requests != nullptr) obs_.requests->Increment();
   if (!request.windows.defined() || request.windows.ndim() != 3 ||
       request.windows.dim(0) < 1) {
     return Ready(ErrorResponse(
@@ -100,21 +137,38 @@ std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
   key.generation = generation;
 
   if (auto cached = cache_.Get(key)) {
+    if (request.trace != nullptr) request.trace->StartSpan("cache_hit");
     DiscoveryResponse response;
     response.result = std::move(cached);
     response.cache_hit = true;
     response.latency_seconds = latency.ElapsedSeconds();
+    if (obs_.cache_hits != nullptr) obs_.cache_hits->Increment();
+    if (obs_.request_latency != nullptr) {
+      obs_.request_latency->Record(response.latency_seconds);
+    }
     return Ready(std::move(response));
   }
   if (options_.dedup_in_flight) {
     // An identical query (same generation, window hash, options) already in
     // flight makes this caller a follower: park on the leader's entry and
     // share its result — error, cancellation and hot-swap outcomes included.
-    InFlightTicket ticket = inflight_.Join(key);
-    if (!ticket.leader) return std::move(ticket.follower);
+    InFlightTicket ticket = inflight_.Join(
+        key, request.trace != nullptr ? request.trace->id() : 0);
+    if (!ticket.leader) {
+      if (obs_.dedup_followers != nullptr) obs_.dedup_followers->Increment();
+      if (request.trace != nullptr) {
+        // The follower's wait is the leader's remaining work; link the trace
+        // so a slow deduped response names the run that actually executed.
+        request.trace->SetLeader(ticket.leader_trace_id);
+        request.trace->StartSpan("dedup_wait");
+      }
+      return std::move(ticket.follower);
+    }
+    if (request.trace != nullptr) request.trace->StartSpan("enqueue");
     return batcher_.Submit(std::move(request), std::move(key), model,
                            &inflight_, std::move(ticket.entry));
   }
+  if (request.trace != nullptr) request.trace->StartSpan("enqueue");
   return batcher_.Submit(std::move(request), std::move(key), model);
 }
 
@@ -138,13 +192,80 @@ void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
   const auto model = items.front().model;
   CF_CHECK(model != nullptr);
 
+  bool any_trace = false;
+  for (auto& item : items) {
+    if (item.request.trace != nullptr) {
+      item.request.trace->StartSpan("execute");
+      any_trace = true;
+    }
+    if (obs_.queue_wait != nullptr) {
+      obs_.queue_wait->Record(item.since_submit.ElapsedSeconds());
+    }
+  }
+
   std::vector<Tensor> window_batches;
   window_batches.reserve(items.size());
   for (const auto& item : items) window_batches.push_back(item.request.windows);
 
-  std::vector<core::DetectionResult> results = core::DetectCausalGraphBatched(
-      *model, window_batches, items.front().request.options);
+  // Collect per-phase detector/kernel timings only when someone will read
+  // them; with no collector installed every ScopedPhaseTimer below the
+  // detector is one thread-local read and zero clock accesses.
+  const bool collect_phases = options_.obs != nullptr || any_trace;
+  obs::PhaseCollector collector(options_.obs != nullptr ? options_.obs->clock()
+                                                        : obs::Clock());
+  // Kernel timers fire per tensor op — sample them (kKernelSampleStride)
+  // so most batches skip those clock reads entirely. Phase timers (four per
+  // batch) stay always-on, keeping trace attribution exact. Traces never
+  // carry kernel entries, so a trace-only batch needs no kernel collection.
+  collector.set_collect_kernels(
+      options_.obs != nullptr &&
+      kernel_sample_seq_.fetch_add(1, std::memory_order_relaxed) %
+              kKernelSampleStride ==
+          0);
+  std::vector<core::DetectionResult> results;
+  {
+    obs::ScopedPhaseCollector install(collect_phases ? &collector : nullptr);
+    results = core::DetectCausalGraphBatched(*model, window_batches,
+                                             items.front().request.options);
+  }
   CF_CHECK_EQ(results.size(), items.size());
+
+  if (collect_phases) {
+    for (const auto& [name, seconds] : collector.phases()) {
+      // Kernel timers ("kernel.matmul") nest inside detector phases; they go
+      // to histograms only, never into traces, so a trace's phase totals stay
+      // a disjoint decomposition of its execute span.
+      const bool is_kernel = name.rfind("kernel.", 0) == 0;
+      if (options_.obs != nullptr) {
+        obs::Histogram* hist = nullptr;
+        for (const auto& [known, handle] : obs_.phase_hists) {
+          if (known == name) {
+            hist = handle;
+            break;
+          }
+        }
+        if (hist == nullptr) {  // a phase the catalog doesn't pre-resolve
+          const std::string series =
+              is_kernel
+                  ? "kernel_seconds{kernel=\"" + name.substr(7) + "\"}"
+                  : "detect_phase_seconds{phase=\"" + name + "\"}";
+          hist = options_.obs->metrics().GetHistogram(series);
+        }
+        hist->Record(seconds);
+      }
+      if (is_kernel) continue;
+      for (auto& item : items) {
+        if (item.request.trace != nullptr) {
+          item.request.trace->AddPhase(name, seconds);
+        }
+      }
+    }
+  }
+
+  if (obs_.batches != nullptr) obs_.batches->Increment();
+  if (obs_.batch_occupancy != nullptr) {
+    obs_.batch_occupancy->Record(static_cast<double>(items.size()));
+  }
 
   for (size_t i = 0; i < items.size(); ++i) {
     if (options_.detect_observer_for_testing) {
@@ -159,6 +280,9 @@ void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
     response.result = std::move(shared);
     response.batch_size = static_cast<int>(items.size());
     response.latency_seconds = items[i].since_submit.ElapsedSeconds();
+    if (obs_.request_latency != nullptr) {
+      obs_.request_latency->Record(response.latency_seconds);
+    }
     items[i].Resolve(std::move(response));
   }
 }

@@ -1,13 +1,16 @@
 #ifndef CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_
 #define CAUSALFORMER_SERVE_INFERENCE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/observability.h"
 #include "serve/batcher.h"
 #include "serve/inflight.h"
 #include "serve/model_registry.h"
@@ -34,6 +37,13 @@
 namespace causalformer {
 namespace serve {
 
+/// Per-op kernel timers ("kernel.matmul", …) record on 1 of every this-many
+/// batches. Sampling keeps the hot tensor kernels' per-op clock reads off
+/// most batches; per-op durations still populate the `kernel_seconds`
+/// histograms with faithful quantiles, while their count/sum undercount by
+/// this factor (docs/observability.md).
+inline constexpr uint64_t kKernelSampleStride = 8;
+
 /// InferenceEngine construction knobs.
 struct EngineOptions {
   BatcherOptions batcher;  ///< micro-batching limits
@@ -55,6 +65,12 @@ struct EngineOptions {
   /// key. The concurrency harness counts these to prove dedup: invocations
   /// must equal unique keys, never submissions. Null in production.
   std::function<void(const CacheKey&)> detect_observer_for_testing;
+  /// Observability bundle (metrics + traces + clock), not owned; must
+  /// outlive the engine. Null turns every instrumentation site into a
+  /// pointer check — the obs-off baseline of the overhead bench. When set
+  /// and `cache_clock_for_testing` is null, the cache TTL also reads the
+  /// bundle's clock, so one injected clock drives expiry and spans alike.
+  obs::Observability* obs = nullptr;
 };
 
 /// One point-in-time snapshot of every engine counter family — cache,
@@ -108,12 +124,36 @@ class InferenceEngine {
   EngineStats stats() const;
 
  private:
+  /// Metric handles resolved once at construction (stable pointers into the
+  /// bundle's registry), so the hot path never touches the registry map.
+  /// All null when the engine runs without observability.
+  struct ObsHandles {
+    obs::Counter* requests = nullptr;         ///< serve_requests_total
+    obs::Counter* cache_hits = nullptr;       ///< serve_cache_hits_total
+    obs::Counter* dedup_followers = nullptr;  ///< serve_dedup_followers_total
+    obs::Counter* batches = nullptr;          ///< serve_batches_total
+    obs::Histogram* request_latency = nullptr;  ///< serve_request_latency_seconds
+    obs::Histogram* queue_wait = nullptr;       ///< serve_queue_wait_seconds
+    obs::Histogram* batch_occupancy = nullptr;  ///< serve_batch_occupancy
+    /// Phase/kernel series pre-resolved by collector name
+    /// (`detect_phase_seconds{phase="…"}`, `kernel_seconds{kernel="…"}`),
+    /// so per-batch attribution skips the label-string build and registry
+    /// lock. Unlisted phase names fall back to a registry lookup.
+    std::vector<std::pair<std::string, obs::Histogram*>> phase_hists;
+  };
+
   /// Batch executor: runs the coalesced detection and resolves every rider
   /// (and, through each rider's in-flight entry, its parked followers).
   void ExecuteBatch(std::vector<BatchItem> items);
 
   ModelRegistry* registry_;
   EngineOptions options_;
+  ObsHandles obs_;
+  /// Batch sequence for kernel-timer sampling: per-op kernel timers fire on
+  /// 1 of every kKernelSampleStride batches (per-op durations keep faithful
+  /// quantiles; `kernel_seconds` count/sum undercount by the stride). The
+  /// always-on detector phase timers stay exact.
+  std::atomic<uint64_t> kernel_sample_seq_{0};
   ScoreCache cache_;
   InFlightTable inflight_;
   MicroBatcher batcher_;  // last member: its threads touch the layers above,

@@ -43,13 +43,14 @@ InFlightTable::~InFlightTable() {
   for (auto& orphan : orphans) orphan.set_value(failure);
 }
 
-InFlightTicket InFlightTable::Join(const CacheKey& key) {
+InFlightTicket InFlightTable::Join(const CacheKey& key, uint64_t trace_id) {
   InFlightTicket ticket;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     auto entry = std::make_shared<InFlightEntry>();
     entry->key = key;
+    entry->leader_trace_id = trace_id;
     index_.emplace(key, entry);
     ++leaders_;
     ticket.leader = true;
@@ -57,6 +58,7 @@ InFlightTicket InFlightTable::Join(const CacheKey& key) {
     return ticket;
   }
   ++hits_;
+  ticket.leader_trace_id = it->second->leader_trace_id;
   it->second->followers.emplace_back();
   ticket.follower = it->second->followers.back().get_future();
   return ticket;

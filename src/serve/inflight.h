@@ -46,6 +46,10 @@ namespace serve {
 struct InFlightEntry {
   CacheKey key;            ///< identity of the running work
   bool completed = false;  ///< the leader resolved (entry is retired)
+  /// Trace id of the leader's request (0 when the leader is untraced).
+  /// Followers joining later link their own trace to it, so a slow deduped
+  /// response can be attributed to the work that actually ran.
+  uint64_t leader_trace_id = 0;
   /// Promises of the parked followers, fulfilled at completion.
   std::vector<std::promise<DiscoveryResponse>> followers;
 };
@@ -59,6 +63,9 @@ struct InFlightTicket {
   std::shared_ptr<InFlightEntry> entry;
   /// The parked future; valid iff !leader.
   std::future<DiscoveryResponse> follower;
+  /// Followers: the leader's trace id (0 when the leader is untraced), read
+  /// atomically with the join so the link can never name a later leader.
+  uint64_t leader_trace_id = 0;
 };
 
 /// The thread-safe registry of unique in-flight queries.
@@ -84,8 +91,10 @@ class InFlightTable {
   /// Joins the in-flight query for `key`: opens a new entry and returns a
   /// leader ticket when none is running, otherwise parks the caller as a
   /// follower of the existing entry. Atomic — exactly one concurrent caller
-  /// per key becomes the leader.
-  InFlightTicket Join(const CacheKey& key);
+  /// per key becomes the leader. `trace_id` (optional) is the caller's
+  /// trace id: a new leader records it on the entry, and a follower ticket
+  /// carries the leader's recorded id back for trace linking.
+  InFlightTicket Join(const CacheKey& key, uint64_t trace_id = 0);
 
   /// Leader completion: retires the entry and fans `response` out to every
   /// parked follower — same status, same shared result (bit-identical

@@ -69,6 +69,10 @@ struct WireServer::Pending {
   /// on a worker so it cannot stall the poll thread's dispatch).
   bool is_frame_future = false;
   std::future<std::vector<uint8_t>> frame_future;
+  /// The request's trace (Detect frames under observability): the
+  /// completion thread marks the encode span, finishes it and lands it in
+  /// the trace ring. Null otherwise.
+  std::shared_ptr<obs::Trace> trace;
   /// Clear the connection's admin_busy flag (and wake the poll thread to
   /// resume decoding its buffered frames) once this response is delivered.
   bool clears_admin_busy = false;
@@ -79,6 +83,12 @@ WireServer::WireServer(InferenceEngine* engine,
                        const WireServerOptions& options)
     : engine_(engine), options_(options) {
   CF_CHECK(engine != nullptr);
+  if (options_.obs != nullptr) {
+    obs::MetricsRegistry& metrics = options_.obs->metrics();
+    obs_frames_ = metrics.GetCounter("wire_frames_total");
+    obs_wire_errors_ = metrics.GetCounter("wire_errors_total");
+    obs_connections_ = metrics.GetCounter("wire_connections_total");
+  }
 }
 
 WireServer::~WireServer() { Stop(); }
@@ -198,6 +208,7 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
   // Decode failures of a CRC-valid frame leave the stream consistent: answer
   // kError and keep the connection open.
   const auto reject = [&](const Status& status) {
+    if (obs_wire_errors_ != nullptr) obs_wire_errors_->Increment();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.wire_errors;
     PushReady(conn, MessageType::kError, wire::EncodeError(status));
@@ -213,6 +224,10 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return true;
     }
     case MessageType::kDetect: {
+      // The trace opens *before* payload decoding so its first span covers
+      // the decode work the frame actually cost.
+      std::shared_ptr<obs::Trace> trace;
+      if (options_.obs != nullptr) trace = options_.obs->StartTrace("decode");
       wire::DetectMsg msg;
       if (const Status st = wire::DecodeDetect(frame.payload, &msg);
           !st.ok()) {
@@ -223,9 +238,11 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       request.model = std::move(msg.model);
       request.windows = std::move(msg.windows);
       request.options = msg.options;
+      request.trace = trace;
       Pending pending;
       pending.conn = conn;
       pending.is_future = true;
+      pending.trace = std::move(trace);
       pending.future = engine_->SubmitAsync(std::move(request));
       PushPending(std::move(pending));
       return true;
@@ -320,6 +337,7 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
             const Status st = engine_->registry().Load(
                 msg.name, msg.checkpoint_path, msg.options);
             if (!st.ok()) {
+              if (obs_wire_errors_ != nullptr) obs_wire_errors_->Increment();
               std::lock_guard<std::mutex> lock(mu_);
               ++stats_.wire_errors;
               return wire::EncodeFrame(wire::MessageType::kError,
@@ -438,8 +456,38 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                 wire::EncodeStreamReportsResult(*reports));
       return true;
     }
+    case MessageType::kMetrics: {
+      if (options_.obs == nullptr) {
+        reject(Status::FailedPrecondition("metrics not enabled"));
+        return true;
+      }
+      if (const Status st =
+              wire::PayloadReader(frame.payload.data(), frame.payload.size())
+                  .ExpectEnd();
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      wire::MetricsResultMsg msg;
+      msg.text = options_.obs->metrics().RenderText();
+      for (const obs::HistogramSummary& h :
+           options_.obs->metrics().HistogramSummaries()) {
+        wire::HistogramSummaryMsg row;
+        row.name = h.name;
+        row.count = h.count;
+        row.sum = h.sum;
+        row.p50 = h.p50;
+        row.p90 = h.p90;
+        row.p99 = h.p99;
+        msg.histograms.push_back(std::move(row));
+      }
+      PushReady(conn, MessageType::kMetricsResult,
+                wire::EncodeMetricsResult(msg));
+      return true;
+    }
     default: {
       // Response-typed frames from a client are a protocol violation.
+      if (obs_wire_errors_ != nullptr) obs_wire_errors_->Increment();
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.wire_errors;
       PushReady(conn, MessageType::kError,
@@ -494,6 +542,7 @@ void WireServer::PollLoop() {
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         connections_.push_back(std::move(conn));
+        if (obs_connections_ != nullptr) obs_connections_->Increment();
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.connections_accepted;
       }
@@ -548,6 +597,7 @@ void WireServer::PollLoop() {
                                 &error);
           if (result == wire::DecodeResult::kFrame) {
             off += consumed;
+            if (obs_frames_ != nullptr) obs_frames_->Increment();
             {
               std::lock_guard<std::mutex> lock(mu_);
               ++stats_.frames;
@@ -556,6 +606,7 @@ void WireServer::PollLoop() {
             continue;
           }
           if (result == wire::DecodeResult::kNeedMore) break;
+          if (obs_wire_errors_ != nullptr) obs_wire_errors_->Increment();
           {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.wire_errors;
@@ -730,7 +781,13 @@ void WireServer::CompletionLoop() {
                   : wire::EncodeFrame(wire::MessageType::kError,
                                       wire::EncodeError(first_error));
     } else if (pending.is_future) {
-      frame = EncodeResponse(pending.future.get());
+      const DiscoveryResponse response = pending.future.get();
+      if (pending.trace != nullptr) pending.trace->StartSpan("encode");
+      frame = EncodeResponse(response);
+      if (pending.trace != nullptr) {
+        pending.trace->Finish();
+        options_.obs->traces().Add(pending.trace);
+      }
     } else if (pending.is_frame_future) {
       frame = pending.frame_future.get();
     } else {

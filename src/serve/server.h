@@ -59,6 +59,13 @@ struct WireServerOptions {
   /// production implementation; must outlive the server). Null answers every
   /// streaming frame kFailedPrecondition — streaming is disabled.
   StreamBackend* stream_backend = nullptr;
+  /// Observability bundle (not owned; must outlive the server). When set,
+  /// every Detect frame gets a per-request trace (decode → enqueue →
+  /// execute → encode) landing in the bundle's ring, server counters are
+  /// mirrored as wire_* metrics, and kMetrics frames are answered from the
+  /// bundle's registry. Null answers kMetrics kFailedPrecondition and makes
+  /// every instrumentation site a pointer check.
+  obs::Observability* obs = nullptr;
 };
 
 /// A TCP server bridging wire-protocol clients onto one InferenceEngine.
@@ -122,6 +129,11 @@ class WireServer {
 
   InferenceEngine* engine_;
   WireServerOptions options_;
+  /// Mirrored wire counters (stable pointers into the bundle's registry,
+  /// resolved at construction; all null when observability is off).
+  obs::Counter* obs_frames_ = nullptr;
+  obs::Counter* obs_wire_errors_ = nullptr;
+  obs::Counter* obs_connections_ = nullptr;
   uint16_t port_ = 0;
 
   int listen_fd_ = -1;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/detector.h"
+#include "obs/trace.h"
 #include "serve/score_cache.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -40,6 +41,12 @@ struct DiscoveryRequest {
   /// never sets it).
   bool has_window_hash = false;  ///< window_hash is populated
   WindowHash window_hash;        ///< precomputed HashWindows(windows)
+  /// Optional per-request trace, allocated at wire decode (or by any caller
+  /// that wants span attribution) and carried through the whole pipeline:
+  /// the engine marks enqueue/execute stage boundaries and the executor
+  /// attaches per-phase detector timings. Null when tracing is off — every
+  /// touch point is a pointer check.
+  std::shared_ptr<obs::Trace> trace;
 };
 
 /// The answer to one DiscoveryRequest.

@@ -303,7 +303,7 @@ bool IsKnownMessageType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MessageType::kPing) &&
           type <= static_cast<uint8_t>(MessageType::kError)) ||
          (type >= static_cast<uint8_t>(MessageType::kStreamOpen) &&
-          type <= static_cast<uint8_t>(MessageType::kStreamReportsResult));
+          type <= static_cast<uint8_t>(MessageType::kMetricsResult));
 }
 
 // ---- Frame ----------------------------------------------------------------
@@ -887,6 +887,49 @@ Status DecodeStreamReportsResult(const std::vector<uint8_t>& payload,
     StreamReportMsg msg;
     CF_RETURN_IF_ERROR(ReadStreamReport(&r, &msg));
     reports->push_back(std::move(msg));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeMetricsResult(const MetricsResultMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.Str(msg.text);
+  w.U32(static_cast<uint32_t>(msg.histograms.size()));
+  for (const HistogramSummaryMsg& h : msg.histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.F64(h.sum);
+    w.F64(h.p50);
+    w.F64(h.p90);
+    w.F64(h.p99);
+  }
+  return payload;
+}
+
+Status DecodeMetricsResult(const std::vector<uint8_t>& payload,
+                           MetricsResultMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.Str(&msg->text));
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  // Each summary row needs >= 44 fixed bytes (u32 name length + u64 count +
+  // four f64s); reject hostile counts before reserving.
+  if (static_cast<uint64_t>(count) * 44 > r.remaining()) {
+    return Status::InvalidArgument("metrics result: implausible count " +
+                                   std::to_string(count));
+  }
+  msg->histograms.clear();
+  msg->histograms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HistogramSummaryMsg h;
+    CF_RETURN_IF_ERROR(r.Str(&h.name));
+    CF_RETURN_IF_ERROR(r.U64(&h.count));
+    CF_RETURN_IF_ERROR(r.F64(&h.sum));
+    CF_RETURN_IF_ERROR(r.F64(&h.p50));
+    CF_RETURN_IF_ERROR(r.F64(&h.p90));
+    CF_RETURN_IF_ERROR(r.F64(&h.p99));
+    msg->histograms.push_back(std::move(h));
   }
   return r.ExpectEnd();
 }

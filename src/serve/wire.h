@@ -41,9 +41,11 @@ inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
 /// the streaming frames (StreamOpen/Append/Reports) and the
 /// cache_expirations field of StatsResult; version 3 added the in-flight
 /// dedup and adaptive-batcher gauges to StatsResult, `deduped_windows` to
-/// AppendSamplesOk and the `deduped` report flag — see docs/wire-protocol.md
-/// §3 for the version history and negotiation rules.
-inline constexpr uint8_t kVersion = 3;
+/// AppendSamplesOk and the `deduped` report flag; version 4 added the
+/// metrics frames (kMetrics/kMetricsResult: Prometheus-style text
+/// exposition plus per-histogram quantile summaries) — see
+/// docs/wire-protocol.md §3 for the version history and negotiation rules.
+inline constexpr uint8_t kVersion = 4;
 /// Fixed frame header size in bytes (payload follows immediately).
 inline constexpr size_t kHeaderSize = 16;
 /// Upper bound on the payload length field; larger frames are malformed
@@ -77,10 +79,12 @@ enum class MessageType : uint8_t {
   kAppendSamplesOk = 20,     ///< AppendSamples response (stream counters)
   kStreamReports = 21,       ///< drain a stream's window reports (v2)
   kStreamReportsResult = 22, ///< StreamReports response
+  kMetrics = 23,             ///< observability scrape request (empty, v4)
+  kMetricsResult = 24,       ///< Metrics response (exposition + summaries)
 };
 
 /// True for type values defined by this protocol version (used by frame
-/// decoding on both ends; value 14 and values past kStreamReportsResult are
+/// decoding on both ends; value 14 and values past kMetricsResult are
 /// unknown).
 bool IsKnownMessageType(uint8_t type);
 
@@ -246,6 +250,28 @@ struct StatsResultMsg {
 struct ErrorMsg {
   uint32_t code = 0;    ///< numeric StatusCode (docs/wire-protocol.md §5)
   std::string message;  ///< human-readable diagnostic
+};
+
+// ---- Metrics messages (protocol version 4) -----------------------------
+
+/// One histogram's quantile summary (the repeated unit of kMetricsResult):
+/// what a dashboard needs without parsing the text exposition.
+struct HistogramSummaryMsg {
+  std::string name;   ///< full series name, labels included
+  uint64_t count = 0; ///< samples recorded
+  double sum = 0;     ///< sum of recorded values
+  double p50 = 0;     ///< estimated 50th percentile
+  double p90 = 0;     ///< estimated 90th percentile
+  double p99 = 0;     ///< estimated 99th percentile
+};
+
+/// kMetricsResult response: the server's full metrics state — the
+/// Prometheus-style text exposition (counters, gauges and histogram
+/// buckets) plus one pre-computed quantile row per histogram. The request
+/// (kMetrics) has an empty payload.
+struct MetricsResultMsg {
+  std::string text;  ///< Prometheus-style text exposition
+  std::vector<HistogramSummaryMsg> histograms;  ///< per-histogram summaries
 };
 
 // ---- Streaming messages (protocol version 2) ---------------------------
@@ -422,6 +448,12 @@ std::vector<uint8_t> EncodeStreamReportsResult(
 /// Decodes a kStreamReportsResult payload.
 Status DecodeStreamReportsResult(const std::vector<uint8_t>& payload,
                                  std::vector<StreamReportMsg>* reports);
+
+/// Encodes a kMetricsResult payload.
+std::vector<uint8_t> EncodeMetricsResult(const MetricsResultMsg& msg);
+/// Decodes a kMetricsResult payload.
+Status DecodeMetricsResult(const std::vector<uint8_t>& payload,
+                           MetricsResultMsg* msg);
 
 /// Encodes a kError payload from a Status (code + message).
 std::vector<uint8_t> EncodeError(const Status& status);

@@ -46,8 +46,9 @@ WindowScheduler::Stream::Stream(StreamConfig cfg, int64_t num_series)
       drift(config.drift),
       next_end(config.window) {}
 
-WindowScheduler::WindowScheduler(serve::InferenceEngine* engine)
-    : engine_(engine) {
+WindowScheduler::WindowScheduler(serve::InferenceEngine* engine,
+                                 obs::Observability* obs)
+    : engine_(engine), obs_(obs) {
   CF_CHECK(engine != nullptr);
   completion_thread_ = std::thread([this] { CompletionLoop(); });
 }
@@ -130,9 +131,19 @@ Status WindowScheduler::Open(const std::string& name, StreamConfig config,
     return Status::FailedPrecondition("stream '" + name + "' already exists");
   }
   if (resolved != nullptr) *resolved = config;
-  streams_.emplace(name,
-                   std::make_shared<Stream>(std::move(config),
-                                            mopt.num_series));
+  auto stream = std::make_shared<Stream>(std::move(config), mopt.num_series);
+  if (obs_ != nullptr) {
+    // Per-stream series, labelled by name; pointers stay valid for the
+    // stream's life because the registry never evicts.
+    obs::MetricsRegistry& metrics = obs_->metrics();
+    stream->latency_hist = metrics.GetHistogram(
+        "stream_append_to_graph_seconds{stream=\"" + name + "\"}");
+    stream->drift_events = metrics.GetCounter(
+        "stream_drift_events_total{stream=\"" + name + "\"}");
+    stream->regime_events = metrics.GetCounter(
+        "stream_regime_changes_total{stream=\"" + name + "\"}");
+  }
+  streams_.emplace(name, std::move(stream));
   return Status::Ok();
 }
 
@@ -333,6 +344,15 @@ void WindowScheduler::CompletionLoop() {
         auto drift = stream.drift.Observe(response.result);
         report.has_baseline = drift.has_value();
         if (drift.has_value()) report.drift = *std::move(drift);
+        if (stream.latency_hist != nullptr) {
+          stream.latency_hist->Record(report.latency_seconds);
+        }
+        if (report.drift.drifted && stream.drift_events != nullptr) {
+          stream.drift_events->Increment();
+        }
+        if (report.drift.regime_change && stream.regime_events != nullptr) {
+          stream.regime_events->Increment();
+        }
         stream.reports.push_back(std::move(report));
         while (stream.reports.size() > stream.config.max_reports) {
           stream.reports.pop_front();

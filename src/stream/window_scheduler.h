@@ -113,7 +113,12 @@ struct StreamReport {
 class WindowScheduler : public serve::StreamBackend {
  public:
   /// A scheduler submitting through `engine` (must outlive the scheduler).
-  explicit WindowScheduler(serve::InferenceEngine* engine);
+  /// `obs` (optional, not owned, must outlive the scheduler) enables
+  /// per-stream metrics: an append→graph latency histogram
+  /// (`stream_append_to_graph_seconds{stream="…"}`) plus drift-event and
+  /// regime-change counters, resolved per stream at Open().
+  explicit WindowScheduler(serve::InferenceEngine* engine,
+                           obs::Observability* obs = nullptr);
   /// Stops the completion thread; in-flight detections finish in the engine
   /// but their reports are dropped.
   ~WindowScheduler() override;
@@ -171,6 +176,11 @@ class WindowScheduler : public serve::StreamBackend {
     StreamStats stats;
     std::deque<StreamReport> reports;
     bool closed = false;  ///< Close() ran; completions discard reports
+    /// Per-stream metric handles (stable registry pointers resolved at
+    /// Open(); all null when the scheduler runs without observability).
+    obs::Histogram* latency_hist = nullptr;  ///< append→graph seconds
+    obs::Counter* drift_events = nullptr;    ///< windows flagged drifted
+    obs::Counter* regime_events = nullptr;   ///< regime changes declared
 
     Stream(StreamConfig cfg, int64_t num_series);
   };
@@ -192,6 +202,7 @@ class WindowScheduler : public serve::StreamBackend {
   StatusOr<std::shared_ptr<Stream>> FindLocked(const std::string& name) const;
 
   serve::InferenceEngine* engine_;
+  obs::Observability* obs_;
 
   mutable std::mutex mu_;  // guards streams_ and every Stream's state
   std::map<std::string, std::shared_ptr<Stream>> streams_;

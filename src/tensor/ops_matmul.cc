@@ -1,3 +1,4 @@
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -75,13 +76,17 @@ MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const MatMulPlan plan = PlanMatMul(a.shape(), b.shape());
   Tensor out = Tensor::Zeros(plan.out_shape);
-  MatMulKernel(a.data(), b.data(), out.data(), plan.batch, plan.m, plan.k,
-               plan.n, plan.a_bstride, plan.b_bstride, plan.m * plan.n,
-               /*transpose_a=*/false, /*transpose_b=*/false);
+  {
+    obs::ScopedPhaseTimer timer("kernel.matmul", /*kernel=*/true);
+    MatMulKernel(a.data(), b.data(), out.data(), plan.batch, plan.m, plan.k,
+                 plan.n, plan.a_bstride, plan.b_bstride, plan.m * plan.n,
+                 /*transpose_a=*/false, /*transpose_b=*/false);
+  }
 
   return MakeOp("matmul", {a, b}, out, [a, b, plan](const Tensor&,
                                                     const Tensor& cot) {
     // dA = cot @ B^T, dB = A^T @ cot; broadcast batches reduce by summation.
+    obs::ScopedPhaseTimer timer("kernel.matmul", /*kernel=*/true);
     const bool a_batched = plan.a_bstride != 0;
     const bool b_batched = plan.b_bstride != 0;
 

@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -16,6 +17,7 @@ Tensor Softmax(const Tensor& x, int axis) {
   for (int i = ax + 1; i < x.ndim(); ++i) inner *= x.shape()[i];
   const int64_t len = x.shape()[ax];
 
+  obs::ScopedPhaseTimer timer("kernel.softmax", /*kernel=*/true);
   Tensor out = Tensor::Zeros(x.shape());
   const float* px = x.data();
   float* po = out.data();
@@ -41,6 +43,7 @@ Tensor Softmax(const Tensor& x, int axis) {
       "softmax", {x}, out,
       [outer, inner, len](const Tensor& y, const Tensor& cot) {
         // dX = y * (cot - sum(cot * y, axis)).
+        obs::ScopedPhaseTimer timer("kernel.softmax", /*kernel=*/true);
         Tensor g = Tensor::Zeros(y.shape());
         const float* py = y.data();
         const float* pc = cot.data();

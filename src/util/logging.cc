@@ -1,11 +1,24 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstring>
 #include <ctime>
+#include <iomanip>
 #include <mutex>
 
 namespace causalformer {
 namespace {
+
+// Seconds on the monotonic clock since the first log line of the process.
+// Monotonic (not wall) time so log timestamps interleave coherently with
+// trace spans and latency histograms, which read the same steady clock.
+double MonotonicLogSeconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
 
 const char* SeverityName(LogSeverity s) {
   switch (s) {
@@ -45,8 +58,10 @@ LogSeverity MinLogSeverity() {
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << SeverityName(severity) << " " << (base ? base + 1 : file)
-          << ":" << line << "] ";
+  stream_ << "[" << SeverityName(severity) << " " << std::fixed
+          << std::setprecision(6) << MonotonicLogSeconds() << " "
+          << (base ? base + 1 : file) << ":" << line << "] ";
+  stream_.unsetf(std::ios_base::floatfield);
 }
 
 LogMessage::~LogMessage() {

@@ -1,27 +1,36 @@
 #ifndef CAUSALFORMER_UTIL_STOPWATCH_H_
 #define CAUSALFORMER_UTIL_STOPWATCH_H_
 
-#include <chrono>
+#include "obs/clock.h"
 
 /// \file
-/// Wall-clock stopwatch used by the trainer and the benchmark harness.
+/// Wall-clock stopwatch used by the trainer, the serving layer and the
+/// benchmark harness. Time is read through the obs::Clock seam, so a test
+/// that injects a scripted clock drives stopwatch elapsed times, cache TTL
+/// and trace spans from one fake time source.
 
 namespace causalformer {
 
+/// Elapsed-seconds timer over an injectable monotonic clock.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  /// Starts on the real steady clock.
+  Stopwatch() { start_ = clock_.Now(); }
 
-  /// Seconds since construction or the last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Starts on `clock` (copied) — the test seam.
+  explicit Stopwatch(const obs::Clock& clock) : clock_(clock) {
+    start_ = clock_.Now();
   }
 
-  void Reset() { start_ = Clock::now(); }
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const { return clock_.Now() - start_; }
+
+  /// Restarts the elapsed window at the current clock reading.
+  void Reset() { start_ = clock_.Now(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  obs::Clock clock_;
+  double start_ = 0;
 };
 
 }  // namespace causalformer

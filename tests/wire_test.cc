@@ -9,6 +9,7 @@
 
 #include "core/detector.h"
 #include "nn/serialize.h"
+#include "obs/observability.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/model_registry.h"
@@ -17,6 +18,9 @@
 #include "util/crc32.h"
 #include "util/rng.h"
 #include "util/socket.h"
+#include "util/thread_pool.h"
+
+#include "serve_test_util.h"
 
 // Wire-protocol tests: frame codec round-trips, the documented example
 // frames from docs/wire-protocol.md (kept byte-for-byte in sync), fuzz-style
@@ -81,7 +85,7 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
 
 TEST(WireFrameTest, DocumentedPingFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x01, 0x00, 0x00,  // magic, v3, Ping
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x01, 0x00, 0x00,  // magic, v4, Ping
       0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
   };
@@ -95,7 +99,7 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   // The worked Detect hex dump: model "demo", default detector options,
   // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x07, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x07, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
       0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
       0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -124,7 +128,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
   // (window/history 0 = server-resolved, max_in_flight 4, max_reports 256,
   // default detector options, drift thresholds 0.25/0.34, stability 3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x0f, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x0f, 0x00, 0x00,
       0x57, 0x00, 0x00, 0x00, 0x26, 0x66, 0x96, 0xf6,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f, 0x00, 0x00,
@@ -151,7 +155,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
   // Resolved config: window 8, stride 2, history 32.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x10, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x10, 0x00, 0x00,
       0x18, 0x00, 0x00, 0x00, 0xab, 0xb1, 0x1a, 0x0f,
       0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -169,7 +173,7 @@ TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
 
 TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x11, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x11, 0x00, 0x00,
       0x06, 0x00, 0x00, 0x00, 0xa7, 0x2a, 0xc6, 0xa9,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31,
   };
@@ -182,7 +186,7 @@ TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
   // Empty payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x12, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x12, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kStreamCloseOk, {});
@@ -193,7 +197,7 @@ TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
 TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
   // Stream "s1", samples [N=2, K=2] = {1, 2, 3, 4} (series-major).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x13, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x13, 0x00, 0x00,
       0x1e, 0x00, 0x00, 0x00, 0x89, 0x85, 0x94, 0x52,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x02, 0x00,
       0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -213,7 +217,7 @@ TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
   // total_samples 10, windows_emitted 2, windows_dropped 0,
   // windows_failed 0, pending 1, deduped_windows 1 (v3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x14, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x14, 0x00, 0x00,
       0x2c, 0x00, 0x00, 0x00, 0x13, 0x30, 0xdb, 0xfb,
       0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -240,7 +244,7 @@ TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
   // 1 shape bucket; server 1 connection, 12 frames, 0 wire errors; no
   // models.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x0c, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x0c, 0x00, 0x00,
       0x88, 0x00, 0x00, 0x00, 0x3b, 0x7e, 0xf3, 0x49,
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -285,7 +289,7 @@ TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamReportsFrameBytes) {
   // Stream "s1", max_reports 4.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x15, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x15, 0x00, 0x00,
       0x0a, 0x00, 0x00, 0x00, 0x45, 0xc1, 0xea, 0x79,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00,
@@ -305,7 +309,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
   // one consecutive drift, one edge added (also listed), mean Δ 0.25,
   // max Δ 0.5, jaccard 0, nothing removed.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x03, 0x16, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x16, 0x00, 0x00,
       0x85, 0x00, 0x00, 0x00, 0xcb, 0x65, 0x43, 0x3f,
       0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
@@ -343,6 +347,47 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
   const auto frame =
       wire::EncodeFrame(wire::MessageType::kStreamReportsResult,
                         wire::EncodeStreamReportsResult({report}));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+// The v4 metrics frames, byte for byte against the §7.9 hex dumps.
+
+TEST(WireFrameTest, DocumentedMetricsFrameBytes) {
+  // kMetrics carries no payload: header only, CRC of zero bytes is 0.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x17, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  const auto frame = wire::EncodeFrame(wire::MessageType::kMetrics, {});
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedMetricsResultFrameBytes) {
+  // Exposition text "a 1\n", one histogram row: series "h" with count 1
+  // and sum = p50 = p90 = p99 = 0.5.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x04, 0x18, 0x00, 0x00,
+      0x39, 0x00, 0x00, 0x00, 0x33, 0x28, 0x27, 0xdf,
+      0x04, 0x00, 0x00, 0x00, 0x61, 0x20, 0x31, 0x0a,
+      0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      0x68, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0,
+      0x3f,
+  };
+  wire::MetricsResultMsg msg;
+  msg.text = "a 1\n";
+  wire::HistogramSummaryMsg row;
+  row.name = "h";
+  row.count = 1;
+  row.sum = row.p50 = row.p90 = row.p99 = 0.5;
+  msg.histograms.push_back(row);
+  const auto frame = wire::EncodeFrame(wire::MessageType::kMetricsResult,
+                                       wire::EncodeMetricsResult(msg));
   ASSERT_EQ(frame.size(), sizeof(kExpected));
   EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
 }
@@ -860,6 +905,63 @@ TEST(WireMessageTest, StreamOpenOkAndAppendOkRoundTrip) {
   EXPECT_EQ(ack_decoded.deduped_windows, 9u);
 }
 
+TEST(WireMessageTest, MetricsResultRoundTrip) {
+  wire::MetricsResultMsg msg;
+  msg.text =
+      "# TYPE serve_requests_total counter\nserve_requests_total 3\n";
+  wire::HistogramSummaryMsg row;
+  row.name = "serve_request_latency_seconds";
+  row.count = 3;
+  row.sum = 0.75;
+  row.p50 = 0.2;
+  row.p90 = 0.4;
+  row.p99 = 0.5;
+  msg.histograms.push_back(row);
+  row.name = "kernel_seconds{kernel=\"matmul\"}";
+  row.count = 12;
+  msg.histograms.push_back(row);
+  const auto payload = wire::EncodeMetricsResult(msg);
+  wire::MetricsResultMsg decoded;
+  ASSERT_TRUE(wire::DecodeMetricsResult(payload, &decoded).ok());
+  EXPECT_EQ(decoded.text, msg.text);
+  ASSERT_EQ(decoded.histograms.size(), 2u);
+  EXPECT_EQ(decoded.histograms[0].name, "serve_request_latency_seconds");
+  EXPECT_EQ(decoded.histograms[0].count, 3u);
+  EXPECT_EQ(decoded.histograms[0].sum, 0.75);
+  EXPECT_EQ(decoded.histograms[0].p50, 0.2);
+  EXPECT_EQ(decoded.histograms[0].p90, 0.4);
+  EXPECT_EQ(decoded.histograms[0].p99, 0.5);
+  EXPECT_EQ(decoded.histograms[1].name, "kernel_seconds{kernel=\"matmul\"}");
+  EXPECT_EQ(decoded.histograms[1].count, 12u);
+}
+
+TEST(WireMessageTest, MetricsResultRejectsHostileRowCount) {
+  // Empty text, then a row count far beyond the remaining bytes: the
+  // decoder must reject it before allocating anything.
+  const std::vector<uint8_t> payload = {0x00, 0x00, 0x00, 0x00,
+                                        0xff, 0xff, 0xff, 0xff};
+  wire::MetricsResultMsg decoded;
+  EXPECT_FALSE(wire::DecodeMetricsResult(payload, &decoded).ok());
+}
+
+TEST(WireMessageTest, EveryMetricsResultTruncationFails) {
+  wire::MetricsResultMsg msg;
+  msg.text = "x 1\n";
+  wire::HistogramSummaryMsg row;
+  row.name = "h_seconds";
+  row.count = 2;
+  row.sum = 1.0;
+  msg.histograms.push_back(row);
+  const auto payload = wire::EncodeMetricsResult(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    wire::MetricsResultMsg decoded;
+    const std::vector<uint8_t> truncated(payload.begin(),
+                                         payload.begin() + len);
+    EXPECT_FALSE(wire::DecodeMetricsResult(truncated, &decoded).ok())
+        << "truncation at " << len << " decoded";
+  }
+}
+
 TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
   const auto payload =
       wire::EncodeError(Status::NotFound("model 'x' is not registered"));
@@ -1218,6 +1320,183 @@ TEST_F(WireLoopbackTest, ManyConnectionsShareOneEngine) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(engine_->batcher_stats().requests, 8u * 3u);
+}
+
+TEST_F(WireLoopbackTest, MetricsWithoutObservabilityAnswersPrecondition) {
+  // The fixture's server runs without an Observability bundle: the v4
+  // Metrics frame must answer a typed error, not crash or close.
+  const auto metrics = client_.Metrics();
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(client_.Ping(1).ok());  // connection survives
+}
+
+// ---- Observability over the wire ------------------------------------------
+
+// The serving stack with one Observability bundle wired through the engine
+// and server — the production shape of `serve_cli serve`.
+class WireObsLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register("m", TinyModel()).ok());
+    EngineOptions eopts;
+    eopts.obs = &obs_;
+    engine_ = std::make_unique<InferenceEngine>(&registry_, eopts);
+    WireServerOptions sopts;
+    sopts.obs = &obs_;
+    server_ = std::make_unique<WireServer>(engine_.get(), sopts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  obs::Observability obs_;
+  ModelRegistry registry_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::unique_ptr<WireServer> server_;
+  WireClient client_;
+};
+
+TEST_F(WireObsLoopbackTest, MetricsFrameExposesCoreSeries) {
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(2, 80)).ok());
+  const auto metrics = client_.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  // The text exposition carries the engine counters (exact: one Detect),
+  // the latency histograms and the server's wire counters.
+  const std::string& text = metrics->text;
+  EXPECT_NE(text.find("serve_requests_total 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve_batches_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_request_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_latency_seconds_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wire_connections_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("wire_frames_total"), std::string::npos);
+
+  // The summary rows carry non-zero quantiles for the core histograms.
+  bool saw_latency = false, saw_queue_wait = false, saw_occupancy = false;
+  for (const auto& row : metrics->histograms) {
+    if (row.name == "serve_request_latency_seconds") {
+      saw_latency = true;
+      EXPECT_EQ(row.count, 1u);
+      EXPECT_GT(row.sum, 0.0);
+      EXPECT_GT(row.p99, 0.0);
+    }
+    if (row.name == "serve_queue_wait_seconds") {
+      saw_queue_wait = true;
+      EXPECT_EQ(row.count, 1u);
+    }
+    if (row.name == "serve_batch_occupancy") {
+      saw_occupancy = true;
+      EXPECT_EQ(row.count, 1u);
+      EXPECT_EQ(row.sum, 1.0);  // one batch of one request
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_occupancy);
+}
+
+TEST_F(WireObsLoopbackTest, DetectTraceCoversPipelineWithoutGaps) {
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(2, 81)).ok());
+
+  // The completed trace is in the ring before the response frame is sent,
+  // so it is visible as soon as Detect returns.
+  const auto traces = obs_.traces().Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::Trace& trace = *traces[0];
+  EXPECT_GT(trace.id(), 0u);
+  EXPECT_EQ(trace.leader_id(), 0u);
+
+  const std::vector<obs::TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "decode");
+  EXPECT_EQ(spans[1].name, "enqueue");
+  EXPECT_EQ(spans[2].name, "execute");
+  EXPECT_EQ(spans[3].name, "encode");
+  for (const auto& span : spans) {
+    EXPECT_GE(span.end, span.start) << span.name;
+  }
+  // Mark-based spans: each span closes exactly where the next opens.
+  for (size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].end, spans[i + 1].start)
+        << "gap after span " << spans[i].name;
+  }
+
+  // Per-phase detector timings were attached, kernels stayed out of the
+  // trace (they are histogram-only), and the phase decomposition cannot
+  // exceed the execute span it subdivides.
+  const auto phases = trace.phases();
+  ASSERT_FALSE(phases.empty());
+  double phase_sum = 0;
+  bool saw_forward = false;
+  for (const auto& [name, seconds] : phases) {
+    EXPECT_NE(name.rfind("kernel.", 0), 0u) << name;
+    if (name == "forward") saw_forward = true;
+    phase_sum += seconds;
+  }
+  EXPECT_TRUE(saw_forward);
+  const double execute = spans[2].end - spans[2].start;
+  EXPECT_LE(phase_sum, execute + 1e-9);
+}
+
+TEST_F(WireObsLoopbackTest, DedupFollowerTraceLinksLeader) {
+  if (ThreadPool::Global().num_threads() <= 1) {
+    GTEST_SKIP() << "needs a multi-worker pool to hold requests in flight";
+  }
+  WireClient follower;
+  ASSERT_TRUE(follower.Connect("127.0.0.1", server_->port()).ok());
+
+  wire::DetectMsg msg;
+  msg.model = "m";
+  msg.windows = RandomWindows(2, 82);
+  const auto payload = wire::EncodeDetect(msg);
+
+  // Freeze detection so the identical second request provably overlaps the
+  // first in flight and parks as a dedup follower.
+  testutil::PoolHostage hostage;
+  ASSERT_TRUE(client_.SendFrame(wire::MessageType::kDetect, payload).ok());
+  while (engine_->dedup_stats().in_flight < 1) std::this_thread::yield();
+  ASSERT_TRUE(follower.SendFrame(wire::MessageType::kDetect, payload).ok());
+  while (engine_->dedup_stats().hits < 1) std::this_thread::yield();
+  hostage.Release();
+
+  auto leader_frame = client_.RecvFrame();
+  ASSERT_TRUE(leader_frame.ok()) << leader_frame.status().ToString();
+  ASSERT_EQ(leader_frame->type, wire::MessageType::kDetectResult);
+  auto follower_frame = follower.RecvFrame();
+  ASSERT_TRUE(follower_frame.ok()) << follower_frame.status().ToString();
+  ASSERT_EQ(follower_frame->type, wire::MessageType::kDetectResult);
+  wire::DetectResultMsg leader_result, follower_result;
+  ASSERT_TRUE(
+      wire::DecodeDetectResult(leader_frame->payload, &leader_result).ok());
+  ASSERT_TRUE(
+      wire::DecodeDetectResult(follower_frame->payload, &follower_result)
+          .ok());
+  EXPECT_FALSE(leader_result.deduped);
+  EXPECT_TRUE(follower_result.deduped);
+
+  // Both traces completed; the follower's records a dedup_wait span (it
+  // never executed) and links the leader's trace id.
+  const auto traces = obs_.traces().Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  const obs::Trace* leader_trace = nullptr;
+  const obs::Trace* follower_trace = nullptr;
+  for (const auto& trace : traces) {
+    bool waited = false;
+    for (const auto& span : trace->spans()) {
+      if (span.name == "dedup_wait") waited = true;
+    }
+    (waited ? follower_trace : leader_trace) = trace.get();
+  }
+  ASSERT_NE(leader_trace, nullptr);
+  ASSERT_NE(follower_trace, nullptr);
+  EXPECT_EQ(leader_trace->leader_id(), 0u);
+  EXPECT_EQ(follower_trace->leader_id(), leader_trace->id());
+  EXPECT_EQ(obs_.metrics()
+                .GetCounter("serve_dedup_followers_total")
+                ->Value(),
+            1u);
 }
 
 }  // namespace

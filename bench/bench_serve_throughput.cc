@@ -14,7 +14,12 @@
 // (dedup on) with and without an obs::Observability bundle attached,
 // comparing the best-across-rounds p50 request latency of each arm — the
 // instrumented arm pays for traces, histograms and phase timers, and the
-// delta must hold the ≤ 2% budget (docs/observability.md).
+// delta must hold the ≤ 2% budget (docs/observability.md). A log-hot
+// variant follows: the instrumented arm additionally walks every request
+// through a rate-limited CF_LOG_EVERY_N site (the common serving case —
+// the limiter swallows nearly all of them, a few assemble full records
+// into the LogRing and sink), and obs + logging together must hold the
+// same ≤ 2% budget over the fully-uninstrumented arm.
 //
 // Results are printed as a table and written to BENCH_serve.json.
 //
@@ -37,6 +42,7 @@
 #include "data/windowing.h"
 #include "obs/observability.h"
 #include "serve/inference_engine.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -149,11 +155,19 @@ struct DedupResult {
 // them runs the full detection pass; with dedup on the duplicates park on
 // the leader — the classic serving win for replayed/overlapping streaming
 // workloads.
+// Swallows records so the log-hot arm measures the logging pipeline
+// (limiter, record assembly, LogRing, sink fan-out), not stderr I/O.
+class NullLogSink : public cf::LogSink {
+ public:
+  void Send(const cf::LogRecord&) override {}
+};
+
 DedupResult RunDuplicateHeavy(cf::serve::ModelRegistry* registry,
                               const std::vector<cf::Tensor>& batches,
                               int concurrency, int total_queries,
                               bool dedup_on,
-                              cf::obs::Observability* obs = nullptr) {
+                              cf::obs::Observability* obs = nullptr,
+                              bool log_hot = false) {
   cf::serve::EngineOptions eopts;
   eopts.cache_capacity = 0;  // isolate dedup: no after-the-fact caching
   eopts.dedup_in_flight = dedup_on;
@@ -178,6 +192,12 @@ DedupResult RunDuplicateHeavy(cf::serve::ModelRegistry* registry,
         cf::Stopwatch timer;
         const auto response = engine.Discover(std::move(request));
         if (!response.status.ok()) std::abort();
+        if (log_hot) {
+          CF_LOG_EVERY_N(kWarning, 256)
+              << "bench: duplicate-heavy request"
+              << cf::LogKV("index", i)
+              << cf::LogKV("distinct", static_cast<int>(batches.size()));
+        }
         local.push_back(timer.ElapsedSeconds());
       }
       std::lock_guard<std::mutex> lock(mu);
@@ -317,6 +337,39 @@ int main() {
       obs_off_p50 > 0 ? (obs_on_p50 - obs_off_p50) / obs_off_p50 * 100.0
                       : 0.0;
 
+  // Log-hot overhead: the fully-instrumented arm (obs bundle + one
+  // rate-limited CF_LOG_EVERY_N site on every request path) against the
+  // fully-uninstrumented arm — the whole diagnostics layer, traces,
+  // histograms, limiter, LogRing and sink fan-out together, must hold the
+  // same ≤ 2% budget. A null sink is registered so the delta is the
+  // logging pipeline itself, not stderr write(2)s. Same min-across-rounds
+  // p50 yardstick.
+  NullLogSink null_sink;
+  cf::AddLogSink(&null_sink);
+  double log_off_p50 = 0, log_on_p50 = 0;
+  for (int rep = 0; rep < obs_reps; ++rep) {
+    const bool on_first = (rep % 2) != 0;
+    double off_ms = 0, on_ms = 0;
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool with_logs = (arm == 0) == on_first;
+      const DedupResult r = RunDuplicateHeavy(&registry, dup_batches,
+                                              dup_conns, obs_queries,
+                                              /*dedup_on=*/true,
+                                              with_logs ? &obs : nullptr,
+                                              /*log_hot=*/with_logs);
+      (with_logs ? on_ms : off_ms) = r.p50_ms;
+    }
+    log_off_p50 = rep == 0 ? off_ms : std::min(log_off_p50, off_ms);
+    log_on_p50 = rep == 0 ? on_ms : std::min(log_on_p50, on_ms);
+    std::fprintf(stderr,
+                 "  [log rep %d] quiet p50=%.3fms log-hot p50=%.3fms\n",
+                 rep + 1, off_ms, on_ms);
+  }
+  cf::RemoveLogSink(&null_sink);
+  const double log_overhead_pct =
+      log_off_p50 > 0 ? (log_on_p50 - log_off_p50) / log_off_p50 * 100.0
+                      : 0.0;
+
   cf::Table table({"cache", "concurrency", "req/s", "p50 ms", "p99 ms",
                    "max batch", "cache hits"});
   for (const auto& r : results) {
@@ -343,6 +396,10 @@ int main() {
   std::printf("observability overhead (duplicate-heavy, dedup on): "
               "off p50=%.3fms on p50=%.3fms overhead=%.2f%%\n",
               obs_off_p50, obs_on_p50, obs_overhead_pct);
+  std::printf("log-hot overhead (obs on + rate-limited CF_LOG per request "
+              "vs fully off): off p50=%.3fms log-hot p50=%.3fms "
+              "overhead=%.2f%%\n",
+              log_off_p50, log_on_p50, log_overhead_pct);
 
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
@@ -380,8 +437,15 @@ int main() {
                "  \"obs_overhead\": {\"scenario\": \"duplicate_heavy_dedup\", "
                "\"off_p50_ms\": %.4f, "
                "\"on_p50_ms\": %.4f, "
-               "\"overhead_pct\": %.2f}\n}\n",
+               "\"overhead_pct\": %.2f},\n",
                obs_off_p50, obs_on_p50, obs_overhead_pct);
+  std::fprintf(json,
+               "  \"log_overhead\": {\"scenario\": \"duplicate_heavy_log_hot\", "
+               "\"site\": \"CF_LOG_EVERY_N(kWarning, 256)\", "
+               "\"off_p50_ms\": %.4f, "
+               "\"obs_on_log_hot_p50_ms\": %.4f, "
+               "\"overhead_pct\": %.2f}\n}\n",
+               log_off_p50, log_on_p50, log_overhead_pct);
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
   return 0;

@@ -32,6 +32,14 @@
 //   serve_cli metrics --connect 127.0.0.1:7071
 //   serve_cli top --connect 127.0.0.1:7071 --watch --interval 2
 //
+//   # 2e. Diagnose the server: `kill -USR1 <pid>` dumps a flight-recorder
+//   #     bundle (log tail, metrics, chrome-trace JSON, engine state) to
+//   #     --dump-dir; the same bundle is fetched remotely over the v5 Dump
+//   #     frame, and `trace` exports the trace ring for ui.perfetto.dev:
+//   serve_cli dump --connect 127.0.0.1:7071 --out bundle/
+//   serve_cli trace --connect 127.0.0.1:7071 --last 10
+//   serve_cli trace --connect 127.0.0.1:7071 --json > trace.json
+//
 //   Query language (one command per line, serve/query modes):
 //     q <start> <count>   discover on `count` windows starting at row <start>
 //     models              list registered models
@@ -50,6 +58,10 @@
 // --d_ffn) must match the checkpoint; the --train defaults are the serve
 // defaults, so the pair works out of the box. `query` mode needs no model
 // flags: it reads the geometry from the server's Stats frame.
+
+#include <poll.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -70,6 +82,7 @@
 #include "data/synthetic.h"
 #include "data/windowing.h"
 #include "nn/serialize.h"
+#include "obs/flight_recorder.h"
 #include "obs/observability.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
@@ -85,8 +98,8 @@ namespace cf = causalformer;
 namespace {
 
 struct CliOptions {
-  // "train", "serve", "selftest", "netserve", "query", "stream", "metrics"
-  // or "top".
+  // "train", "serve", "selftest", "netserve", "query", "stream", "metrics",
+  // "top", "dump" or "trace".
   std::string mode;
   std::string checkpoint;
   std::string csv;
@@ -108,6 +121,14 @@ struct CliOptions {
   // cached windows age out even when LRU capacity is never reached; 0
   // disables expiry.
   double cache_ttl = 900.0;
+  // netserve: flight-recorder bundles land here (SIGUSR1 / CF_CHECK /
+  // slow-request triggers).
+  std::string dump_dir = "cf_dumps";
+  // dump mode: write the fetched bundle files into this directory instead
+  // of printing a summary to stdout (empty = print).
+  std::string out_dir;
+  int64_t last = 20;   // trace mode: print the newest N traces
+  bool json = false;   // trace mode: emit chrome-trace JSON instead of text
   cf::core::ModelOptions model;
   cf::core::DetectorOptions detector;
 
@@ -129,7 +150,7 @@ void Usage() {
                "[--replay <queries.txt>] [model flags]\n"
                "  serve_cli serve --port <N> --checkpoint <ck.cfpm> "
                "[--no-admin] [--cache-ttl SECONDS] [--slow-request MS] "
-               "[model flags]\n"
+               "[--dump-dir DIR] [model flags]\n"
                "  serve_cli query --connect <host:port> --csv <data.csv> "
                "[--replay <queries.txt>] [--model name]\n"
                "  serve_cli stream --connect <host:port> --csv <data.csv> "
@@ -137,6 +158,8 @@ void Usage() {
                "  serve_cli metrics --connect <host:port>\n"
                "  serve_cli top --connect <host:port> [--watch] "
                "[--interval SECONDS]\n"
+               "  serve_cli dump --connect <host:port> [--out DIR]\n"
+               "  serve_cli trace --connect <host:port> [--last N] [--json]\n"
                "  serve_cli --selftest [--queries N]\n"
                "model flags: --series N --window T --d_model D --d_qk D "
                "--heads H --d_ffn D\n");
@@ -156,6 +179,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->mode = "metrics";
     } else if (sub == "top") {
       opts->mode = "top";
+    } else if (sub == "dump") {
+      opts->mode = "dump";
+    } else if (sub == "trace") {
+      opts->mode = "trace";
     } else {
       std::fprintf(stderr, "unknown subcommand: %s\n", sub.c_str());
       return false;
@@ -199,6 +226,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->port = static_cast<int>(v);
     } else if (arg == "--no-admin") {
       opts->allow_admin = false;
+    } else if (arg == "--dump-dir" && i + 1 < argc) {
+      opts->dump_dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      opts->out_dir = argv[++i];
+    } else if (arg == "--last") {
+      if (!next(&opts->last) || opts->last < 1) return false;
+    } else if (arg == "--json") {
+      opts->json = true;
     } else if (arg == "--watch") {
       opts->watch = true;
     } else if (arg == "--interval") {
@@ -235,7 +270,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     return false;
   }
   if ((opts->mode == "query" || opts->mode == "stream" ||
-       opts->mode == "metrics" || opts->mode == "top") &&
+       opts->mode == "metrics" || opts->mode == "top" ||
+       opts->mode == "dump" || opts->mode == "trace") &&
       opts->connect.empty()) {
     std::fprintf(stderr, "%s mode needs --connect host:port\n",
                  opts->mode.c_str());
@@ -501,11 +537,48 @@ int RunServe(const CliOptions& opts) {
 
 std::atomic<bool> g_interrupted{false};
 
+// Self-pipe: the async-signal-safe end of signal handling. The handler may
+// only touch sig_atomic_t flags and write(2) to the pipe (never allocate,
+// lock, or log); the serving loop polls the read end and does the real work
+// — dumping a bundle or shutting down — on its own thread.
+int g_signal_pipe[2] = {-1, -1};
+volatile std::sig_atomic_t g_got_terminate = 0;
+volatile std::sig_atomic_t g_got_usr1 = 0;
+
 void OnSignal(int) { g_interrupted = true; }
+
+void OnServeSignal(int signum) {
+  unsigned char byte;
+  if (signum == SIGUSR1) {
+    g_got_usr1 = 1;
+    byte = 'U';
+  } else {
+    g_got_terminate = 1;
+    g_interrupted = true;
+    byte = 'T';
+  }
+  if (g_signal_pipe[1] >= 0) {
+    // EAGAIN (pipe full) is fine: a byte is already pending, the poll loop
+    // will drain it and read the flags.
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  }
+}
+
+// sigaction over std::signal: BSD-reset semantics never un-install the
+// handler after the first delivery, and SA_RESTART keeps unrelated
+// syscalls from failing with EINTR.
+void InstallSignalHandler(int signum, void (*handler)(int)) {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(signum, &action, nullptr);
+}
 
 // `serve --port N`: the same engine as RunServe, but behind the TCP wire
 // protocol. Runs until stdin says "quit" (or closes and SIGINT/SIGTERM
-// arrives).
+// arrives). SIGUSR1 dumps a flight-recorder bundle to --dump-dir.
 int RunNetServe(const CliOptions& opts) {
   cf::core::ModelOptions mopt = opts.model;
   cf::serve::ModelRegistry registry;
@@ -527,19 +600,65 @@ int RunNetServe(const CliOptions& opts) {
   // The streaming scheduler shares the engine (and so the micro-batcher and
   // score cache) with one-shot Detect traffic; it must outlive the server.
   cf::stream::WindowScheduler scheduler(&engine, &obs);
+
+  // The flight recorder sees the whole stack: the obs bundle (logs,
+  // metrics, traces) plus live engine/batcher/scheduler/server state.
+  cf::obs::FlightRecorderOptions fropts;
+  fropts.directory = opts.dump_dir;
+  cf::obs::FlightRecorder recorder(&obs, fropts);
+  recorder.AddStateProvider("engine", [&engine] {
+    const auto s = engine.stats();
+    std::string out;
+    out += "cache: hits=" + std::to_string(s.cache.hits) +
+           " misses=" + std::to_string(s.cache.misses) +
+           " evictions=" + std::to_string(s.cache.evictions) +
+           " expirations=" + std::to_string(s.cache.expirations) +
+           " size=" + std::to_string(s.cache.size) + "/" +
+           std::to_string(s.cache.capacity) + "\n";
+    out += "batcher: requests=" + std::to_string(s.batcher.requests) +
+           " batches=" + std::to_string(s.batcher.batches) +
+           " coalesced=" + std::to_string(s.batcher.coalesced) +
+           " max_batch=" + std::to_string(s.batcher.max_batch) +
+           " rejected=" + std::to_string(s.batcher.rejected) +
+           " shape_buckets=" + std::to_string(s.batcher.shape_buckets) +
+           " in_flight_limit=" + std::to_string(s.batcher.in_flight_limit) +
+           "\n";
+    out += "inflight: leaders=" + std::to_string(s.dedup.leaders) +
+           " hits=" + std::to_string(s.dedup.hits) +
+           " failed_fanins=" + std::to_string(s.dedup.failed_fanins) +
+           " open=" + std::to_string(s.dedup.in_flight) + "\n";
+    return out;
+  });
+  recorder.AddStateProvider(
+      "scheduler", [&scheduler] { return scheduler.DebugString(); });
+  recorder.InstallCheckFailureDump();
+  if (opts.slow_request > 0) recorder.ArmSlowRequestDump();
+
   cf::serve::WireServerOptions sopts;
   sopts.port = static_cast<uint16_t>(opts.port);
   sopts.allow_admin = opts.allow_admin;
   sopts.stream_backend = &scheduler;
   sopts.obs = &obs;
+  sopts.flight_recorder = &recorder;
   cf::serve::WireServer server(&engine, sopts);
   st = server.Start();
   if (!st.ok()) {
     CF_LOG(kError) << "server: " << st.ToString();
     return 1;
   }
-  std::signal(SIGINT, OnSignal);
-  std::signal(SIGTERM, OnSignal);
+  recorder.AddStateProvider("server", [&server] {
+    const auto s = server.stats();
+    return "connections_accepted=" + std::to_string(s.connections_accepted) +
+           " frames=" + std::to_string(s.frames) +
+           " wire_errors=" + std::to_string(s.wire_errors) + "\n";
+  });
+  if (::pipe(g_signal_pipe) != 0) {
+    CF_LOG(kError) << "pipe: " << std::strerror(errno);
+    return 1;
+  }
+  InstallSignalHandler(SIGINT, OnServeSignal);
+  InstallSignalHandler(SIGTERM, OnServeSignal);
+  InstallSignalHandler(SIGUSR1, OnServeSignal);
   std::printf("serving '%s' on port %u (N=%lld, T=%lld, streaming on)%s\n",
               opts.checkpoint.c_str(), server.port(),
               static_cast<long long>(mopt.num_series),
@@ -547,19 +666,73 @@ int RunNetServe(const CliOptions& opts) {
               opts.allow_admin ? "" : " [admin frames disabled]");
   std::fflush(stdout);
 
-  std::string line;
-  while (!g_interrupted && std::getline(std::cin, line)) {
-    const std::string cmd = cf::StrTrim(line);
-    if (cmd == "quit" || cmd == "exit") break;
-    if (cmd.empty()) continue;
-    std::printf("unknown command: %s (only 'quit' here; query over the "
-                "wire)\n", cmd.c_str());
+  // The serving loop: poll stdin (interactive "quit") and the self-pipe
+  // (signals). All dump work happens here, never in the signal handler.
+  bool stdin_open = true;
+  std::string input;
+  while (!g_interrupted) {
+    struct pollfd fds[2];
+    fds[0].fd = g_signal_pipe[0];
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = stdin_open ? STDIN_FILENO : -1;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, 1000) < 0) {
+      if (errno == EINTR) continue;
+      CF_LOG(kError) << "poll: " << std::strerror(errno);
+      break;
+    }
+    if (fds[0].revents & POLLIN) {
+      // One read drains the pending notification bytes (POLLIN guarantees
+      // at least one, so this never blocks); leftovers re-trigger poll.
+      unsigned char drain[256];
+      [[maybe_unused]] ssize_t n =
+          ::read(g_signal_pipe[0], drain, sizeof(drain));
+    }
+    if (g_got_usr1) {
+      g_got_usr1 = 0;
+      auto path = recorder.DumpToDirectory();
+      if (path.ok()) {
+        CF_LOG(kInfo) << "SIGUSR1: flight-recorder bundle dumped"
+                      << cf::LogKV("bundle", path->c_str());
+        std::printf("dumped %s\n", path->c_str());
+      } else {
+        CF_LOG(kError) << "SIGUSR1 dump failed: " << path.status().ToString();
+      }
+      std::fflush(stdout);
+    }
+    if (g_got_terminate) break;
+    if (stdin_open && (fds[1].revents & (POLLIN | POLLHUP))) {
+      char buf[256];
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (n <= 0) {
+        // stdin exhausted (e.g. started with </dev/null in the background):
+        // keep serving until a signal arrives.
+        stdin_open = false;
+        continue;
+      }
+      input.append(buf, static_cast<size_t>(n));
+      size_t newline;
+      bool quit = false;
+      while ((newline = input.find('\n')) != std::string::npos) {
+        const std::string cmd = cf::StrTrim(input.substr(0, newline));
+        input.erase(0, newline + 1);
+        if (cmd == "quit" || cmd == "exit") {
+          quit = true;
+          break;
+        }
+        if (cmd.empty()) continue;
+        std::printf("unknown command: %s (only 'quit' here; query over the "
+                    "wire)\n", cmd.c_str());
+        std::fflush(stdout);
+      }
+      if (quit) break;
+    }
   }
-  // stdin is exhausted (e.g. started with </dev/null in the background):
-  // keep serving until a signal arrives.
-  while (!g_interrupted && !std::cin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
   const auto stats = server.stats();
   CF_LOG(kInfo) << "wire server: " << stats.connections_accepted
                 << " connections, " << stats.frames << " frames, "
@@ -962,8 +1135,8 @@ int RunTop(const CliOptions& opts) {
     return 1;
   }
   if (opts.watch) {
-    std::signal(SIGINT, OnSignal);
-    std::signal(SIGTERM, OnSignal);
+    InstallSignalHandler(SIGINT, OnSignal);
+    InstallSignalHandler(SIGTERM, OnSignal);
   }
   uint64_t refresh = 0;
   do {
@@ -1007,6 +1180,116 @@ int RunTop(const CliOptions& opts) {
     }
   } while (opts.watch && !g_interrupted);
   return 0;
+}
+
+// `dump --connect host:port [--out DIR]`: fetches the server's
+// flight-recorder bundle over the v5 Dump frame. Without --out, prints a
+// per-file summary plus state.txt and the log tail; with --out, writes
+// every bundle file into DIR (created if missing) for offline analysis —
+// the remote twin of `kill -USR1 <server>`.
+int RunDump(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
+    return 1;
+  }
+  cf::serve::WireClient client;
+  const cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    CF_LOG(kError) << "connect: " << st.ToString();
+    return 1;
+  }
+  const auto dump = client.Dump();
+  if (!dump.ok()) {
+    CF_LOG(kError) << "dump: " << dump.status().ToString();
+    return 1;
+  }
+  if (!opts.out_dir.empty()) {
+    if (::mkdir(opts.out_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      CF_LOG(kError) << "mkdir " << opts.out_dir << ": "
+                     << std::strerror(errno);
+      return 1;
+    }
+    for (const auto& file : dump->files) {
+      const std::string path = opts.out_dir + "/" + file.name;
+      std::ofstream out(path, std::ios::binary);
+      out.write(file.content.data(),
+                static_cast<std::streamsize>(file.content.size()));
+      if (!out) {
+        CF_LOG(kError) << "write " << path << " failed";
+        return 1;
+      }
+      std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+                  file.content.size());
+    }
+    std::fflush(stdout);
+    return 0;
+  }
+  std::printf("bundle: %zu files\n", dump->files.size());
+  for (const auto& file : dump->files) {
+    std::printf("  %-12s %8zu bytes\n", file.name.c_str(),
+                file.content.size());
+  }
+  for (const auto& file : dump->files) {
+    if (file.name != "state.txt" && file.name != "logs.txt") continue;
+    std::printf("\n---- %s ----\n", file.name.c_str());
+    std::fputs(file.content.c_str(), stdout);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+// `trace --connect host:port [--last N] [--json]`: the server's trace ring.
+// Text mode prints the newest N one-line trace summaries (traces.txt);
+// --json emits the full chrome://tracing JSON (trace.json) on stdout, ready
+// for `> trace.json` and loading into ui.perfetto.dev.
+int RunTrace(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
+    return 1;
+  }
+  cf::serve::WireClient client;
+  const cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    CF_LOG(kError) << "connect: " << st.ToString();
+    return 1;
+  }
+  const auto dump = client.Dump();
+  if (!dump.ok()) {
+    CF_LOG(kError) << "dump: " << dump.status().ToString();
+    return 1;
+  }
+  const std::string want = opts.json ? "trace.json" : "traces.txt";
+  for (const auto& file : dump->files) {
+    if (file.name != want) continue;
+    if (opts.json) {
+      std::fputs(file.content.c_str(), stdout);
+      std::fflush(stdout);
+      return 0;
+    }
+    // Newest --last N lines (the ring is oldest-first).
+    std::vector<std::string> lines;
+    std::istringstream in(file.content);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    const size_t keep = std::min<size_t>(
+        lines.size(), static_cast<size_t>(opts.last));
+    std::printf("%zu traces (showing newest %zu)\n", lines.size(), keep);
+    for (size_t i = lines.size() - keep; i < lines.size(); ++i) {
+      std::printf("  %s\n", lines[i].c_str());
+    }
+    std::fflush(stdout);
+    return 0;
+  }
+  CF_LOG(kError) << "bundle has no " << want;
+  return 1;
 }
 
 int RunSelfTest(const CliOptions& opts) {
@@ -1176,5 +1459,7 @@ int main(int argc, char** argv) {
   if (opts.mode == "stream") return RunStream(opts);
   if (opts.mode == "metrics") return RunMetrics(opts);
   if (opts.mode == "top") return RunTop(opts);
+  if (opts.mode == "dump") return RunDump(opts);
+  if (opts.mode == "trace") return RunTrace(opts);
   return RunSelfTest(opts);
 }

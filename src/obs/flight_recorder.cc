@@ -1,0 +1,199 @@
+#include "obs/flight_recorder.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/log_ring.h"
+#include "obs/trace_export.h"
+#include "util/logging.h"
+
+namespace causalformer {
+namespace obs {
+
+namespace {
+
+/// Wall-clock milliseconds — bundle directory names are for humans and
+/// log shippers, so wall time (not the monotonic obs clock) is right here.
+uint64_t WallMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal("mkdir " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Observability* obs,
+                               FlightRecorderOptions options)
+    : obs_(obs), options_(std::move(options)) {}
+
+FlightRecorder::~FlightRecorder() {
+  bool fatal_installed, slow_armed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fatal_installed = fatal_hook_installed_;
+    slow_armed = slow_hook_armed_;
+  }
+  if (fatal_installed) SetFatalLogHandler(nullptr);
+  if (slow_armed && obs_ != nullptr) obs_->SetSlowTraceHook(nullptr);
+}
+
+void FlightRecorder::AddStateProvider(const std::string& section,
+                                      std::function<std::string()> provider) {
+  if (!provider) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.emplace_back(section, std::move(provider));
+}
+
+DiagnosticBundle FlightRecorder::BuildBundle() const {
+  DiagnosticBundle bundle;
+
+  // logs.txt — the ring tail, formatted exactly like the stderr text sink.
+  {
+    std::string logs;
+    for (const LogRecord& record : GlobalLogRing().Tail(options_.log_tail)) {
+      logs += FormatLogRecordText(record);
+      logs += '\n';
+    }
+    bundle.files.push_back({"logs.txt", std::move(logs)});
+  }
+
+  // metrics.txt — the full Prometheus-style exposition.
+  bundle.files.push_back(
+      {"metrics.txt", obs_ != nullptr ? obs_->metrics().RenderText()
+                                      : std::string("# observability off\n")});
+
+  // trace.json + traces.txt — the trace ring, machine- and human-readable.
+  {
+    std::vector<std::shared_ptr<const Trace>> traces;
+    if (obs_ != nullptr) traces = obs_->traces().Snapshot();
+    bundle.files.push_back({"trace.json", RenderChromeTrace(traces)});
+    std::string lines;
+    for (const auto& trace : traces) {
+      lines += trace->ToString();
+      lines += '\n';
+    }
+    bundle.files.push_back({"traces.txt", std::move(lines)});
+  }
+
+  // state.txt — every registered provider, one titled section each.
+  {
+    std::vector<std::pair<std::string, std::function<std::string()>>>
+        providers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      providers = providers_;
+    }
+    std::string state;
+    for (const auto& [section, provider] : providers) {
+      state += "== " + section + " ==\n";
+      state += provider();
+      if (!state.empty() && state.back() != '\n') state += '\n';
+    }
+    bundle.files.push_back({"state.txt", std::move(state)});
+  }
+
+  return bundle;
+}
+
+StatusOr<std::string> FlightRecorder::DumpToDirectory() {
+  const DiagnosticBundle bundle = BuildBundle();
+
+  CF_RETURN_IF_ERROR(MakeDir(options_.directory));
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = dump_seq_++;
+  }
+  std::string stem = "dump_" + std::to_string(WallMillis()) + "_" +
+                     std::to_string(static_cast<long long>(::getpid()));
+  if (seq > 0) stem += "_" + std::to_string(seq);
+  const std::string final_path = options_.directory + "/" + stem;
+  // Write into a hidden sibling and rename into place: a watcher polling
+  // the dump directory never sees a half-written bundle.
+  const std::string tmp_path = options_.directory + "/." + stem + ".tmp";
+  CF_RETURN_IF_ERROR(MakeDir(tmp_path));
+
+  for (const DiagnosticFile& file : bundle.files) {
+    std::ofstream out(tmp_path + "/" + file.name, std::ios::binary);
+    out.write(file.content.data(),
+              static_cast<std::streamsize>(file.content.size()));
+    if (!out) {
+      return Status::Internal("write " + tmp_path + "/" + file.name +
+                              " failed");
+    }
+  }
+
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp_path + " -> " + final_path +
+                            ": " + std::strerror(errno));
+  }
+  return final_path;
+}
+
+void FlightRecorder::InstallCheckFailureDump() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fatal_hook_installed_ = true;
+  }
+  SetFatalLogHandler([this] {
+    // Mid-abort: no CF_LOG here (the fatal record was already emitted and
+    // re-entrant fatals skip the handler anyway); plain stderr only.
+    auto path = DumpToDirectory();
+    if (path.ok()) {
+      std::fprintf(stderr, "flight recorder: bundle dumped to %s\n",
+                   path->c_str());
+    } else {
+      std::fprintf(stderr, "flight recorder: dump failed: %s\n",
+                   path.status().message().c_str());
+    }
+  });
+}
+
+void FlightRecorder::ArmSlowRequestDump() {
+  if (obs_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow_hook_armed_ = true;
+  }
+  obs_->SetSlowTraceHook(
+      [this](const Trace&) { MaybeDumpOnSlowTrace(); });
+}
+
+void FlightRecorder::MaybeDumpOnSlowTrace() {
+  const double now = LogNowSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slow_dumped_once_ &&
+        now - last_slow_dump_seconds_ < options_.slow_dump_cooldown_seconds) {
+      return;
+    }
+    slow_dumped_once_ = true;
+    last_slow_dump_seconds_ = now;
+  }
+  auto path = DumpToDirectory();
+  if (path.ok()) {
+    CF_LOG(kWarning) << "slow request crossed the threshold; bundle dumped"
+                     << LogKV("bundle", *path);
+  } else {
+    CF_LOG(kError) << "slow-request bundle dump failed: "
+                   << path.status().ToString();
+  }
+}
+
+}  // namespace obs
+}  // namespace causalformer

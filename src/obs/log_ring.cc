@@ -1,0 +1,53 @@
+#include "obs/log_ring.h"
+
+#include <algorithm>
+
+namespace causalformer {
+namespace obs {
+
+LogRing::LogRing(size_t capacity)
+    : per_stripe_capacity_(
+          std::max<size_t>(1, (capacity + kLogRingStripes - 1) /
+                                  kLogRingStripes)) {}
+
+void LogRing::Append(const LogRecord& record) {
+  Stripe& stripe = stripes_[record.thread_id % kLogRingStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.ring.push_back(record);
+  ++stripe.appended;
+  while (stripe.ring.size() > per_stripe_capacity_) stripe.ring.pop_front();
+}
+
+std::vector<LogRecord> LogRing::Tail(size_t max_records) const {
+  std::vector<LogRecord> merged;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    merged.insert(merged.end(), stripe.ring.begin(), stripe.ring.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  if (max_records > 0 && merged.size() > max_records) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<ptrdiff_t>(max_records));
+  }
+  return merged;
+}
+
+uint64_t LogRing::total_appended() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.appended;
+  }
+  return total;
+}
+
+LogRing& GlobalLogRing() {
+  static LogRing* ring = new LogRing;
+  return *ring;
+}
+
+}  // namespace obs
+}  // namespace causalformer

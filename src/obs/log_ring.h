@@ -1,0 +1,79 @@
+#ifndef CAUSALFORMER_OBS_LOG_RING_H_
+#define CAUSALFORMER_OBS_LOG_RING_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// The bounded in-memory log ring: the last ~4k structured log records of
+/// the process, always on, whatever the stderr threshold or registered
+/// sinks do. When the flight recorder (obs/flight_recorder.h) dumps a
+/// diagnostic bundle — on CF_CHECK failure, SIGUSR1 or a slow-request
+/// trigger — the ring's tail is the "what was the process saying just
+/// before this" evidence.
+///
+/// The ring is lock-striped: records land in the emitting thread's stripe
+/// (LogThreadId() modulo kLogRingStripes), so concurrent loggers contend
+/// only when they share a stripe; Tail() merges the stripes back into
+/// global emission order by record sequence number. Eviction is per
+/// stripe, so a single thread logging heavily evicts its own history
+/// first — total retention stays within capacity either way.
+
+namespace causalformer {
+namespace obs {
+
+/// Stripe count of the process log ring (and of any LogRing built with the
+/// default constructor arguments).
+inline constexpr size_t kLogRingStripes = 8;
+
+/// Default total record capacity of a LogRing.
+inline constexpr size_t kDefaultLogRingCapacity = 4096;
+
+/// A bounded, lock-striped ring of LogRecords. Thread-safe.
+class LogRing {
+ public:
+  /// A ring retaining the last ~`capacity` records (rounded up to a
+  /// multiple of the stripe count).
+  explicit LogRing(size_t capacity = kDefaultLogRingCapacity);
+
+  LogRing(const LogRing&) = delete;             ///< not copyable
+  LogRing& operator=(const LogRing&) = delete;  ///< not copyable
+
+  /// Appends one record (called by the logging layer for every emitted
+  /// record), evicting the stripe's oldest past its share of capacity.
+  void Append(const LogRecord& record);
+
+  /// The retained records in emission order (merged across stripes by
+  /// sequence number), limited to the newest `max_records` (0 = all).
+  std::vector<LogRecord> Tail(size_t max_records = 0) const;
+
+  /// Records appended over the ring's lifetime (including evicted ones).
+  uint64_t total_appended() const;
+
+ private:
+  /// One lock stripe: cacheline-separated so concurrent loggers on
+  /// different stripes never false-share.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;        ///< guards ring + appended
+    std::deque<LogRecord> ring;   ///< newest at the back
+    uint64_t appended = 0;        ///< lifetime appends to this stripe
+  };
+
+  const size_t per_stripe_capacity_;
+  std::array<Stripe, kLogRingStripes> stripes_;
+};
+
+/// The process-wide ring every emitted log record lands in. Never
+/// destroyed (logging must work during static teardown).
+LogRing& GlobalLogRing();
+
+}  // namespace obs
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OBS_LOG_RING_H_

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -55,6 +57,12 @@ class Observability {
 
   /// The ring of completed traces.
   TraceRing& traces() { return traces_; }
+
+  /// Installs the ring's slow-trace hook (see TraceRing::SetSlowTraceHook);
+  /// the flight recorder arms its slow-request dump through this.
+  void SetSlowTraceHook(std::function<void(const Trace&)> hook) {
+    traces_.SetSlowTraceHook(std::move(hook));
+  }
 
   /// Allocates the next trace id (> 0; monotonically increasing).
   uint64_t NextTraceId() {

@@ -117,14 +117,29 @@ void TraceRing::Add(std::shared_ptr<const Trace> trace) {
       slow_threshold_ > 0 && trace->DurationSeconds() > slow_threshold_;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ring_.push_back(std::move(trace));
+    ring_.push_back(trace);
     ++total_added_;
     while (ring_.size() > capacity_) ring_.pop_front();
-    if (slow) {
-      CF_LOG(kWarning) << "slow request (> " << slow_threshold_ * 1e3
-                       << "ms): " << ring_.back()->ToString();
-    }
   }
+  if (slow) {
+    // Log and fire the slow hook *outside* mu_: the hook is typically the
+    // flight recorder's dump trigger, which snapshots this very ring.
+    ScopedLogTraceId scope(trace->id());
+    CF_LOG(kWarning) << "slow request: " << trace->ToString()
+                     << LogKV("threshold_ms", slow_threshold_ * 1e3)
+                     << LogKV("total_ms", trace->DurationSeconds() * 1e3);
+    std::function<void(const Trace&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(hook_mu_);
+      hook = slow_hook_;
+    }
+    if (hook) hook(*trace);
+  }
+}
+
+void TraceRing::SetSlowTraceHook(std::function<void(const Trace&)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  slow_hook_ = std::move(hook);
 }
 
 std::vector<std::shared_ptr<const Trace>> TraceRing::Snapshot() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -124,12 +125,21 @@ class TraceRing {
   /// The configured slow threshold in seconds (0 = disabled).
   double slow_threshold_seconds() const { return slow_threshold_; }
 
+  /// Installs a hook invoked (outside the ring's lock, so the hook may
+  /// Snapshot()) for every admitted trace slower than the threshold — the
+  /// flight recorder's slow-request dump trigger. Null uninstalls.
+  void SetSlowTraceHook(std::function<void(const Trace&)> hook);
+
  private:
   const size_t capacity_;
   const double slow_threshold_;
   mutable std::mutex mu_;
   std::deque<std::shared_ptr<const Trace>> ring_;
   uint64_t total_added_ = 0;
+  /// Guards slow_hook_ separately from mu_: the hook runs unlocked and
+  /// may re-enter the ring.
+  mutable std::mutex hook_mu_;
+  std::function<void(const Trace&)> slow_hook_;
 };
 
 /// Per-batch phase accumulator, installed thread-locally on the executor

@@ -1,0 +1,44 @@
+#ifndef CAUSALFORMER_OBS_TRACE_EXPORT_H_
+#define CAUSALFORMER_OBS_TRACE_EXPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+/// \file
+/// TraceRing → chrome://tracing / Perfetto JSON.
+///
+/// RenderChromeTrace turns completed traces into the Trace Event Format's
+/// JSON object form: `{"displayTimeUnit":"ms","traceEvents":[…]}` where
+/// every event is a complete ("ph":"X") event. The mapping:
+///
+///  * pid — always 1 (one serving process per export);
+///  * tid — the trace id, so each request renders as its own row and the
+///    contiguous decode → enqueue → execute → encode spans tile it;
+///  * ts/dur — span start/duration in microseconds on the trace's clock;
+///  * args — the trace id on every event; the execute span additionally
+///    carries the per-phase totals (`forward_ms`, …) and a follower's
+///    first span carries `leader` (the trace id that computed its result).
+///
+/// Events are sorted by ts (ties by tid), which both viewers accept and
+/// the wire_test schema check asserts. The output loads directly in
+/// chrome://tracing or ui.perfetto.dev (docs/observability.md walks
+/// through it); it is also the `trace.json` member of every flight-
+/// recorder bundle.
+
+namespace causalformer {
+namespace obs {
+
+/// Renders `traces` (e.g. TraceRing::Snapshot(), oldest first) as chrome
+/// Trace Event Format JSON. Safe on live traces (per-trace locking via
+/// the Trace accessors); an empty input renders an empty traceEvents
+/// array, still valid JSON.
+std::string RenderChromeTrace(
+    const std::vector<std::shared_ptr<const Trace>>& traces);
+
+}  // namespace obs
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_OBS_TRACE_EXPORT_H_

@@ -115,6 +115,13 @@ std::future<DiscoveryResponse> MicroBatcher::Submit(
     }
   }
   if (!rejection.ok()) {
+    // Overload evidence, throttled so a rejection storm costs one line per
+    // second instead of one per dropped request.
+    CF_LOG_THROTTLED(kWarning, 1.0, 5.0)
+        << "batcher rejected request: " << rejection.message()
+        << LogKV("model", item.request.model.c_str())
+        << LogKV("max_queue", static_cast<unsigned long long>(
+                     options_.max_queue));
     // Resolve outside mu_ (matching the destructor's orphan drain): the
     // promise fulfilment wakes the caller and fans out to any parked dedup
     // followers, none of which should serialise against Submit/Collect.

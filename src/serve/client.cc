@@ -245,5 +245,14 @@ StatusOr<wire::MetricsResultMsg> WireClient::Metrics() {
   return metrics;
 }
 
+StatusOr<wire::DumpResultMsg> WireClient::Dump() {
+  auto frame =
+      Call(wire::MessageType::kDump, {}, wire::MessageType::kDumpResult);
+  if (!frame.ok()) return frame.status();
+  wire::DumpResultMsg dump;
+  CF_RETURN_IF_ERROR(wire::DecodeDumpResult(frame->payload, &dump));
+  return dump;
+}
+
 }  // namespace serve
 }  // namespace causalformer

@@ -72,6 +72,12 @@ class WireClient {
   /// kFailedPrecondition when the server runs without observability.
   StatusOr<wire::MetricsResultMsg> Metrics();
 
+  /// Fetches the server's flight-recorder diagnostic bundle (protocol v5):
+  /// log tail, metrics snapshot, chrome-trace JSON, trace lines, and engine
+  /// state, as named files. Fails with kFailedPrecondition when the server
+  /// runs without a flight recorder.
+  StatusOr<wire::DumpResultMsg> Dump();
+
   /// Opens a named sliding-window stream on the server (protocol v2);
   /// returns the config after server-side defaulting.
   StatusOr<wire::StreamOpenOkMsg> OpenStream(const wire::StreamOpenMsg& msg);

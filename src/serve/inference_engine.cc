@@ -96,6 +96,9 @@ EngineStats InferenceEngine::stats() const {
 std::future<DiscoveryResponse> InferenceEngine::SubmitAsync(
     DiscoveryRequest request) {
   Stopwatch latency;
+  // Any CF_LOG on the submit path below carries this request's trace id.
+  ScopedLogTraceId log_trace(
+      request.trace != nullptr ? request.trace->id() : 0);
   if (obs_.requests != nullptr) obs_.requests->Increment();
   if (!request.windows.defined() || request.windows.ndim() != 3 ||
       request.windows.dim(0) < 1) {
@@ -193,15 +196,20 @@ void InferenceEngine::ExecuteBatch(std::vector<BatchItem> items) {
   CF_CHECK(model != nullptr);
 
   bool any_trace = false;
+  uint64_t leader_trace_id = 0;
   for (auto& item : items) {
     if (item.request.trace != nullptr) {
       item.request.trace->StartSpan("execute");
+      if (leader_trace_id == 0) leader_trace_id = item.request.trace->id();
       any_trace = true;
     }
     if (obs_.queue_wait != nullptr) {
       obs_.queue_wait->Record(item.since_submit.ElapsedSeconds());
     }
   }
+  // Logs emitted while the batch executes (detector internals, CF_CHECK
+  // context) attribute to the batch's first traced request.
+  ScopedLogTraceId log_trace(leader_trace_id);
 
   std::vector<Tensor> window_batches;
   window_batches.reserve(items.size());

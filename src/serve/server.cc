@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "serve/stream_backend.h"
 #include "util/logging.h"
 #include "util/socket.h"
@@ -483,6 +484,28 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       }
       PushReady(conn, MessageType::kMetricsResult,
                 wire::EncodeMetricsResult(msg));
+      return true;
+    }
+    case MessageType::kDump: {
+      if (options_.flight_recorder == nullptr) {
+        reject(Status::FailedPrecondition("flight recorder not enabled"));
+        return true;
+      }
+      if (const Status st =
+              wire::PayloadReader(frame.payload.data(), frame.payload.size())
+                  .ExpectEnd();
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      const obs::DiagnosticBundle bundle =
+          options_.flight_recorder->BuildBundle();
+      wire::DumpResultMsg msg;
+      msg.files.reserve(bundle.files.size());
+      for (const obs::DiagnosticFile& file : bundle.files) {
+        msg.files.push_back({file.name, file.content});
+      }
+      PushReady(conn, MessageType::kDumpResult, wire::EncodeDumpResult(msg));
       return true;
     }
     default: {

@@ -40,6 +40,11 @@
 /// stall dispatch for other connections.
 
 namespace causalformer {
+
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+
 namespace serve {
 
 class StreamBackend;
@@ -66,6 +71,10 @@ struct WireServerOptions {
   /// bundle's registry. Null answers kMetrics kFailedPrecondition and makes
   /// every instrumentation site a pointer check.
   obs::Observability* obs = nullptr;
+  /// Flight recorder answering v5 kDump frames with a point-in-time
+  /// diagnostic bundle (not owned; must outlive the server). Null answers
+  /// kDump kFailedPrecondition — remote diagnostics are disabled.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// A TCP server bridging wire-protocol clients onto one InferenceEngine.

@@ -303,7 +303,7 @@ bool IsKnownMessageType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MessageType::kPing) &&
           type <= static_cast<uint8_t>(MessageType::kError)) ||
          (type >= static_cast<uint8_t>(MessageType::kStreamOpen) &&
-          type <= static_cast<uint8_t>(MessageType::kMetricsResult));
+          type <= static_cast<uint8_t>(MessageType::kDumpResult));
 }
 
 // ---- Frame ----------------------------------------------------------------
@@ -930,6 +930,39 @@ Status DecodeMetricsResult(const std::vector<uint8_t>& payload,
     CF_RETURN_IF_ERROR(r.F64(&h.p90));
     CF_RETURN_IF_ERROR(r.F64(&h.p99));
     msg->histograms.push_back(std::move(h));
+  }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeDumpResult(const DumpResultMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(static_cast<uint32_t>(msg.files.size()));
+  for (const DumpFileMsg& file : msg.files) {
+    w.Str(file.name);
+    w.Str(file.content);
+  }
+  return payload;
+}
+
+Status DecodeDumpResult(const std::vector<uint8_t>& payload,
+                        DumpResultMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  uint32_t count = 0;
+  CF_RETURN_IF_ERROR(r.U32(&count));
+  // Each file needs >= 8 bytes (two u32 length prefixes); reject hostile
+  // counts before reserving.
+  if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
+    return Status::InvalidArgument("dump result: implausible count " +
+                                   std::to_string(count));
+  }
+  msg->files.clear();
+  msg->files.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DumpFileMsg file;
+    CF_RETURN_IF_ERROR(r.Str(&file.name));
+    CF_RETURN_IF_ERROR(r.Str(&file.content));
+    msg->files.push_back(std::move(file));
   }
   return r.ExpectEnd();
 }

@@ -43,9 +43,12 @@ inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
 /// dedup and adaptive-batcher gauges to StatsResult, `deduped_windows` to
 /// AppendSamplesOk and the `deduped` report flag; version 4 added the
 /// metrics frames (kMetrics/kMetricsResult: Prometheus-style text
-/// exposition plus per-histogram quantile summaries) — see
-/// docs/wire-protocol.md §3 for the version history and negotiation rules.
-inline constexpr uint8_t kVersion = 4;
+/// exposition plus per-histogram quantile summaries); version 5 added the
+/// diagnostics frames (kDump/kDumpResult: the flight recorder's bundle —
+/// log tail, metrics snapshot, chrome-trace JSON, engine state — fetched
+/// remotely) — see docs/wire-protocol.md §3 for the version history and
+/// negotiation rules.
+inline constexpr uint8_t kVersion = 5;
 /// Fixed frame header size in bytes (payload follows immediately).
 inline constexpr size_t kHeaderSize = 16;
 /// Upper bound on the payload length field; larger frames are malformed
@@ -81,10 +84,12 @@ enum class MessageType : uint8_t {
   kStreamReportsResult = 22, ///< StreamReports response
   kMetrics = 23,             ///< observability scrape request (empty, v4)
   kMetricsResult = 24,       ///< Metrics response (exposition + summaries)
+  kDump = 25,                ///< diagnostic bundle request (empty, v5)
+  kDumpResult = 26,          ///< Dump response (flight-recorder bundle)
 };
 
 /// True for type values defined by this protocol version (used by frame
-/// decoding on both ends; value 14 and values past kMetricsResult are
+/// decoding on both ends; value 14 and values past kDumpResult are
 /// unknown).
 bool IsKnownMessageType(uint8_t type);
 
@@ -274,6 +279,23 @@ struct MetricsResultMsg {
   std::vector<HistogramSummaryMsg> histograms;  ///< per-histogram summaries
 };
 
+// ---- Diagnostics messages (protocol version 5) -------------------------
+
+/// One member file of a kDumpResult diagnostic bundle.
+struct DumpFileMsg {
+  std::string name;     ///< bundle-relative file name ("trace.json", …)
+  std::string content;  ///< full file content (text or JSON)
+};
+
+/// kDumpResult response: the flight recorder's diagnostic bundle — the
+/// same files a SIGUSR1 dump writes to disk (logs.txt, metrics.txt,
+/// trace.json, traces.txt, state.txt), delivered over the wire so
+/// `serve_cli dump --connect` can pull evidence out of a remote server.
+/// The request (kDump) has an empty payload.
+struct DumpResultMsg {
+  std::vector<DumpFileMsg> files;  ///< bundle member files, server order
+};
+
 // ---- Streaming messages (protocol version 2) ---------------------------
 
 /// kStreamOpen request: create a named sliding-window stream on the server.
@@ -454,6 +476,12 @@ std::vector<uint8_t> EncodeMetricsResult(const MetricsResultMsg& msg);
 /// Decodes a kMetricsResult payload.
 Status DecodeMetricsResult(const std::vector<uint8_t>& payload,
                            MetricsResultMsg* msg);
+
+/// Encodes a kDumpResult payload.
+std::vector<uint8_t> EncodeDumpResult(const DumpResultMsg& msg);
+/// Decodes a kDumpResult payload.
+Status DecodeDumpResult(const std::vector<uint8_t>& payload,
+                        DumpResultMsg* msg);
 
 /// Encodes a kError payload from a Status (code + message).
 std::vector<uint8_t> EncodeError(const Status& status);

@@ -39,8 +39,10 @@ serve::wire::StreamReportMsg ToWire(const StreamReport& report) {
 
 }  // namespace
 
-WindowScheduler::Stream::Stream(StreamConfig cfg, int64_t num_series)
-    : config(std::move(cfg)),
+WindowScheduler::Stream::Stream(std::string stream_name, StreamConfig cfg,
+                                int64_t num_series)
+    : name(std::move(stream_name)),
+      config(std::move(cfg)),
       ring(num_series, config.history),
       hasher(num_series, config.history),
       drift(config.drift),
@@ -131,7 +133,8 @@ Status WindowScheduler::Open(const std::string& name, StreamConfig config,
     return Status::FailedPrecondition("stream '" + name + "' already exists");
   }
   if (resolved != nullptr) *resolved = config;
-  auto stream = std::make_shared<Stream>(std::move(config), mopt.num_series);
+  auto stream =
+      std::make_shared<Stream>(name, std::move(config), mopt.num_series);
   if (obs_ != nullptr) {
     // Per-stream series, labelled by name; pointers stay valid for the
     // stream's life because the registry never evicts.
@@ -230,6 +233,37 @@ std::vector<std::string> WindowScheduler::List() const {
   return names;
 }
 
+std::string WindowScheduler::DebugString() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    out += "in_flight=" + std::to_string(in_flight_) +
+           " pending_queue=" + std::to_string(pending_.size()) + "\n";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  out += "streams=" + std::to_string(streams_.size()) + "\n";
+  for (const auto& [name, stream] : streams_) {
+    const StreamStats& s = stream->stats;
+    out += "stream " + name + ": model=" + stream->config.model +
+           " window=" + std::to_string(stream->config.window) +
+           " stride=" + std::to_string(stream->config.stride) +
+           " history=" + std::to_string(stream->config.history) +
+           " ring_total=" + std::to_string(stream->ring.total_appended()) +
+           "\n  samples=" + std::to_string(s.total_samples) +
+           " emitted=" + std::to_string(s.windows_emitted) +
+           " completed=" + std::to_string(s.windows_completed) +
+           " failed=" + std::to_string(s.windows_failed) +
+           " dropped=" + std::to_string(s.windows_dropped) +
+           " deduped=" + std::to_string(s.windows_deduped) +
+           " cache_hits=" + std::to_string(s.cache_hits) +
+           " pending=" + std::to_string(s.pending) +
+           "\n  reports_queued=" + std::to_string(stream->reports.size()) +
+           " reports_dropped=" + std::to_string(s.reports_dropped) +
+           (stream->closed ? " closed" : "") + "\n";
+  }
+  return out;
+}
+
 void WindowScheduler::PumpLocked(const std::shared_ptr<Stream>& stream) {
   if (stream->closed) return;  // deferred windows of a closed stream die
   const int64_t width = stream->config.window;
@@ -249,6 +283,15 @@ void WindowScheduler::PumpLocked(const std::shared_ptr<Stream>& stream) {
       stream->next_end += skipped * stride;
       stream->next_window_index += static_cast<uint64_t>(skipped);
       stream->stats.windows_dropped += static_cast<uint64_t>(skipped);
+      // Data loss: the stream is being overrun. Throttled — a sustained
+      // overrun drops windows on every append.
+      CF_LOG_THROTTLED(kWarning, 1.0, 5.0)
+          << "stream overrun: ring overwrote un-detected samples"
+          << LogKV("stream", stream->name.c_str())
+          << LogKV("windows_skipped", static_cast<unsigned long long>(skipped))
+          << LogKV("windows_dropped_total",
+                   static_cast<unsigned long long>(
+                       stream->stats.windows_dropped));
       continue;
     }
     auto windows = stream->ring.Window(stream->next_end, width);
@@ -357,6 +400,14 @@ void WindowScheduler::CompletionLoop() {
         while (stream.reports.size() > stream.config.max_reports) {
           stream.reports.pop_front();
           ++stream.stats.reports_dropped;
+          // The consumer stopped draining StreamReports; oldest evidence is
+          // being discarded. One line per ~minute per site, not per report.
+          CF_LOG_EVERY_N(kWarning, 256)
+              << "stream report ring full; dropping oldest report"
+              << LogKV("stream", stream.name.c_str())
+              << LogKV("reports_dropped_total",
+                       static_cast<unsigned long long>(
+                           stream.stats.reports_dropped));
         }
       }
       // A completion frees an in-flight slot; deferred windows may be due.

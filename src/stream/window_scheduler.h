@@ -165,8 +165,14 @@ class WindowScheduler : public serve::StreamBackend {
   StatusOr<std::vector<serve::wire::StreamReportMsg>> TakeReports(
       const std::string& stream, uint32_t max_reports) override;
 
+  /// Human-readable state for flight-recorder bundles: one block per open
+  /// stream (config geometry, ring depth, counters, report-queue depth),
+  /// plus the scheduler's in-flight total.
+  std::string DebugString() const;
+
  private:
   struct Stream {
+    std::string name;  ///< registry key (for logs and DebugString)
     StreamConfig config;
     RingSeries ring;
     RollingWindowHasher hasher;
@@ -182,7 +188,7 @@ class WindowScheduler : public serve::StreamBackend {
     obs::Counter* drift_events = nullptr;    ///< windows flagged drifted
     obs::Counter* regime_events = nullptr;   ///< regime changes declared
 
-    Stream(StreamConfig cfg, int64_t num_series);
+    Stream(std::string stream_name, StreamConfig cfg, int64_t num_series);
   };
 
   /// One submitted window awaiting completion.
@@ -207,7 +213,7 @@ class WindowScheduler : public serve::StreamBackend {
   mutable std::mutex mu_;  // guards streams_ and every Stream's state
   std::map<std::string, std::shared_ptr<Stream>> streams_;
 
-  std::mutex queue_mu_;  // guards pending_ / in_flight_ / shutdown_
+  mutable std::mutex queue_mu_;  // guards pending_ / in_flight_ / shutdown_
   std::condition_variable queue_cv_;  ///< wakes the completion thread
   std::condition_variable idle_cv_;   ///< wakes Flush()
   std::deque<PendingWindow> pending_;

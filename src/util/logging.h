@@ -1,31 +1,231 @@
 #ifndef CAUSALFORMER_UTIL_LOGGING_H_
 #define CAUSALFORMER_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "obs/clock.h"
 
 /// \file
-/// Minimal logging and assertion facility in the style of glog.
+/// Structured logging and assertion facility in the style of glog.
+///
+/// Every emitted record is *structured* (util::LogRecord): severity, a
+/// monotonic timestamp read from the installable obs::Clock seam, a small
+/// per-process thread id, source location, the active trace id (installed
+/// thread-locally by the serving layer next to the PhaseCollector), the
+/// free-text message and typed key=value fields. Records fan out to the
+/// process-wide bounded LogRing (obs/log_ring.h — the flight recorder's
+/// evidence tail) and to the registered sinks; with no sink registered a
+/// built-in stderr sink renders them as human text or JSON lines
+/// (CF_LOG_FORMAT=json).
 ///
 /// Usage:
-///   CF_LOG(INFO) << "training epoch " << epoch;
+///   CF_LOG(kInfo) << "training epoch " << epoch;
+///   CF_LOG(kWarning) << "ring overrun" << LogKV("stream", name)
+///                    << LogKV("dropped", n);
+///   CF_LOG_EVERY_N(kWarning, 100) << "hot-path warning";    // 1st, 101st, …
+///   CF_LOG_THROTTLED(kWarning, 5.0, 10) << "token-bucket";  // ≤5/s, burst 10
 ///   CF_CHECK(x > 0) << "x must be positive, got " << x;
 ///   CF_CHECK_EQ(a, b);
 ///
-/// Per the project style (no exceptions in library code), CHECK failures log the
-/// failing condition with file/line context and abort the process.
+/// Per the project style (no exceptions in library code), CHECK failures log
+/// the failing condition with file/line context, invoke the fatal-log
+/// handler (the flight recorder's dump hook), and abort the process.
+///
+/// The rate-limiting macros declare a static per-site state and therefore
+/// need a statement context (not a braceless `if` arm) — same contract as
+/// glog's LOG_EVERY_N.
 
 namespace causalformer {
 
+/// Record severities, ordered; records below MinLogSeverity() are dropped
+/// before any formatting work.
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Returns the minimum severity that will be emitted. Controlled by the
+/// Returns the minimum severity that will be emitted. Seeded by the
 /// CF_LOG_LEVEL environment variable (0=DEBUG .. 3=ERROR); defaults to INFO.
+/// Overridable at runtime with SetMinLogSeverity.
 LogSeverity MinLogSeverity();
 
-/// Stream-style log message that emits on destruction. FATAL messages abort.
+/// Overrides the emission threshold at runtime (tests, CLI flags).
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Installs the monotonic clock every log record timestamps against —
+/// the same obs::Clock seam that drives spans, histograms and cache TTLs,
+/// so scripted-clock tests see log timestamps coherent with traces.
+/// Defaults to the real steady clock.
+void SetLogClock(obs::Clock clock);
+
+/// Seconds on the installed log clock (the value a record's `seconds`
+/// field carries; also the token-bucket rate limiter's time source).
+double LogNowSeconds();
+
+/// A small dense per-process thread id (1, 2, …) assigned on first use —
+/// stable for the thread's lifetime, readable in log lines and usable as a
+/// chrome-trace tid, unlike the opaque std::thread::id.
+uint64_t LogThreadId();
+
+/// One typed key=value attachment of a log record. Built with LogKV() and
+/// streamed into a CF_LOG message; the text sink renders `key=value`, the
+/// JSON sink emits a typed JSON value.
+struct LogField {
+  /// The JSON type the value renders as.
+  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+  std::string key;            ///< field name
+  Kind kind = Kind::kInt;     ///< which payload member is live
+  int64_t int_value = 0;      ///< Kind::kInt payload
+  uint64_t uint_value = 0;    ///< Kind::kUint payload
+  double double_value = 0;    ///< Kind::kDouble payload
+  bool bool_value = false;    ///< Kind::kBool payload
+  std::string string_value;   ///< Kind::kString payload
+};
+
+/// \name LogKV — typed key=value builders for CF_LOG streams
+/// Overloads cover every integer width unambiguously (a bare `int` literal
+/// must not be ambiguous between the 64-bit, double and bool overloads).
+///@{
+LogField LogKV(const char* key, bool value);               ///< boolean field
+LogField LogKV(const char* key, int value);                ///< signed field
+LogField LogKV(const char* key, long value);               ///< signed field
+LogField LogKV(const char* key, long long value);          ///< signed field
+LogField LogKV(const char* key, unsigned value);           ///< unsigned field
+LogField LogKV(const char* key, unsigned long value);      ///< unsigned field
+LogField LogKV(const char* key, unsigned long long value); ///< unsigned field
+LogField LogKV(const char* key, double value);             ///< double field
+LogField LogKV(const char* key, const char* value);        ///< string field
+LogField LogKV(const char* key, const std::string& value); ///< string field
+///@}
+
+/// One fully-assembled log record — what sinks receive and the LogRing
+/// retains.
+struct LogRecord {
+  LogSeverity severity = LogSeverity::kInfo;  ///< record severity
+  double seconds = 0;       ///< monotonic timestamp (installed log clock)
+  uint64_t sequence = 0;    ///< process-wide emission order (1, 2, …)
+  uint64_t thread_id = 0;   ///< LogThreadId() of the emitting thread
+  uint64_t trace_id = 0;    ///< active trace id (0 = no trace context)
+  uint64_t suppressed = 0;  ///< records a rate limiter dropped since the
+                            ///< previous emission at the same site
+  const char* file = "";    ///< basename of the emitting source file
+  int line = 0;             ///< emitting source line
+  std::string message;      ///< the streamed free-text message
+  std::vector<LogField> fields;  ///< typed key=value attachments
+};
+
+/// Renders a record as the human text line the stderr sink prints:
+/// `[W 12.345678 file.cc:42 tid=3 trace=7] message key=value (suppressed N)`.
+std::string FormatLogRecordText(const LogRecord& record);
+
+/// Renders a record as one JSON object (no trailing newline) with typed
+/// field values and fully escaped strings — the JSON-lines sink format.
+std::string FormatLogRecordJson(const LogRecord& record);
+
+/// A pluggable log destination. Send() is called for every emitted record,
+/// possibly from many threads concurrently — implementations synchronise
+/// themselves. Registered sinks must outlive their registration.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// Receives one emitted record.
+  virtual void Send(const LogRecord& record) = 0;
+};
+
+/// Registers `sink` to receive every subsequent record. While any sink is
+/// registered the built-in stderr output is suppressed (tests capture
+/// records without polluting stderr); the LogRing keeps receiving records
+/// regardless.
+void AddLogSink(LogSink* sink);
+
+/// Unregisters `sink`; no-op when it was never added.
+void RemoveLogSink(LogSink* sink);
+
+/// Built-in stderr rendering selector.
+enum class LogFormat {
+  kText,  ///< human text lines (default)
+  kJson,  ///< one JSON object per line
+};
+
+/// Selects the built-in stderr rendering. Seeded by CF_LOG_FORMAT
+/// ("json" picks JSON lines); defaults to text.
+void SetStderrLogFormat(LogFormat format);
+
+/// Installs a handler invoked once, after the failing record is emitted,
+/// when a kFatal record (CF_CHECK failure) is about to abort the process —
+/// the flight recorder's dump hook. Re-entrant fatals skip the handler.
+/// Pass nullptr to uninstall.
+void SetFatalLogHandler(std::function<void()> handler);
+
+/// The trace id CF_LOG records on this thread carry (0 = none installed).
+uint64_t CurrentLogTraceId();
+
+/// RAII installation of the active trace id on the current thread. The
+/// serving layer scopes one around every stage that works on behalf of a
+/// traced request (submit path, batch execution, response encode), so a
+/// CF_LOG inside a span correlates with the owning trace.
+class ScopedLogTraceId {
+ public:
+  /// Installs `trace_id` (0 = explicitly none) for the scope.
+  explicit ScopedLogTraceId(uint64_t trace_id);
+  /// Restores the previous thread-local trace id.
+  ~ScopedLogTraceId();
+
+  ScopedLogTraceId(const ScopedLogTraceId&) = delete;  ///< not copyable
+  ScopedLogTraceId& operator=(const ScopedLogTraceId&) =
+      delete;  ///< not copyable
+
+ private:
+  uint64_t previous_;
+};
+
+/// Per-site counter behind CF_LOG_EVERY_N. Thread-safe; one static
+/// instance per macro expansion site.
+class LogEveryNState {
+ public:
+  /// One occurrence decision: emit and how many were suppressed since the
+  /// site's previous emission.
+  struct Sampled {
+    bool emit = false;        ///< true on the 1st, n+1st, 2n+1st, … call
+    uint64_t suppressed = 0;  ///< calls dropped since the last emission
+  };
+
+  /// Counts one occurrence; every n-th (starting with the first) emits.
+  Sampled Sample(uint64_t n);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Per-site token bucket behind CF_LOG_THROTTLED: sustained
+/// `tokens_per_second` with a `burst` ceiling, timed on the installed log
+/// clock. Thread-safe; one static instance per macro expansion site.
+class LogTokenBucket {
+ public:
+  /// A bucket allowing `tokens_per_second` sustained emissions, bursting
+  /// to `burst`.
+  LogTokenBucket(double tokens_per_second, double burst);
+
+  /// Emission decision for one occurrence.
+  LogEveryNState::Sampled Sample();
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  double last_seconds_ = 0;
+  bool primed_ = false;
+  uint64_t suppressed_ = 0;
+};
+
+/// Stream-style log message that assembles a LogRecord and emits it on
+/// destruction. FATAL messages invoke the fatal handler and abort.
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);
@@ -34,30 +234,98 @@ class LogMessage {
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
+  /// Appends any streamable value to the free-text message.
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Applies an ostream manipulator (std::endl and friends); needed
+  /// because a bare function template cannot deduce through the generic
+  /// overload above.
+  LogMessage& operator<<(std::ostream& (*manip)(std::ostream&)) {
+    stream_ << manip;
+    return *this;
+  }
+
+  /// Attaches a typed key=value field (see LogKV).
+  LogMessage& operator<<(const LogField& field) {
+    record_.fields.push_back(field);
+    return *this;
+  }
+
+  /// Marks how many records a rate limiter dropped before this one.
+  LogMessage& Suppressed(uint64_t count) {
+    record_.suppressed = count;
+    return *this;
+  }
+
+  /// The raw message stream (compatibility accessor).
   std::ostream& stream() { return stream_; }
 
  private:
-  LogSeverity severity_;
+  LogRecord record_;
   std::ostringstream stream_;
 };
 
-/// Swallows a log stream when the severity is below the active threshold.
+/// Swallows a log message expression when the severity is below the active
+/// threshold (the `&` keeps precedence below `<<`).
 class LogMessageVoidify {
  public:
-  void operator&(std::ostream&) {}
+  void operator&(LogMessage&) {}   ///< swallow a streamed-into message
+  void operator&(LogMessage&&) {}  ///< swallow a bare message
 };
 
 }  // namespace causalformer
 
 #define CF_LOG_INTERNAL(severity)                                              \
   ::causalformer::LogMessage(::causalformer::LogSeverity::severity, __FILE__, \
-                             __LINE__)                                          \
-      .stream()
+                             __LINE__)
 
 #define CF_LOG(severity)                                                 \
   (::causalformer::LogSeverity::severity < ::causalformer::MinLogSeverity()) \
       ? (void)0                                                          \
       : ::causalformer::LogMessageVoidify() & CF_LOG_INTERNAL(severity)
+
+#define CF_LOG_CONCAT_IMPL(a, b) a##b
+#define CF_LOG_CONCAT(a, b) CF_LOG_CONCAT_IMPL(a, b)
+
+// Statement-context macro (declares a static per-site state): emits the
+// 1st, n+1st, 2n+1st, ... occurrence, recording how many were suppressed.
+#define CF_LOG_EVERY_N(severity, n)                                           \
+  static ::causalformer::LogEveryNState CF_LOG_CONCAT(cf_log_every_,          \
+                                                      __LINE__);              \
+  const ::causalformer::LogEveryNState::Sampled CF_LOG_CONCAT(                \
+      cf_log_sample_, __LINE__) =                                             \
+      (::causalformer::LogSeverity::severity <                                \
+       ::causalformer::MinLogSeverity())                                      \
+          ? ::causalformer::LogEveryNState::Sampled{}                         \
+          : CF_LOG_CONCAT(cf_log_every_, __LINE__).Sample(n);                 \
+  (!CF_LOG_CONCAT(cf_log_sample_, __LINE__).emit)                             \
+      ? (void)0                                                               \
+      : ::causalformer::LogMessageVoidify() &                                 \
+            CF_LOG_INTERNAL(severity).Suppressed(                             \
+                CF_LOG_CONCAT(cf_log_sample_, __LINE__).suppressed)
+
+// Statement-context macro (declares a static per-site token bucket):
+// sustained `per_second` emissions with a `burst` ceiling, timed on the
+// installed log clock.
+#define CF_LOG_THROTTLED(severity, per_second, burst)                         \
+  static ::causalformer::LogTokenBucket CF_LOG_CONCAT(cf_log_bucket_,         \
+                                                      __LINE__)(per_second,   \
+                                                                burst);       \
+  const ::causalformer::LogEveryNState::Sampled CF_LOG_CONCAT(                \
+      cf_log_sample_, __LINE__) =                                             \
+      (::causalformer::LogSeverity::severity <                                \
+       ::causalformer::MinLogSeverity())                                      \
+          ? ::causalformer::LogEveryNState::Sampled{}                         \
+          : CF_LOG_CONCAT(cf_log_bucket_, __LINE__).Sample();                 \
+  (!CF_LOG_CONCAT(cf_log_sample_, __LINE__).emit)                             \
+      ? (void)0                                                               \
+      : ::causalformer::LogMessageVoidify() &                                 \
+            CF_LOG_INTERNAL(severity).Suppressed(                             \
+                CF_LOG_CONCAT(cf_log_sample_, __LINE__).suppressed)
 
 #define CF_CHECK(condition)                                     \
   (condition) ? (void)0                                         \

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/log_ring.h"
+#include "obs/observability.h"
+#include "serve/inference_engine.h"
+#include "serve/model_registry.h"
+#include "util/logging.h"
+
+#include "serve_test_util.h"
+
+// Structured-logging tests: record metadata, severity filtering, text/JSON
+// rendering, the per-site rate limiters (including under concurrent
+// writers — this test runs in the TSan CI job), trace-id correlation
+// through the serving pipeline, the bounded LogRing, and the flight
+// recorder's bundle assembly and atomic directory dumps.
+
+namespace causalformer {
+namespace {
+
+// Captures every emitted record. While registered, the built-in stderr
+// output is suppressed, so tests stay quiet.
+class CaptureSink : public LogSink {
+ public:
+  void Send(const LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+
+  std::vector<LogRecord> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_min_ = MinLogSeverity();
+    AddLogSink(&sink_);
+  }
+
+  void TearDown() override {
+    RemoveLogSink(&sink_);
+    SetMinLogSeverity(previous_min_);
+    SetLogClock(obs::Clock());  // back to the real steady clock
+  }
+
+  CaptureSink sink_;
+  LogSeverity previous_min_ = LogSeverity::kInfo;
+};
+
+TEST_F(LoggingTest, RecordCarriesFullMetadata) {
+  CF_LOG(kWarning) << "disk almost " << "full"
+                   << LogKV("free_mb", 12) << LogKV("path", "/data")
+                   << LogKV("ratio", 0.97) << LogKV("readonly", false);
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 1u);
+  const LogRecord& r = records[0];
+  EXPECT_EQ(r.severity, LogSeverity::kWarning);
+  EXPECT_EQ(std::string(r.file), "logging_test.cc");
+  EXPECT_GT(r.line, 0);
+  EXPECT_EQ(r.thread_id, LogThreadId());
+  EXPECT_GT(r.sequence, 0u);
+  EXPECT_EQ(r.trace_id, 0u);
+  EXPECT_EQ(r.message, "disk almost full");
+  ASSERT_EQ(r.fields.size(), 4u);
+  EXPECT_EQ(r.fields[0].key, "free_mb");
+  EXPECT_EQ(r.fields[0].kind, LogField::Kind::kInt);
+  EXPECT_EQ(r.fields[0].int_value, 12);
+  EXPECT_EQ(r.fields[1].kind, LogField::Kind::kString);
+  EXPECT_EQ(r.fields[1].string_value, "/data");
+  EXPECT_EQ(r.fields[2].kind, LogField::Kind::kDouble);
+  EXPECT_EQ(r.fields[3].kind, LogField::Kind::kBool);
+}
+
+TEST_F(LoggingTest, SequenceNumbersAreMonotonic) {
+  CF_LOG(kInfo) << "one";
+  CF_LOG(kInfo) << "two";
+  CF_LOG(kInfo) << "three";
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_LT(records[0].sequence, records[1].sequence);
+  EXPECT_LT(records[1].sequence, records[2].sequence);
+}
+
+TEST_F(LoggingTest, TimestampsReadTheInstalledClock) {
+  serve::testutil::ScriptedClock clock(100.0);
+  SetLogClock(obs::Clock(clock.fn()));
+  CF_LOG(kInfo) << "at one hundred";
+  clock.Advance(2.5);
+  CF_LOG(kInfo) << "later";
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[0].seconds, 100.0);
+  EXPECT_DOUBLE_EQ(records[1].seconds, 102.5);
+}
+
+TEST_F(LoggingTest, SeverityThresholdFiltersBeforeEmission) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  CF_LOG(kDebug) << "dropped";
+  CF_LOG(kInfo) << "dropped too";
+  CF_LOG(kWarning) << "kept";
+  CF_LOG(kError) << "kept too";
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "kept");
+  EXPECT_EQ(records[1].message, "kept too");
+}
+
+TEST_F(LoggingTest, ScopedTraceIdTagsRecordsAndRestores) {
+  EXPECT_EQ(CurrentLogTraceId(), 0u);
+  {
+    ScopedLogTraceId outer(7);
+    EXPECT_EQ(CurrentLogTraceId(), 7u);
+    CF_LOG(kInfo) << "in outer";
+    {
+      ScopedLogTraceId inner(9);
+      CF_LOG(kInfo) << "in inner";
+    }
+    CF_LOG(kInfo) << "back in outer";
+  }
+  EXPECT_EQ(CurrentLogTraceId(), 0u);
+  CF_LOG(kInfo) << "no trace";
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].trace_id, 7u);
+  EXPECT_EQ(records[1].trace_id, 9u);
+  EXPECT_EQ(records[2].trace_id, 7u);
+  EXPECT_EQ(records[3].trace_id, 0u);
+}
+
+// ---- Rendering ------------------------------------------------------------
+
+TEST(LogFormatTest, TextLineShape) {
+  LogRecord r;
+  r.severity = LogSeverity::kWarning;
+  r.seconds = 12.345678;
+  r.thread_id = 3;
+  r.trace_id = 7;
+  r.file = "engine.cc";
+  r.line = 42;
+  r.message = "queue full";
+  r.fields.push_back(LogKV("depth", 128));
+  r.suppressed = 5;
+  EXPECT_EQ(FormatLogRecordText(r),
+            "[W 12.345678 engine.cc:42 tid=3 trace=7] queue full depth=128"
+            " (suppressed 5)");
+}
+
+TEST(LogFormatTest, TextLineOmitsEmptyOptionals) {
+  LogRecord r;
+  r.severity = LogSeverity::kInfo;
+  r.seconds = 1.0;
+  r.thread_id = 1;
+  r.file = "a.cc";
+  r.line = 1;
+  r.message = "plain";
+  EXPECT_EQ(FormatLogRecordText(r), "[I 1.000000 a.cc:1 tid=1] plain");
+}
+
+TEST(LogFormatTest, JsonEscapesEverythingHostile) {
+  LogRecord r;
+  r.severity = LogSeverity::kError;
+  r.seconds = 2.0;
+  r.thread_id = 1;
+  r.file = "a.cc";
+  r.line = 9;
+  r.message = "quote \" slash \\ newline \n tab \t bell \x01 done";
+  r.fields.push_back(LogKV("path", "C:\\tmp\n"));
+  const std::string json = FormatLogRecordJson(r);
+  EXPECT_NE(json.find("quote \\\" slash \\\\ newline \\n tab \\t bell "
+                      "\\u0001 done"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"path\":\"C:\\\\tmp\\n\""), std::string::npos)
+      << json;
+  // No raw control bytes may survive into the JSON line.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(LogFormatTest, JsonCarriesTypedFields) {
+  LogRecord r;
+  r.severity = LogSeverity::kInfo;
+  r.seconds = 0.5;
+  r.thread_id = 2;
+  r.trace_id = 11;
+  r.file = "b.cc";
+  r.line = 3;
+  r.message = "m";
+  r.fields.push_back(LogKV("count", 7));
+  r.fields.push_back(LogKV("on", true));
+  r.fields.push_back(LogKV("ratio", 0.25));
+  const std::string json = FormatLogRecordJson(r);
+  EXPECT_NE(json.find("\"severity\":\"I\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace\":11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"on\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\":0.25"), std::string::npos) << json;
+}
+
+// ---- Rate limiting --------------------------------------------------------
+
+TEST_F(LoggingTest, EveryNEmitsFirstAndEveryNth) {
+  for (int i = 0; i < 10; ++i) {
+    CF_LOG_EVERY_N(kWarning, 3) << "tick " << i;
+  }
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 4u);  // i = 0, 3, 6, 9
+  EXPECT_EQ(records[0].message, "tick 0");
+  EXPECT_EQ(records[0].suppressed, 0u);
+  EXPECT_EQ(records[1].message, "tick 3");
+  EXPECT_EQ(records[1].suppressed, 2u);
+  EXPECT_EQ(records[3].message, "tick 9");
+}
+
+TEST_F(LoggingTest, EveryNCountsExactlyUnderConcurrentWriters) {
+  // 8 threads × 96 iterations through one CF_LOG_EVERY_N(…, 16) site:
+  // exactly (8·96)/16 records emerge, whatever the interleaving. The
+  // TSan job proves the per-site state and sink fan-out race-free.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 96;
+  serve::testutil::Barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&barrier] {
+      barrier.Wait();
+      for (int i = 0; i < kIters; ++i) {
+        CF_LOG_EVERY_N(kWarning, 16) << "storm";
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const size_t emitted = sink_.count();
+  EXPECT_EQ(emitted, static_cast<size_t>(kThreads * kIters / 16));
+  // Every emit after the very first reports the n-1 calls it stands for.
+  uint64_t suppressed = 0;
+  for (const auto& r : sink_.records()) suppressed += r.suppressed;
+  EXPECT_EQ(suppressed, (emitted - 1) * 15u);
+}
+
+TEST_F(LoggingTest, ThrottledFollowsTheTokenBucket) {
+  serve::testutil::ScriptedClock clock(10.0);
+  SetLogClock(obs::Clock(clock.fn()));
+  // 1 token/second, burst 2: the first two emit, then one per second.
+  // The limiter state is per-site, so the whole scenario drives ONE
+  // CF_LOG_THROTTLED occurrence through the scripted clock.
+  for (int i = 0; i < 6; ++i) {
+    CF_LOG_THROTTLED(kWarning, 1.0, 2.0) << "burst " << i;
+    if (i == 4) {
+      EXPECT_EQ(sink_.count(), 2u);  // burst spent, i = 2..4 suppressed
+      clock.Advance(1.0);            // refill one token
+    }
+  }
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].message, "burst 5");
+  EXPECT_EQ(records[2].suppressed, 3u);  // the three dropped burst calls
+}
+
+TEST(LogTokenBucketTest, RefillsAtTheConfiguredRate) {
+  serve::testutil::ScriptedClock clock(0.0);
+  SetLogClock(obs::Clock(clock.fn()));
+  LogTokenBucket bucket(2.0, 1.0);  // 2 tokens/second, burst 1
+  EXPECT_TRUE(bucket.Sample().emit);
+  EXPECT_FALSE(bucket.Sample().emit);
+  clock.Advance(0.25);  // half a token: still dry
+  EXPECT_FALSE(bucket.Sample().emit);
+  clock.Advance(0.25);  // a full token now
+  const auto sampled = bucket.Sample();
+  EXPECT_TRUE(sampled.emit);
+  EXPECT_EQ(sampled.suppressed, 2u);
+  SetLogClock(obs::Clock());
+}
+
+// ---- LogRing --------------------------------------------------------------
+
+TEST(LogRingTest, RetainsNewestWithinCapacityAndCountsAppends) {
+  obs::LogRing ring(16);
+  LogRecord r;
+  r.file = "x.cc";
+  for (uint64_t i = 1; i <= 100; ++i) {
+    r.sequence = i;
+    ring.Append(r);
+  }
+  EXPECT_EQ(ring.total_appended(), 100u);
+  const auto tail = ring.Tail();
+  // Single-threaded appends land in one stripe, so retention is that
+  // stripe's share of capacity — bounded, newest-last, sequence-ordered.
+  ASSERT_FALSE(tail.empty());
+  EXPECT_LE(tail.size(), 16u);
+  EXPECT_EQ(tail.back().sequence, 100u);
+  for (size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_LT(tail[i - 1].sequence, tail[i].sequence);
+  }
+}
+
+TEST(LogRingTest, TailLimitKeepsTheNewest) {
+  obs::LogRing ring(64);
+  LogRecord r;
+  for (uint64_t i = 1; i <= 8; ++i) {
+    r.sequence = i;
+    ring.Append(r);
+  }
+  const auto tail = ring.Tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].sequence, 6u);
+  EXPECT_EQ(tail[2].sequence, 8u);
+}
+
+TEST(LogRingTest, ConcurrentAppendersNeverLoseTheBound) {
+  obs::LogRing ring(64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  serve::testutil::Barrier barrier(kThreads);
+  std::atomic<uint64_t> next_seq{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      barrier.Wait();
+      LogRecord r;
+      for (int i = 0; i < kIters; ++i) {
+        r.sequence = next_seq.fetch_add(1);
+        r.thread_id = LogThreadId();
+        ring.Append(r);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.total_appended(),
+            static_cast<uint64_t>(kThreads * kIters));
+  const auto tail = ring.Tail();
+  EXPECT_LE(tail.size(), 64u + obs::kLogRingStripes);  // rounding headroom
+  for (size_t i = 1; i < tail.size(); ++i) {
+    EXPECT_LT(tail[i - 1].sequence, tail[i].sequence);
+  }
+}
+
+TEST_F(LoggingTest, GlobalRingReceivesRecordsEvenWithSinksRegistered) {
+  const uint64_t before = obs::GlobalLogRing().total_appended();
+  CF_LOG(kInfo) << "ring me";
+  EXPECT_EQ(obs::GlobalLogRing().total_appended(), before + 1);
+  const auto tail = obs::GlobalLogRing().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].message, "ring me");
+}
+
+// ---- Trace-id correlation through the serving pipeline --------------------
+
+TEST_F(LoggingTest, EngineLogsCarryTheRequestTraceId) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("m", serve::testutil::TinyModel()).ok());
+  obs::Observability obs;
+  serve::EngineOptions eopts;
+  eopts.obs = &obs;
+  // Logs emitted inside batch execution (here: from the detect observer,
+  // which runs on the executor thread) must carry the owning trace's id.
+  eopts.detect_observer_for_testing = [](const serve::CacheKey&) {
+    CF_LOG(kInfo) << "executing batch";
+  };
+  serve::InferenceEngine engine(&registry, eopts);
+
+  serve::DiscoveryRequest request;
+  request.model = "m";
+  request.windows = serve::testutil::RandomWindows(2, 77);
+  request.trace = obs.StartTrace("decode");
+  const uint64_t trace_id = request.trace->id();
+  const auto response = engine.Discover(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+
+  bool saw_execute_log = false;
+  for (const auto& r : sink_.records()) {
+    if (r.message == "executing batch") {
+      saw_execute_log = true;
+      EXPECT_EQ(r.trace_id, trace_id);
+    }
+  }
+  EXPECT_TRUE(saw_execute_log);
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+TEST(FlightRecorderTest, BundleWithoutObservabilityStillHasLogsAndState) {
+  obs::FlightRecorder recorder(nullptr);
+  recorder.AddStateProvider("unit", [] { return std::string("ok=1"); });
+  const auto bundle = recorder.BuildBundle();
+  ASSERT_EQ(bundle.files.size(), 5u);
+  EXPECT_EQ(bundle.files[0].name, "logs.txt");
+  EXPECT_EQ(bundle.files[1].name, "metrics.txt");
+  EXPECT_EQ(bundle.files[2].name, "trace.json");
+  EXPECT_EQ(bundle.files[3].name, "traces.txt");
+  EXPECT_EQ(bundle.files[4].name, "state.txt");
+  EXPECT_NE(bundle.files[4].content.find("== unit ==\nok=1\n"),
+            std::string::npos);
+  EXPECT_NE(bundle.files[2].content.find("\"traceEvents\":["),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpWritesEveryBundleFileAtomically) {
+  obs::Observability obs;
+  obs::FlightRecorderOptions options;
+  options.directory = "logging_test_dumps";
+  obs::FlightRecorder recorder(&obs, options);
+  const auto path = recorder.DumpToDirectory();
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->rfind(options.directory + "/dump_", 0), 0u) << *path;
+  for (const char* name :
+       {"logs.txt", "metrics.txt", "trace.json", "traces.txt", "state.txt"}) {
+    struct stat st;
+    EXPECT_EQ(::stat((*path + "/" + name).c_str(), &st), 0)
+        << "missing " << name;
+  }
+  // The temporary staging directory must be gone after the rename.
+  struct stat st;
+  const std::string stem = path->substr(path->rfind('/') + 1);
+  EXPECT_NE(::stat((options.directory + "/." + stem + ".tmp").c_str(), &st),
+            0);
+  // Two dumps in the same process must land in distinct directories.
+  const auto second = recorder.DumpToDirectory();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*path, *second);
+
+  // Cleanup (best-effort; ignores failures).
+  for (const auto& dir : {*path, *second}) {
+    for (const char* name : {"logs.txt", "metrics.txt", "trace.json",
+                             "traces.txt", "state.txt"}) {
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::rmdir(dir.c_str());
+  }
+  ::rmdir(options.directory.c_str());
+}
+
+}  // namespace
+}  // namespace causalformer

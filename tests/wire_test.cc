@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -9,7 +10,9 @@
 
 #include "core/detector.h"
 #include "nn/serialize.h"
+#include "obs/flight_recorder.h"
 #include "obs/observability.h"
+#include "obs/trace_export.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
 #include "serve/model_registry.h"
@@ -85,7 +88,7 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
 
 TEST(WireFrameTest, DocumentedPingFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x01, 0x00, 0x00,  // magic, v4, Ping
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x01, 0x00, 0x00,  // magic, v5, Ping
       0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
   };
@@ -99,7 +102,7 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   // The worked Detect hex dump: model "demo", default detector options,
   // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x07, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x07, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
       0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
       0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -128,7 +131,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
   // (window/history 0 = server-resolved, max_in_flight 4, max_reports 256,
   // default detector options, drift thresholds 0.25/0.34, stability 3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x0f, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x0f, 0x00, 0x00,
       0x57, 0x00, 0x00, 0x00, 0x26, 0x66, 0x96, 0xf6,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f, 0x00, 0x00,
@@ -155,7 +158,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
   // Resolved config: window 8, stride 2, history 32.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x10, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x10, 0x00, 0x00,
       0x18, 0x00, 0x00, 0x00, 0xab, 0xb1, 0x1a, 0x0f,
       0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -173,7 +176,7 @@ TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
 
 TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x11, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x11, 0x00, 0x00,
       0x06, 0x00, 0x00, 0x00, 0xa7, 0x2a, 0xc6, 0xa9,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31,
   };
@@ -186,7 +189,7 @@ TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
   // Empty payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x12, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x12, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kStreamCloseOk, {});
@@ -197,7 +200,7 @@ TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
 TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
   // Stream "s1", samples [N=2, K=2] = {1, 2, 3, 4} (series-major).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x13, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x13, 0x00, 0x00,
       0x1e, 0x00, 0x00, 0x00, 0x89, 0x85, 0x94, 0x52,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x02, 0x00,
       0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -217,7 +220,7 @@ TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
   // total_samples 10, windows_emitted 2, windows_dropped 0,
   // windows_failed 0, pending 1, deduped_windows 1 (v3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x14, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x14, 0x00, 0x00,
       0x2c, 0x00, 0x00, 0x00, 0x13, 0x30, 0xdb, 0xfb,
       0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -244,7 +247,7 @@ TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
   // 1 shape bucket; server 1 connection, 12 frames, 0 wire errors; no
   // models.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x0c, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x0c, 0x00, 0x00,
       0x88, 0x00, 0x00, 0x00, 0x3b, 0x7e, 0xf3, 0x49,
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -289,7 +292,7 @@ TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamReportsFrameBytes) {
   // Stream "s1", max_reports 4.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x15, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x15, 0x00, 0x00,
       0x0a, 0x00, 0x00, 0x00, 0x45, 0xc1, 0xea, 0x79,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00,
@@ -309,7 +312,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
   // one consecutive drift, one edge added (also listed), mean Δ 0.25,
   // max Δ 0.5, jaccard 0, nothing removed.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x16, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x16, 0x00, 0x00,
       0x85, 0x00, 0x00, 0x00, 0xcb, 0x65, 0x43, 0x3f,
       0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
@@ -356,7 +359,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedMetricsFrameBytes) {
   // kMetrics carries no payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x17, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x17, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kMetrics, {});
@@ -368,7 +371,7 @@ TEST(WireFrameTest, DocumentedMetricsResultFrameBytes) {
   // Exposition text "a 1\n", one histogram row: series "h" with count 1
   // and sum = p50 = p90 = p99 = 0.5.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x04, 0x18, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x18, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x33, 0x28, 0x27, 0xdf,
       0x04, 0x00, 0x00, 0x00, 0x61, 0x20, 0x31, 0x0a,
       0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -390,6 +393,68 @@ TEST(WireFrameTest, DocumentedMetricsResultFrameBytes) {
                                        wire::EncodeMetricsResult(msg));
   ASSERT_EQ(frame.size(), sizeof(kExpected));
   EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+// The v5 diagnostics frames, byte for byte against the §7.10 hex dumps.
+
+TEST(WireFrameTest, DocumentedDumpFrameBytes) {
+  // kDump carries no payload: header only, CRC of zero bytes is 0.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x19, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  const auto frame = wire::EncodeFrame(wire::MessageType::kDump, {});
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedDumpResultFrameBytes) {
+  // A one-file bundle: "metrics.txt" containing "a 1\n".
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x05, 0x1a, 0x00, 0x00,
+      0x1b, 0x00, 0x00, 0x00, 0x5d, 0x4f, 0xb7, 0x3f,
+      0x01, 0x00, 0x00, 0x00, 0x0b, 0x00, 0x00, 0x00,
+      0x6d, 0x65, 0x74, 0x72, 0x69, 0x63, 0x73, 0x2e,
+      0x74, 0x78, 0x74, 0x04, 0x00, 0x00, 0x00, 0x61,
+      0x20, 0x31, 0x0a,
+  };
+  wire::DumpResultMsg msg;
+  msg.files.push_back({"metrics.txt", "a 1\n"});
+  const auto frame = wire::EncodeFrame(wire::MessageType::kDumpResult,
+                                       wire::EncodeDumpResult(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireCodecTest, DumpResultRoundTrips) {
+  wire::DumpResultMsg msg;
+  msg.files.push_back({"logs.txt", "line one\nline two\n"});
+  msg.files.push_back({"trace.json", "{\"traceEvents\":[]}\n"});
+  msg.files.push_back({"empty.txt", ""});
+  wire::DumpResultMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeDumpResult(wire::EncodeDumpResult(msg), &decoded).ok());
+  ASSERT_EQ(decoded.files.size(), 3u);
+  for (size_t i = 0; i < msg.files.size(); ++i) {
+    EXPECT_EQ(decoded.files[i].name, msg.files[i].name);
+    EXPECT_EQ(decoded.files[i].content, msg.files[i].content);
+  }
+}
+
+TEST(WireCodecTest, DumpResultRejectsHostileCount) {
+  // A tiny payload claiming 2^31 files must be rejected before any reserve.
+  std::vector<uint8_t> payload = {0x00, 0x00, 0x00, 0x80};
+  wire::DumpResultMsg msg;
+  EXPECT_FALSE(wire::DecodeDumpResult(payload, &msg).ok());
+}
+
+TEST(WireCodecTest, DumpResultRejectsTrailingBytes) {
+  wire::DumpResultMsg msg;
+  msg.files.push_back({"a", "b"});
+  auto payload = wire::EncodeDumpResult(msg);
+  payload.push_back(0);
+  wire::DumpResultMsg decoded;
+  EXPECT_FALSE(wire::DecodeDumpResult(payload, &decoded).ok());
 }
 
 // ---- Frame codec ----------------------------------------------------------
@@ -1497,6 +1562,153 @@ TEST_F(WireObsLoopbackTest, DedupFollowerTraceLinksLeader) {
                 .GetCounter("serve_dedup_followers_total")
                 ->Value(),
             1u);
+}
+
+// ---- Flight recorder over the wire (v5 Dump) ------------------------------
+
+TEST_F(WireLoopbackTest, DumpWithoutFlightRecorderAnswersPrecondition) {
+  // The fixture's server runs without a flight recorder: the v5 Dump frame
+  // must answer a typed error, not crash or close.
+  const auto dump = client_.Dump();
+  ASSERT_FALSE(dump.ok());
+  EXPECT_EQ(dump.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Minimal structural validation of chrome Trace Event Format JSON: balanced
+// braces/brackets outside strings, every event is a complete event
+// ("ph":"X"), and the "ts" sequence is monotonically non-decreasing — the
+// properties chrome://tracing and Perfetto rely on. Returns the number of
+// events, or -1 on a violation (with a gtest failure naming it).
+int ValidateChromeTraceJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+    } else if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) break;
+    }
+  }
+  if (depth != 0 || in_string) {
+    ADD_FAILURE() << "unbalanced JSON structure";
+    return -1;
+  }
+
+  int events = 0;
+  for (size_t pos = json.find("\"ph\":"); pos != std::string::npos;
+       pos = json.find("\"ph\":", pos + 1)) {
+    ++events;
+    if (json.compare(pos, 9, "\"ph\":\"X\",") != 0) {
+      ADD_FAILURE() << "event phase is not a complete event at offset "
+                    << pos;
+      return -1;
+    }
+  }
+
+  double last_ts = -1;
+  for (size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 1)) {
+    const double ts = std::atof(json.c_str() + pos + 5);
+    if (ts < last_ts) {
+      ADD_FAILURE() << "ts regressed: " << ts << " after " << last_ts;
+      return -1;
+    }
+    last_ts = ts;
+  }
+  return events;
+}
+
+// The full diagnostics stack — obs bundle + flight recorder — behind a
+// live server, the production shape of `serve_cli serve --dump-dir`.
+class WireDumpLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register("m", TinyModel()).ok());
+    EngineOptions eopts;
+    eopts.obs = &obs_;
+    engine_ = std::make_unique<InferenceEngine>(&registry_, eopts);
+    recorder_ = std::make_unique<obs::FlightRecorder>(&obs_);
+    recorder_->AddStateProvider("engine", [this] {
+      return "requests=" +
+             std::to_string(engine_->batcher_stats().requests) + "\n";
+    });
+    WireServerOptions sopts;
+    sopts.obs = &obs_;
+    sopts.flight_recorder = recorder_.get();
+    server_ = std::make_unique<WireServer>(engine_.get(), sopts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  obs::Observability obs_;
+  ModelRegistry registry_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<WireServer> server_;
+  WireClient client_;
+};
+
+TEST_F(WireDumpLoopbackTest, DumpFrameCarriesTheWholeBundle) {
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(2, 90)).ok());
+  const auto dump = client_.Dump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+
+  auto find = [&](const std::string& name) -> const wire::DumpFileMsg* {
+    for (const auto& file : dump->files) {
+      if (file.name == name) return &file;
+    }
+    return nullptr;
+  };
+  const auto* metrics = find("metrics.txt");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->content.find("serve_requests_total 1\n"),
+            std::string::npos)
+      << metrics->content;
+  const auto* state = find("state.txt");
+  ASSERT_NE(state, nullptr);
+  EXPECT_NE(state->content.find("== engine ==\nrequests=1\n"),
+            std::string::npos)
+      << state->content;
+  const auto* traces = find("traces.txt");
+  ASSERT_NE(traces, nullptr);
+  EXPECT_NE(traces->content.find("decode"), std::string::npos)
+      << traces->content;
+  ASSERT_NE(find("logs.txt"), nullptr);
+  ASSERT_NE(find("trace.json"), nullptr);
+}
+
+TEST_F(WireDumpLoopbackTest, ChromeTraceJsonIsSchemaValid) {
+  // Two detects: distinct windows, so two traces (no cache hit collapse).
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(2, 91)).ok());
+  ASSERT_TRUE(client_.Detect("m", RandomWindows(2, 92)).ok());
+  const auto dump = client_.Dump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  const wire::DumpFileMsg* trace_json = nullptr;
+  for (const auto& file : dump->files) {
+    if (file.name == "trace.json") trace_json = &file;
+  }
+  ASSERT_NE(trace_json, nullptr);
+
+  // Two traces of four spans each: eight complete events, monotone ts.
+  const int events = ValidateChromeTraceJson(trace_json->content);
+  EXPECT_EQ(events, 8) << trace_json->content;
+  EXPECT_NE(trace_json->content.find("\"displayTimeUnit\":\"ms\""),
+            std::string::npos);
+  EXPECT_NE(trace_json->content.find("\"forward_ms\":"), std::string::npos)
+      << "execute span lost its phase decomposition";
+}
+
+TEST(ChromeTraceExportTest, EmptyRingRendersValidEmptyJson) {
+  const std::string json = obs::RenderChromeTrace({});
+  EXPECT_EQ(ValidateChromeTraceJson(json), 0);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
 }
 
 }  // namespace

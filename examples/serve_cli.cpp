@@ -85,8 +85,10 @@
 #include "obs/flight_recorder.h"
 #include "obs/observability.h"
 #include "serve/client.h"
+#include "serve/engine_pool.h"
 #include "serve/inference_engine.h"
 #include "serve/server.h"
+#include "stream/sharded_scheduler.h"
 #include "stream/window_scheduler.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -108,6 +110,10 @@ struct CliOptions {
   std::string model_name = "default";  // registry name to query/stream against
   std::string stream_name = "cli";     // stream mode: server-side stream name
   int port = 0;            // netserve mode: listen port (0 = ephemeral)
+  // netserve: engine shards behind the one listener. 1 keeps the classic
+  // single-engine server (and its unlabeled metric series); >1 routes
+  // Detects by cache-key ring hash across independent engines.
+  int shards = 1;
   bool allow_admin = true; // netserve mode: accept LoadModel/UnloadModel
   int queries = 120;  // selftest query count
   int64_t stride = 1;  // stream mode: samples between detection windows
@@ -149,8 +155,8 @@ void Usage() {
                "  serve_cli --checkpoint <ck.cfpm> --csv <data.csv> "
                "[--replay <queries.txt>] [model flags]\n"
                "  serve_cli serve --port <N> --checkpoint <ck.cfpm> "
-               "[--no-admin] [--cache-ttl SECONDS] [--slow-request MS] "
-               "[--dump-dir DIR] [model flags]\n"
+               "[--shards N] [--no-admin] [--cache-ttl SECONDS] "
+               "[--slow-request MS] [--dump-dir DIR] [model flags]\n"
                "  serve_cli query --connect <host:port> --csv <data.csv> "
                "[--replay <queries.txt>] [--model name]\n"
                "  serve_cli stream --connect <host:port> --csv <data.csv> "
@@ -224,6 +230,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       int64_t v;
       if (!next(&v) || v < 0 || v > 65535) return false;
       opts->port = static_cast<int>(v);
+    } else if (arg == "--shards") {
+      int64_t v;
+      if (!next(&v) || v < 1 || v > 64) return false;
+      opts->shards = static_cast<int>(v);
     } else if (arg == "--no-admin") {
       opts->allow_admin = false;
     } else if (arg == "--dump-dir" && i + 1 < argc) {
@@ -593,13 +603,20 @@ int RunNetServe(const CliOptions& opts) {
   cf::obs::ObservabilityOptions oopts;
   oopts.slow_request_seconds = opts.slow_request;
   cf::obs::Observability obs(oopts);
-  cf::serve::EngineOptions eopts;
-  eopts.cache_ttl_seconds = opts.cache_ttl;
-  eopts.obs = &obs;
-  cf::serve::InferenceEngine engine(&registry, eopts);
-  // The streaming scheduler shares the engine (and so the micro-batcher and
-  // score cache) with one-shot Detect traffic; it must outlive the server.
-  cf::stream::WindowScheduler scheduler(&engine, &obs);
+  // The engine pool: N independent engines (each with its own score cache,
+  // in-flight table and micro-batcher) behind one ring router. --shards 1
+  // (the default) degenerates to the classic single-engine server — same
+  // unlabeled metric series, one shard row in Stats.
+  cf::serve::EnginePoolOptions popts;
+  popts.num_shards = static_cast<size_t>(opts.shards);
+  popts.engine.cache_ttl_seconds = opts.cache_ttl;
+  popts.engine.obs = &obs;
+  cf::serve::EnginePool engine(&registry, popts);
+  // The streaming scheduler front-ends the pool (one inner scheduler per
+  // shard, streams pinned by ring identity); it shares each shard's
+  // micro-batcher and score cache with one-shot Detect traffic and must
+  // outlive the server.
+  cf::stream::ShardedWindowScheduler scheduler(&engine, &obs);
 
   // The flight recorder sees the whole stack: the obs bundle (logs,
   // metrics, traces) plus live engine/batcher/scheduler/server state.
@@ -627,6 +644,7 @@ int RunNetServe(const CliOptions& opts) {
            " hits=" + std::to_string(s.dedup.hits) +
            " failed_fanins=" + std::to_string(s.dedup.failed_fanins) +
            " open=" + std::to_string(s.dedup.in_flight) + "\n";
+    out += engine.DebugString();
     return out;
   });
   recorder.AddStateProvider(
@@ -659,11 +677,12 @@ int RunNetServe(const CliOptions& opts) {
   InstallSignalHandler(SIGINT, OnServeSignal);
   InstallSignalHandler(SIGTERM, OnServeSignal);
   InstallSignalHandler(SIGUSR1, OnServeSignal);
-  std::printf("serving '%s' on port %u (N=%lld, T=%lld, streaming on)%s\n",
-              opts.checkpoint.c_str(), server.port(),
-              static_cast<long long>(mopt.num_series),
-              static_cast<long long>(mopt.window),
-              opts.allow_admin ? "" : " [admin frames disabled]");
+  std::printf(
+      "serving '%s' on port %u (N=%lld, T=%lld, shards=%d, streaming on)%s\n",
+      opts.checkpoint.c_str(), server.port(),
+      static_cast<long long>(mopt.num_series),
+      static_cast<long long>(mopt.window), opts.shards,
+      opts.allow_admin ? "" : " [admin frames disabled]");
   std::fflush(stdout);
 
   // The serving loop: poll stdin (interactive "quit") and the self-pipe
@@ -873,6 +892,20 @@ int RunQuery(const CliOptions& opts) {
           static_cast<unsigned long long>(remote->server_connections),
           static_cast<unsigned long long>(remote->server_frames),
           static_cast<unsigned long long>(remote->server_wire_errors));
+      for (const auto& shard : remote->shards) {
+        std::printf(
+            "  shard %u: %s routed=%llu restarts=%llu cache %llu/%llu "
+            "size=%llu dedup=%llu batches=%llu\n",
+            shard.shard,
+            shard.live ? "up" : (shard.draining ? "draining" : "down"),
+            static_cast<unsigned long long>(shard.routed),
+            static_cast<unsigned long long>(shard.restarts),
+            static_cast<unsigned long long>(shard.cache_hits),
+            static_cast<unsigned long long>(shard.cache_misses),
+            static_cast<unsigned long long>(shard.cache_size),
+            static_cast<unsigned long long>(shard.dedup_hits),
+            static_cast<unsigned long long>(shard.batch_batches));
+      }
       continue;
     }
     if (cmd == "metrics") {

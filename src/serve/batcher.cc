@@ -237,6 +237,8 @@ MicroBatcher::Stats MicroBatcher::stats() const {
   Stats s = stats_;
   s.in_flight_limit = admitted_;
   s.shape_buckets = static_cast<int>(buckets_.size());
+  s.queued = queued_;
+  s.active_batches = active_;
   return s;
 }
 

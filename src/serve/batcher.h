@@ -154,6 +154,11 @@ class MicroBatcher {
     int shape_buckets = 0;    ///< buckets holding pending requests (gauge)
     uint64_t limit_grows = 0;    ///< admission-limit increments so far
     uint64_t limit_shrinks = 0;  ///< admission-limit decrements so far
+    /// Requests queued but not yet collected into a batch (gauge). With
+    /// active_batches, the quiescence signal a graceful shard drain polls:
+    /// both zero means nothing is pending inside this batcher.
+    size_t queued = 0;
+    int active_batches = 0;  ///< batches executing right now (gauge)
   };
   /// Snapshot of the batching counters.
   Stats stats() const;

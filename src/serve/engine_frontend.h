@@ -1,0 +1,89 @@
+#ifndef CAUSALFORMER_SERVE_ENGINE_FRONTEND_H_
+#define CAUSALFORMER_SERVE_ENGINE_FRONTEND_H_
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/inflight.h"
+#include "serve/model_registry.h"
+#include "serve/score_cache.h"
+#include "serve/types.h"
+
+/// \file
+/// The submission-side interface every engine front door implements.
+///
+/// Two implementations exist: InferenceEngine (one cache + dedup table +
+/// batcher) and EnginePool (N independent engine shards behind a consistent-
+/// hash router). Everything that *drives* an engine — the WireServer, the
+/// WindowScheduler, benches and tests — programs against this interface, so
+/// a deployment can grow from one engine to a sharded pool without touching
+/// the layers above.
+
+namespace causalformer {
+namespace serve {
+
+/// One point-in-time snapshot of every engine counter family — cache,
+/// batcher and in-flight dedup — taken for stats endpoints and tests. For a
+/// sharded pool this is the merged (summed) view across shards; the
+/// per-shard breakdown travels in ShardStatsRow.
+struct EngineStats {
+  ScoreCache::Stats cache;       ///< score-cache counters
+  MicroBatcher::Stats batcher;   ///< micro-batcher counters
+  InFlightTable::Stats dedup;    ///< in-flight dedup counters
+};
+
+/// Point-in-time state of one engine shard, as reported by
+/// EngineFrontend::shard_stats() (and exported as the protocol-v6 shard
+/// rows of StatsResult). A plain single engine reports no rows; a pool
+/// reports one per shard slot, dead slots included.
+struct ShardStatsRow {
+  uint32_t shard = 0;       ///< slot index in the pool
+  bool live = false;        ///< slot holds an engine and receives new keys
+  bool draining = false;    ///< DrainShard in progress (no new keys routed)
+  uint64_t routed = 0;      ///< requests this slot was chosen for (lifetime)
+  uint64_t restarts = 0;    ///< times the slot got a fresh engine
+  /// Counters of the slot's *current* engine; zeroed while the slot is dead
+  /// (counters of a killed engine die with it).
+  EngineStats engine;
+};
+
+/// The abstract engine front door (see \ref engine_frontend.h "file docs").
+class EngineFrontend {
+ public:
+  virtual ~EngineFrontend() = default;  ///< virtual: deleted via interface
+
+  /// Validates and enqueues one discovery query; never blocks on model
+  /// work. See InferenceEngine::SubmitAsync for the resolution contract.
+  virtual std::future<DiscoveryResponse> SubmitAsync(
+      DiscoveryRequest request) = 0;
+
+  /// Unloads `name` from the registry and drops its cached scores
+  /// (from every shard, for a pool).
+  virtual Status UnloadModel(const std::string& name) = 0;
+
+  /// The registry queries are validated against (shared across shards).
+  virtual ModelRegistry& registry() = 0;
+
+  /// Merged point-in-time snapshot of every counter family.
+  virtual EngineStats stats() const = 0;
+
+  /// Per-shard breakdown; empty for an unsharded engine.
+  virtual std::vector<ShardStatsRow> shard_stats() const { return {}; }
+
+  /// Eagerly drops cached results older than the configured TTL (on every
+  /// shard, for a pool), returning how many were dropped.
+  virtual size_t PruneExpiredCache() = 0;
+
+  /// Convenience synchronous wrapper around SubmitAsync.
+  DiscoveryResponse Discover(DiscoveryRequest request) {
+    return SubmitAsync(std::move(request)).get();
+  }
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_ENGINE_FRONTEND_H_

@@ -1,0 +1,358 @@
+#include "serve/engine_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+std::future<DiscoveryResponse> Ready(Status status) {
+  DiscoveryResponse response;
+  response.status = std::move(status);
+  std::promise<DiscoveryResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+// Counter-family merge for the pool's rolled-up stats() view: counters sum,
+// gauges sum (they describe disjoint shards), high-water marks take the max.
+void MergeInto(EngineStats* into, const EngineStats& s) {
+  into->cache.hits += s.cache.hits;
+  into->cache.misses += s.cache.misses;
+  into->cache.evictions += s.cache.evictions;
+  into->cache.expirations += s.cache.expirations;
+  into->cache.size += s.cache.size;
+  into->cache.capacity += s.cache.capacity;
+  into->cache.ttl_seconds = std::max(into->cache.ttl_seconds,
+                                     s.cache.ttl_seconds);
+  into->batcher.requests += s.batcher.requests;
+  into->batcher.batches += s.batcher.batches;
+  into->batcher.coalesced += s.batcher.coalesced;
+  into->batcher.max_batch = std::max(into->batcher.max_batch,
+                                     s.batcher.max_batch);
+  into->batcher.rejected += s.batcher.rejected;
+  into->batcher.in_flight_limit += s.batcher.in_flight_limit;
+  into->batcher.shape_buckets += s.batcher.shape_buckets;
+  into->batcher.limit_grows += s.batcher.limit_grows;
+  into->batcher.limit_shrinks += s.batcher.limit_shrinks;
+  into->batcher.queued += s.batcher.queued;
+  into->batcher.active_batches += s.batcher.active_batches;
+  into->dedup.leaders += s.dedup.leaders;
+  into->dedup.hits += s.dedup.hits;
+  into->dedup.failed_fanins += s.dedup.failed_fanins;
+  into->dedup.in_flight += s.dedup.in_flight;
+}
+
+}  // namespace
+
+/// The stable per-shard front door stream schedulers pin to: submissions
+/// bypass the ring and reach the slot's *current* engine — or resolve with
+/// an error while the slot is dead — so a restart re-homes the pin without
+/// dangling anything.
+class EnginePool::ShardHandle : public EngineFrontend {
+ public:
+  ShardHandle(EnginePool* pool, size_t shard) : pool_(pool), shard_(shard) {}
+
+  std::future<DiscoveryResponse> SubmitAsync(
+      DiscoveryRequest request) override {
+    auto engine = pool_->EngineAt(shard_);
+    if (engine == nullptr) {
+      // Errors, not hangs: a pinned stream whose shard is down sees every
+      // window fail (StreamStats::windows_failed) until a restart.
+      return Ready(Status::FailedPrecondition(
+          "engine shard " + std::to_string(shard_) + " is down"));
+    }
+    return engine->SubmitAsync(std::move(request));
+  }
+
+  Status UnloadModel(const std::string& name) override {
+    return pool_->UnloadModel(name);  // registry admin is pool-wide
+  }
+
+  ModelRegistry& registry() override { return pool_->registry(); }
+
+  EngineStats stats() const override {
+    auto engine = pool_->EngineAt(shard_);
+    return engine != nullptr ? engine->stats() : EngineStats{};
+  }
+
+  size_t PruneExpiredCache() override {
+    auto engine = pool_->EngineAt(shard_);
+    return engine != nullptr ? engine->PruneExpiredCache() : 0;
+  }
+
+ private:
+  EnginePool* pool_;
+  const size_t shard_;
+};
+
+EnginePool::EnginePool(ModelRegistry* registry,
+                       const EnginePoolOptions& options)
+    : registry_(registry),
+      options_(options),
+      router_(std::max<size_t>(options.num_shards, 1), options.router) {
+  CF_CHECK(registry != nullptr);
+  CF_CHECK_GE(options_.num_shards, 1u);
+  // The pool owns shard identity — a pre-set label would collide across
+  // slots and silently merge their metric series.
+  CF_CHECK(options_.engine.metrics_shard_label.empty());
+  slots_.reserve(options_.num_shards);
+  handles_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto slot = std::make_unique<Slot>();
+    EngineOptions eopt = options_.engine;
+    if (options_.num_shards > 1) eopt.metrics_shard_label = std::to_string(i);
+    slot->engine = std::make_shared<InferenceEngine>(registry_, eopt);
+    if (options_.engine.obs != nullptr) {
+      slot->obs_routed = options_.engine.obs->metrics().GetCounter(
+          "pool_routed_total{shard=\"" + std::to_string(i) + "\"}");
+    }
+    slots_.push_back(std::move(slot));
+    handles_.push_back(std::make_unique<ShardHandle>(this, i));
+  }
+  if (options_.engine.obs != nullptr) {
+    obs_reroutes_ =
+        options_.engine.obs->metrics().GetCounter("pool_reroutes_total");
+  }
+}
+
+EnginePool::~EnginePool() = default;
+
+std::shared_ptr<InferenceEngine> EnginePool::EngineAt(size_t shard) const {
+  CF_CHECK_LT(shard, slots_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_[shard]->engine;
+}
+
+EngineFrontend* EnginePool::shard_frontend(size_t shard) {
+  CF_CHECK_LT(shard, handles_.size());
+  return handles_[shard].get();
+}
+
+std::future<DiscoveryResponse> EnginePool::SubmitAsync(
+    DiscoveryRequest request) {
+  // Routing follows the full cache key, so the hash is computed *here*,
+  // once, and handed down — the shard engine reuses it via has_window_hash
+  // exactly like the streaming layer's incremental hasher does. Requests an
+  // engine would reject (undefined/misshapen windows, unknown model) still
+  // route — to whichever shard the partial key lands on — so every request
+  // gets its rejection from a real engine, through one code path.
+  if (!request.has_window_hash && request.windows.defined() &&
+      request.windows.ndim() == 3) {
+    request.window_hash = HashWindows(request.windows);
+    request.has_window_hash = true;
+  }
+  CacheKey key;
+  key.model = request.model;
+  key.windows = request.window_hash;
+  key.options = EncodeDetectorOptions(request.options);
+  uint64_t generation = 0;
+  registry_->Get(request.model, &generation);  // unknown model: generation 0
+  key.generation = generation;
+
+  size_t shard = router_.RouteKey(key);
+  auto engine = EngineAt(shard);
+  if (engine == nullptr) {
+    // Raced a kill between routing and the grab: the ring has already been
+    // rebuilt without that shard, so one re-route lands on a survivor.
+    if (obs_reroutes_ != nullptr) obs_reroutes_->Increment();
+    shard = router_.RouteKey(key);
+    engine = EngineAt(shard);
+  }
+  if (engine == nullptr) {
+    return Ready(Status::FailedPrecondition("no live engine shard"));
+  }
+  slots_[shard]->routed.fetch_add(1, std::memory_order_relaxed);
+  if (slots_[shard]->obs_routed != nullptr) {
+    slots_[shard]->obs_routed->Increment();
+  }
+  return engine->SubmitAsync(std::move(request));
+}
+
+Status EnginePool::UnloadModel(const std::string& name) {
+  CF_RETURN_IF_ERROR(registry_->Unload(name));
+  // One registry drop, N private cache purges — dead slots have no cache.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    auto engine = EngineAt(i);
+    if (engine != nullptr) engine->EraseCachedModel(name);
+  }
+  return Status::Ok();
+}
+
+EngineStats EnginePool::stats() const {
+  EngineStats merged;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    auto engine = EngineAt(i);
+    if (engine != nullptr) MergeInto(&merged, engine->stats());
+  }
+  return merged;
+}
+
+std::vector<ShardStatsRow> EnginePool::shard_stats() const {
+  std::vector<ShardStatsRow> rows;
+  rows.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    ShardStatsRow row;
+    row.shard = static_cast<uint32_t>(i);
+    std::shared_ptr<InferenceEngine> engine;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      engine = slots_[i]->engine;
+      row.draining = slots_[i]->draining;
+      row.restarts = slots_[i]->restarts;
+    }
+    row.live = router_.is_live(i);
+    row.routed = slots_[i]->routed.load(std::memory_order_relaxed);
+    if (engine != nullptr) row.engine = engine->stats();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t EnginePool::PruneExpiredCache() {
+  size_t dropped = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    auto engine = EngineAt(i);
+    if (engine != nullptr) dropped += engine->PruneExpiredCache();
+  }
+  return dropped;
+}
+
+StatusOr<std::shared_ptr<InferenceEngine>> EnginePool::DetachShard(
+    size_t shard) {
+  if (shard >= slots_.size()) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = *slots_[shard];
+  if (slot.engine == nullptr) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is already down");
+  }
+  if (router_.is_live(shard) && router_.num_live() <= 1) {
+    return Status::FailedPrecondition("refusing to remove the last live shard");
+  }
+  router_.SetLive(shard, false);  // mu_ -> router mutex; never the reverse
+  slot.draining = false;
+  return std::move(slot.engine);  // slot.engine is now null: the slot is dead
+}
+
+Status EnginePool::DrainShard(size_t shard) {
+  std::shared_ptr<InferenceEngine> engine;
+  {
+    if (shard >= slots_.size()) {
+      return Status::InvalidArgument("no such shard " + std::to_string(shard));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = *slots_[shard];
+    if (slot.engine == nullptr || slot.draining || !router_.is_live(shard)) {
+      return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                        " is not active");
+    }
+    if (router_.num_live() <= 1) {
+      return Status::FailedPrecondition(
+          "refusing to drain the last live shard");
+    }
+    slot.draining = true;
+    engine = slot.engine;
+    // Re-home the ring slice first: from here on no new key routes to this
+    // shard, so its queue can only shrink.
+    router_.SetLive(shard, false);
+  }
+  // Quiesce: wait for queued work to dispatch, executing batches to resolve
+  // (through the normal cache-fill + follower fan-in path — zero client
+  // errors on this path) and the dedup table to empty.
+  Stopwatch elapsed;
+  for (;;) {
+    const EngineStats s = engine->stats();
+    if (s.batcher.queued == 0 && s.batcher.active_batches == 0 &&
+        s.dedup.in_flight == 0) {
+      break;
+    }
+    if (elapsed.ElapsedSeconds() > options_.drain_timeout_seconds) {
+      CF_LOG(kWarning) << "shard drain timed out; destroying anyway"
+                       << LogKV("shard", static_cast<unsigned long long>(shard))
+                       << LogKV("queued", static_cast<unsigned long long>(
+                                              s.batcher.queued));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.reset();
+  auto detached = DetachShard(shard);
+  if (!detached.ok()) return detached.status();
+  detached->reset();  // engine destructor runs outside mu_
+  return Status::Ok();
+}
+
+Status EnginePool::KillShard(size_t shard) {
+  auto detached = DetachShard(shard);
+  if (!detached.ok()) return detached.status();
+  // Destroy outside mu_: the engine's batcher destructor finishes the
+  // executing batch, then rejects everything still queued — each rejection
+  // goes through BatchItem::Resolve, so dedup followers parked on a killed
+  // leader fan in with the shutdown error instead of hanging.
+  detached->reset();
+  return Status::Ok();
+}
+
+Status EnginePool::RestartShard(size_t shard) {
+  if (shard >= slots_.size()) {
+    return Status::InvalidArgument("no such shard " + std::to_string(shard));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = *slots_[shard];
+  if (slot.engine != nullptr) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is still up; drain or kill it first");
+  }
+  EngineOptions eopt = options_.engine;
+  if (options_.num_shards > 1) {
+    eopt.metrics_shard_label = std::to_string(shard);
+  }
+  // A fresh engine: cold cache, empty dedup table, new batcher. Registry
+  // generations make this safe against anything the old engine had queued —
+  // whatever it cached died with it, so no stale score can ever be served.
+  slot.engine = std::make_shared<InferenceEngine>(registry_, eopt);
+  ++slot.restarts;
+  router_.SetLive(shard, true);  // its old ring slice comes back to it
+  return Status::Ok();
+}
+
+std::string EnginePool::DebugString() const {
+  std::string out = router_.DebugString() + "\n";
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    std::shared_ptr<InferenceEngine> engine;
+    bool draining = false;
+    uint64_t restarts = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      engine = slots_[i]->engine;
+      draining = slots_[i]->draining;
+      restarts = slots_[i]->restarts;
+    }
+    out += "shard " + std::to_string(i) + ": " +
+           (engine != nullptr ? (draining ? "draining" : "up") : "down") +
+           " routed=" +
+           std::to_string(slots_[i]->routed.load(std::memory_order_relaxed)) +
+           " restarts=" + std::to_string(restarts);
+    if (engine != nullptr) {
+      const EngineStats s = engine->stats();
+      out += " cache_size=" + std::to_string(s.cache.size) +
+             " queued=" + std::to_string(s.batcher.queued) +
+             " active=" + std::to_string(s.batcher.active_batches);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace causalformer

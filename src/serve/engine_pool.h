@@ -1,0 +1,154 @@
+#ifndef CAUSALFORMER_SERVE_ENGINE_POOL_H_
+#define CAUSALFORMER_SERVE_ENGINE_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/engine_frontend.h"
+#include "serve/inference_engine.h"
+#include "serve/shard_router.h"
+
+/// \file
+/// N independent InferenceEngine shards behind one EngineFrontend.
+///
+/// Each shard owns a private ScoreCache, InFlightTable and MicroBatcher;
+/// the pool routes every Detect by consistent hash of the full cache key
+/// (serve/shard_router.h), so identical queries keep co-locating — dedup
+/// and cache locality survive sharding — while distinct keys spread across
+/// shards and execute concurrently. All shards validate against ONE shared
+/// ModelRegistry: model handles are immutable shared_ptrs, so a checkpoint
+/// is loaded once and a hot-swap bumps one generation that every shard's
+/// cache keys observe (the same mechanism that keeps a single engine safe).
+///
+/// Operability: a shard can be drained (graceful: the ring re-homes its key
+/// slice, the pool waits for its queued + executing work to quiesce, then
+/// destroys the engine), killed (abrupt: re-home, destroy immediately —
+/// queued requests and their dedup followers resolve with shutdown errors
+/// through the batcher's BatchItem::Resolve orphan path, never hang), and
+/// restarted (a fresh engine with a cold cache re-enters the ring; its old
+/// ring slice returns to it, warming back up naturally). The wire protocol
+/// reports the per-shard breakdown as the v6 StatsResult shard rows.
+
+namespace causalformer {
+namespace serve {
+
+/// EnginePool construction knobs.
+struct EnginePoolOptions {
+  /// Engine shard count. 1 behaves exactly like a bare InferenceEngine
+  /// (no metric relabeling, trivial routing).
+  size_t num_shards = 1;
+  /// Per-shard engine configuration. The pool copies this for every shard,
+  /// splicing `metrics_shard_label` per slot when num_shards > 1 (a set
+  /// label here is rejected — the pool owns shard identity).
+  EngineOptions engine;
+  /// Consistent-hash ring tuning.
+  ShardRouterOptions router;
+  /// DrainShard gives queued + executing work this long to quiesce before
+  /// destroying the engine anyway (the destructor still completes the
+  /// in-flight batch and fails the queue deterministically).
+  double drain_timeout_seconds = 30.0;
+};
+
+/// The sharded engine front door (see \ref engine_pool.h "file docs").
+class EnginePool : public EngineFrontend {
+ public:
+  /// A pool of `options.num_shards` engines over one shared `registry`
+  /// (not owned; must outlive the pool).
+  EnginePool(ModelRegistry* registry, const EnginePoolOptions& options = {});
+  /// Destroys every live shard (each drains its own batcher).
+  ~EnginePool() override;
+
+  EnginePool(const EnginePool&) = delete;             ///< not copyable
+  EnginePool& operator=(const EnginePool&) = delete;  ///< not copyable
+
+  // EngineFrontend:
+  /// Routes by consistent hash of the request's full cache key (computing
+  /// the window hash once here — shards reuse it) and submits to the owning
+  /// shard. A request that races a shard kill re-routes once to the rebuilt
+  /// ring; with no live shard left it resolves with kFailedPrecondition.
+  std::future<DiscoveryResponse> SubmitAsync(DiscoveryRequest request) override;
+  /// Unloads from the shared registry once, then purges the model's scores
+  /// from every shard's cache.
+  Status UnloadModel(const std::string& name) override;
+  ModelRegistry& registry() override { return *registry_; }  ///< shared registry
+  /// Merged (summed) counters across live shards.
+  EngineStats stats() const override;
+  /// One row per shard slot, dead slots included.
+  std::vector<ShardStatsRow> shard_stats() const override;
+  /// Prunes every live shard's cache; returns the summed drop count.
+  size_t PruneExpiredCache() override;
+
+  size_t num_shards() const { return slots_.size(); }  ///< slot count
+  /// The routing ring (stream pinning and tests read it; SetLive stays a
+  /// pool-internal decision — use Drain/Kill/RestartShard).
+  const ShardRouter& router() const { return router_; }
+
+  /// A stable per-shard EngineFrontend: submissions bypass the ring and go
+  /// straight to slot `shard` (the stream layer pins each stream's scheduler
+  /// to one of these). While the slot is dead, submissions resolve
+  /// immediately with kFailedPrecondition — callers see errors, not hangs —
+  /// and after a restart the same pointer reaches the fresh engine.
+  EngineFrontend* shard_frontend(size_t shard);
+
+  /// Gracefully removes shard `shard` from service: re-homes its ring slice
+  /// (no new keys arrive), waits up to drain_timeout_seconds for its queued
+  /// and executing work to quiesce, then destroys the engine. Fails when the
+  /// shard is already down or is the last live shard.
+  Status DrainShard(size_t shard);
+
+  /// Abruptly removes shard `shard`: re-homes its ring slice and destroys
+  /// the engine immediately. The executing batch completes (its requests
+  /// succeed); queued requests — and dedup followers parked on them —
+  /// resolve with shutdown errors via BatchItem::Resolve. Fails when the
+  /// shard is already down or is the last live shard.
+  Status KillShard(size_t shard);
+
+  /// Brings a drained/killed slot back with a fresh engine (cold cache, new
+  /// batcher) and returns its ring slice to it. Fails when the slot is
+  /// still live.
+  Status RestartShard(size_t shard);
+
+  /// Human-readable pool state for flight-recorder bundles: the ring
+  /// summary plus one line per slot.
+  std::string DebugString() const;
+
+ private:
+  /// One engine slot. `engine` is swapped atomically under mu_; in-flight
+  /// submissions hold their own shared_ptr, so a kill never destroys an
+  /// engine out from under a running SubmitAsync.
+  struct Slot {
+    std::shared_ptr<InferenceEngine> engine;  ///< null while the slot is dead
+    std::atomic<uint64_t> routed{0};  ///< requests routed to this slot
+    uint64_t restarts = 0;            ///< fresh engines given to this slot
+    bool draining = false;            ///< DrainShard quiescing right now
+    obs::Counter* obs_routed = nullptr;  ///< pool_routed_total{shard="i"}
+  };
+
+  class ShardHandle;  // the per-shard EngineFrontend proxy
+
+  /// The slot's current engine (shared — safe against concurrent swaps),
+  /// or null while the slot is dead.
+  std::shared_ptr<InferenceEngine> EngineAt(size_t shard) const;
+  /// Detaches and returns the slot's engine, marking it dead in the ring.
+  /// Fails for a dead slot or the last live shard. The caller destroys the
+  /// engine outside mu_ (its destructor blocks on the executing batch).
+  StatusOr<std::shared_ptr<InferenceEngine>> DetachShard(size_t shard);
+
+  ModelRegistry* registry_;
+  EnginePoolOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::unique_ptr<ShardHandle>> handles_;
+  obs::Counter* obs_reroutes_ = nullptr;  ///< pool_reroutes_total
+
+  mutable std::mutex mu_;  // guards every Slot's engine/draining/restarts
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_ENGINE_POOL_H_

@@ -80,7 +80,7 @@ struct WireServer::Pending {
   bool close_after = false;
 };
 
-WireServer::WireServer(InferenceEngine* engine,
+WireServer::WireServer(EngineFrontend* engine,
                        const WireServerOptions& options)
     : engine_(engine), options_(options) {
   CF_CHECK(engine != nullptr);
@@ -304,6 +304,23 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         model.num_series = info.options.num_series;
         model.window = info.options.window;
         msg.models.push_back(std::move(model));
+      }
+      // Per-shard rows (protocol v6): empty for an unsharded engine, one
+      // per slot for a pool — dead slots included, so an operator's stats
+      // view shows the hole a kill left.
+      for (const ShardStatsRow& row : engine_->shard_stats()) {
+        wire::StatsResultMsg::Shard shard;
+        shard.shard = row.shard;
+        shard.live = row.live;
+        shard.draining = row.draining;
+        shard.routed = row.routed;
+        shard.restarts = row.restarts;
+        shard.cache_hits = row.engine.cache.hits;
+        shard.cache_misses = row.engine.cache.misses;
+        shard.cache_size = row.engine.cache.size;
+        shard.dedup_hits = row.engine.dedup.hits;
+        shard.batch_batches = row.engine.batcher.batches;
+        msg.shards.push_back(shard);
       }
       PushReady(conn, MessageType::kStatsResult, wire::EncodeStatsResult(msg));
       return true;

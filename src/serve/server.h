@@ -11,7 +11,8 @@
 #include <thread>
 #include <vector>
 
-#include "serve/inference_engine.h"
+#include "obs/observability.h"
+#include "serve/engine_frontend.h"
 #include "serve/wire.h"
 #include "util/status.h"
 
@@ -77,7 +78,10 @@ struct WireServerOptions {
   obs::FlightRecorder* flight_recorder = nullptr;
 };
 
-/// A TCP server bridging wire-protocol clients onto one InferenceEngine.
+/// A TCP server bridging wire-protocol clients onto one EngineFrontend —
+/// a bare InferenceEngine or a sharded EnginePool; the server cannot tell
+/// the difference and the protocol does not change (shard rows simply
+/// appear in StatsResult when the frontend reports them).
 ///
 /// Lifecycle: construct, Start(), serve until Stop() (or destruction). The
 /// engine — and through it the registry — must outlive the server.
@@ -91,7 +95,7 @@ class WireServer {
   };
 
   /// Binds the server to `engine`; no sockets are opened until Start().
-  WireServer(InferenceEngine* engine, const WireServerOptions& options = {});
+  WireServer(EngineFrontend* engine, const WireServerOptions& options = {});
   /// Stops the server (idempotent with Stop()).
   ~WireServer();
 
@@ -136,7 +140,7 @@ class WireServer {
   /// Encodes one resolved engine response (result or error frame).
   static std::vector<uint8_t> EncodeResponse(const DiscoveryResponse& response);
 
-  InferenceEngine* engine_;
+  EngineFrontend* engine_;
   WireServerOptions options_;
   /// Mirrored wire counters (stable pointers into the bundle's registry,
   /// resolved at construction; all null when observability is off).

@@ -1,0 +1,169 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace serve {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so structured fingerprints
+// (sequential generations, shared model-name hashes) spread over the ring.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a over the name bytes; mixed again at Route().
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(size_t num_shards, const ShardRouterOptions& options)
+    : num_shards_(num_shards), options_(options) {
+  CF_CHECK_GE(num_shards, 1u);
+  CF_CHECK_GT(options_.vnodes_per_shard, 0);
+  CF_CHECK_GE(options_.load_epsilon, 0.0);
+  live_.assign(num_shards_, true);
+  RebuildLocked();
+}
+
+void ShardRouter::SetLive(size_t shard, bool live) {
+  CF_CHECK_LT(shard, num_shards_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_[shard] == live) return;
+  live_[shard] = live;
+  RebuildLocked();
+}
+
+bool ShardRouter::is_live(size_t shard) const {
+  CF_CHECK_LT(shard, num_shards_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_[shard];
+}
+
+size_t ShardRouter::num_live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const bool b : live_) live += b ? 1 : 0;
+  return live;
+}
+
+void ShardRouter::RebuildLocked() {
+  ring_.clear();
+  share_.assign(num_shards_, 0.0);
+  size_t num_live = 0;
+  for (const bool b : live_) num_live += b ? 1 : 0;
+  if (num_live == 0) return;  // routing is CF_CHECKed against this state
+
+  ring_.reserve(num_live * static_cast<size_t>(options_.vnodes_per_shard));
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    if (!live_[shard]) continue;
+    for (int v = 0; v < options_.vnodes_per_shard; ++v) {
+      Point p;
+      // Positions depend only on (seed, shard, vnode): a shard re-entering
+      // the live set reclaims exactly its old ring points — the consistent-
+      // hash stability the re-home property test pins down.
+      p.position = Mix64(options_.seed ^
+                         (static_cast<uint64_t>(shard) * 0x9E3779B97F4A7C15ULL) ^
+                         (static_cast<uint64_t>(v) * 0xC2B2AE3D27D4EB4FULL));
+      p.shard = shard;
+      p.owner = shard;
+      ring_.push_back(p);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.position != b.position) return a.position < b.position;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return false;
+  });
+
+  // Bounded-load pass: walk the ring assigning each point's arc (the span
+  // from the previous point) to the nearest shard at-or-after it whose
+  // accumulated key-space share stays under the cap; an over-cap shard
+  // spills its arc clockwise. Everything here is a function of the live
+  // topology alone, so lookups stay pure.
+  const double cap = (1.0 + options_.load_epsilon) / static_cast<double>(num_live);
+  const double span = 18446744073709551616.0;  // 2^64
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t prev = ring_[(i + n - 1) % n].position;
+    // Wrapping distance; the i==0 arc wraps past 2^64.
+    const uint64_t arc_width = ring_[i].position - prev;
+    const double arc = static_cast<double>(arc_width) / span;
+    uint32_t owner = ring_[i].shard;
+    bool placed = false;
+    for (size_t hop = 0; hop < n; ++hop) {
+      const uint32_t candidate = ring_[(i + hop) % n].shard;
+      if (share_[candidate] + arc <= cap) {
+        owner = candidate;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Every shard is within one arc of the cap (possible for the last few
+      // arcs); take the least-loaded so the overshoot is a single arc.
+      owner = ring_[i].shard;
+      for (uint32_t s = 0; s < num_shards_; ++s) {
+        if (live_[s] && share_[s] < share_[owner]) owner = s;
+      }
+    }
+    ring_[i].owner = owner;
+    share_[owner] += arc;
+  }
+}
+
+size_t ShardRouter::Route(uint64_t fingerprint) const {
+  const uint64_t position = Mix64(fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(!ring_.empty());  // at least one live shard
+  // First point at-or-after the position (wrapping): its arc owns the key.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Point& p, uint64_t pos) { return p.position < pos; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->owner;
+}
+
+size_t ShardRouter::RouteKey(const CacheKey& key) const {
+  // CacheKeyHash is the identity the ScoreCache and InFlightTable share;
+  // fold in the second window-hash stream so the full 128-bit content hash
+  // participates in placement.
+  return Route(CacheKeyHash()(key) ^ Mix64(key.windows.hi));
+}
+
+size_t ShardRouter::RouteName(const std::string& name) const {
+  return Route(HashName(name));
+}
+
+std::vector<double> ShardRouter::OwnedShare() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return share_;
+}
+
+std::string ShardRouter::DebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "ring shards=" + std::to_string(num_shards_) + " [";
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (s > 0) out += " ";
+    out += std::to_string(s) + (live_[s] ? ":" : ":dead,") +
+           std::to_string(share_[s]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace causalformer

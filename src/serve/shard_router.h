@@ -1,0 +1,126 @@
+#ifndef CAUSALFORMER_SERVE_SHARD_ROUTER_H_
+#define CAUSALFORMER_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/score_cache.h"
+
+/// \file
+/// Deterministic consistent-hash routing of discovery work onto engine
+/// shards.
+///
+/// Placement must follow the *full* ScoreCache fingerprint — (model name +
+/// registry generation, 128-bit window-content hash, exact detector-options
+/// encoding) — because both layers that make sharding pay off are keyed on
+/// it: the ScoreCache (a key's repeat queries only hit if they land on the
+/// shard that cached it) and the InFlightTable (identical in-flight queries
+/// only coalesce if they meet in the same table). The router therefore maps
+/// a 64-bit fingerprint of the cache key onto a ring of virtual nodes, and
+/// the pool routes every Detect through it.
+///
+/// Bounded load: plain consistent hashing gives some shards arcs well above
+/// the mean. At every (re)build the router re-assigns arc ownership so no
+/// live shard owns more than (1 + load_epsilon)/num_live of the key space —
+/// an arc whose nearest shard is over the cap spills to the next live shard
+/// clockwise. The cap is enforced on the *static* key-space share, never on
+/// observed load, so routing stays a pure function of (fingerprint,
+/// topology): the same key always lands on the same live shard, which is
+/// exactly the property dedup and cache locality need.
+///
+/// Topology changes (SetLive on drain/kill/restart) rebuild the ring from
+/// the live set only; consistent hashing keeps ~1/N of keys moving when one
+/// of N shards leaves. Streams pin to a shard through RouteName(stream
+/// name), so a stream's windows keep completing FIFO on one scheduler
+/// regardless of how their individual window hashes would route.
+
+namespace causalformer {
+namespace serve {
+
+/// ShardRouter construction knobs.
+struct ShardRouterOptions {
+  /// Virtual ring points per shard. More points flatten the per-shard
+  /// key-space share (relative spread ~ 1/sqrt(vnodes)) at O(total points)
+  /// rebuild cost.
+  int vnodes_per_shard = 128;
+  /// Bounded-load headroom: no live shard owns more than
+  /// (1 + load_epsilon) / num_live of the key space.
+  double load_epsilon = 0.15;
+  /// Ring placement seed. Fixed default so every router over the same
+  /// topology agrees on placement (tests, replicas).
+  uint64_t seed = 0x43465750u;  // "CFWP"
+};
+
+/// The deterministic bounded-load consistent-hash ring over shard slots.
+///
+/// Thread-safe: routing takes a snapshot lock; SetLive rebuilds under the
+/// same lock. All routing is pure — no per-key state, no observed-load
+/// feedback — so concurrent callers always agree.
+class ShardRouter {
+ public:
+  /// A ring over `num_shards` slots, all initially live.
+  /// Requires num_shards >= 1.
+  explicit ShardRouter(size_t num_shards,
+                       const ShardRouterOptions& options = {});
+
+  ShardRouter(const ShardRouter&) = delete;             ///< not copyable
+  ShardRouter& operator=(const ShardRouter&) = delete;  ///< not copyable
+
+  /// Marks one shard in or out of the live set and rebuilds the ring.
+  /// Routing never returns a non-live shard. No-op when unchanged.
+  void SetLive(size_t shard, bool live);
+
+  /// True when `shard` currently receives routed keys.
+  bool is_live(size_t shard) const;
+
+  size_t num_shards() const { return num_shards_; }  ///< slot count
+  /// Currently live slot count.
+  size_t num_live() const;
+
+  /// Routes a 64-bit fingerprint to a live shard. Requires num_live() >= 1
+  /// (the pool never drops its last live shard).
+  size_t Route(uint64_t fingerprint) const;
+
+  /// Routes a full cache key: fingerprint = mixed CacheKeyHash, so two keys
+  /// the cache/dedup layers treat as identical always co-locate.
+  size_t RouteKey(const CacheKey& key) const;
+
+  /// Routes a stream (or any name) by content hash of the name — the pin
+  /// the stream layer uses at open so one scheduler owns the stream's
+  /// whole FIFO lifetime.
+  size_t RouteName(const std::string& name) const;
+
+  /// Fraction of the key space each shard currently owns (0 for dead
+  /// shards; sums to 1). For tests and DebugString.
+  std::vector<double> OwnedShare() const;
+
+  /// One-line ring summary (live set + per-shard key-space share).
+  std::string DebugString() const;
+
+ private:
+  /// One virtual ring point: `owner` is the shard the point's arc was
+  /// assigned to after bounded-load capping (usually the point's own shard).
+  struct Point {
+    uint64_t position = 0;  ///< ring coordinate
+    uint32_t shard = 0;     ///< shard whose vnode this is
+    uint32_t owner = 0;     ///< shard the arc routes to after capping
+  };
+
+  /// Rebuilds ring_ + share_ from live_. Holds mu_.
+  void RebuildLocked();
+
+  const size_t num_shards_;
+  const ShardRouterOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<bool> live_;
+  std::vector<Point> ring_;    ///< live vnodes, sorted by position
+  std::vector<double> share_;  ///< per-shard owned key-space fraction
+};
+
+}  // namespace serve
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_SERVE_SHARD_ROUTER_H_

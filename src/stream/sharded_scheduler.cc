@@ -1,0 +1,155 @@
+#include "stream/sharded_scheduler.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace causalformer {
+namespace stream {
+
+ShardedWindowScheduler::ShardedWindowScheduler(serve::EnginePool* pool,
+                                               obs::Observability* obs)
+    : pool_(pool) {
+  CF_CHECK(pool != nullptr) << "ShardedWindowScheduler requires a pool";
+  shards_.reserve(pool->num_shards());
+  for (size_t i = 0; i < pool->num_shards(); ++i) {
+    // Each inner scheduler submits through the pool's stable per-shard
+    // frontend, so a later KillShard/RestartShard swaps the engine under
+    // the scheduler without invalidating anything the scheduler holds.
+    shards_.push_back(
+        std::make_unique<WindowScheduler>(pool->shard_frontend(i), obs));
+  }
+}
+
+StatusOr<size_t> ShardedWindowScheduler::Pin(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pins_.count(name) != 0) {
+    return Status::FailedPrecondition("stream '" + name + "' already exists");
+  }
+  // The pin is the name's ring identity — a pure function of (name,
+  // topology) at open time, remembered so later appends never re-route.
+  const size_t shard = pool_->router().RouteName(name);
+  pins_.emplace(name, shard);
+  return shard;
+}
+
+StatusOr<size_t> ShardedWindowScheduler::FindPin(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(name);
+  if (it == pins_.end()) {
+    return Status::NotFound("no stream named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status ShardedWindowScheduler::Open(const std::string& name,
+                                    StreamConfig config,
+                                    StreamConfig* resolved) {
+  auto shard = Pin(name);
+  if (!shard.ok()) return shard.status();
+  Status status = shards_[*shard]->Open(name, std::move(config), resolved);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_.erase(name);
+  }
+  return status;
+}
+
+Status ShardedWindowScheduler::Close(const std::string& name) {
+  auto shard = FindPin(name);
+  if (!shard.ok()) return shard.status();
+  Status status = shards_[*shard]->Close(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  pins_.erase(name);
+  return status;
+}
+
+StatusOr<StreamStats> ShardedWindowScheduler::Append(const std::string& name,
+                                                     const Tensor& samples) {
+  auto shard = FindPin(name);
+  if (!shard.ok()) return shard.status();
+  return shards_[*shard]->Append(name, samples);
+}
+
+StatusOr<StreamStats> ShardedWindowScheduler::GetStats(
+    const std::string& name) const {
+  auto shard = FindPin(name);
+  if (!shard.ok()) return shard.status();
+  return shards_[*shard]->GetStats(name);
+}
+
+StatusOr<std::vector<StreamReport>> ShardedWindowScheduler::Take(
+    const std::string& name, size_t max_reports) {
+  auto shard = FindPin(name);
+  if (!shard.ok()) return shard.status();
+  return shards_[*shard]->Take(name, max_reports);
+}
+
+void ShardedWindowScheduler::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+std::vector<std::string> ShardedWindowScheduler::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(pins_.size());
+  for (const auto& entry : pins_) names.push_back(entry.first);
+  return names;  // pins_ is an ordered map, so already sorted by name
+}
+
+StatusOr<size_t> ShardedWindowScheduler::PinnedShard(
+    const std::string& name) const {
+  return FindPin(name);
+}
+
+StatusOr<serve::wire::StreamOpenOkMsg> ShardedWindowScheduler::OpenStream(
+    const serve::wire::StreamOpenMsg& msg) {
+  auto shard = Pin(msg.stream);
+  if (!shard.ok()) return shard.status();
+  auto ok = shards_[*shard]->OpenStream(msg);
+  if (!ok.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pins_.erase(msg.stream);
+  }
+  return ok;
+}
+
+Status ShardedWindowScheduler::CloseStream(const std::string& stream) {
+  return Close(stream);
+}
+
+StatusOr<serve::wire::AppendSamplesOkMsg> ShardedWindowScheduler::AppendSamples(
+    const std::string& stream, const Tensor& samples) {
+  auto shard = FindPin(stream);
+  if (!shard.ok()) return shard.status();
+  return shards_[*shard]->AppendSamples(stream, samples);
+}
+
+StatusOr<std::vector<serve::wire::StreamReportMsg>>
+ShardedWindowScheduler::TakeReports(const std::string& stream,
+                                    uint32_t max_reports) {
+  auto shard = FindPin(stream);
+  if (!shard.ok()) return shard.status();
+  return shards_[*shard]->TakeReports(stream, max_reports);
+}
+
+std::string ShardedWindowScheduler::DebugString() const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "sharded scheduler: " << shards_.size() << " shards, "
+        << pins_.size() << " streams\n";
+    for (const auto& entry : pins_) {
+      out << "  pin " << entry.first << " -> shard " << entry.second << "\n";
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out << "-- shard " << i << " --\n" << shards_[i]->DebugString();
+  }
+  return out.str();
+}
+
+}  // namespace stream
+}  // namespace causalformer

@@ -1,0 +1,108 @@
+#ifndef CAUSALFORMER_STREAM_SHARDED_SCHEDULER_H_
+#define CAUSALFORMER_STREAM_SHARDED_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/engine_pool.h"
+#include "serve/stream_backend.h"
+#include "stream/window_scheduler.h"
+
+/// \file
+/// Stream sharding: one WindowScheduler per engine shard, streams pinned.
+///
+/// A stream's windows must complete FIFO (drift compares consecutive
+/// windows), and each WindowScheduler guarantees that per stream — so a
+/// stream must live on exactly one scheduler for its whole lifetime. The
+/// pin is the stream *name's* ring identity (ShardRouter::RouteName), taken
+/// once at Open and remembered: appends never re-route, so the pin is
+/// invariant even across later topology changes. Individual windows of a
+/// pinned stream do NOT re-route by their window hash — FIFO-per-stream
+/// wins over per-window cache placement, and overlapping windows of one
+/// stream share column digests anyway, so keeping them on one shard is
+/// also the cache-friendly choice.
+///
+/// A killed shard fails its pinned streams' windows (counted in
+/// StreamStats::windows_failed — errors, never hangs) until the shard is
+/// restarted; the pin then reaches the fresh engine through the pool's
+/// stable per-shard frontend.
+
+namespace causalformer {
+namespace stream {
+
+/// The sharded streaming front-end of an EnginePool: the production
+/// serve::StreamBackend when serving with `--shards N`.
+class ShardedWindowScheduler : public serve::StreamBackend {
+ public:
+  /// One WindowScheduler per shard of `pool` (not owned; must outlive the
+  /// scheduler). `obs` (optional) is shared by every inner scheduler.
+  explicit ShardedWindowScheduler(serve::EnginePool* pool,
+                                  obs::Observability* obs = nullptr);
+  ~ShardedWindowScheduler() override = default;  ///< joins inner schedulers
+
+  ShardedWindowScheduler(const ShardedWindowScheduler&) = delete;  ///< not copyable
+  ShardedWindowScheduler& operator=(const ShardedWindowScheduler&) =
+      delete;  ///< not copyable
+
+  /// Pins `name` to its ring shard and opens it there. Fails when the name
+  /// is already pinned (on any shard) or the inner open rejects the config.
+  Status Open(const std::string& name, StreamConfig config,
+              StreamConfig* resolved = nullptr);
+
+  /// Closes `name` on its pinned shard and forgets the pin.
+  Status Close(const std::string& name);
+
+  /// Appends to `name` on its pinned shard (NotFound when unpinned).
+  StatusOr<StreamStats> Append(const std::string& name, const Tensor& samples);
+
+  /// Counters of `name` from its pinned shard.
+  StatusOr<StreamStats> GetStats(const std::string& name) const;
+
+  /// Drains reports of `name` from its pinned shard.
+  StatusOr<std::vector<StreamReport>> Take(const std::string& name,
+                                           size_t max_reports = 0);
+
+  /// Flushes every inner scheduler (tests and drain-before-shutdown).
+  void Flush();
+
+  /// Streams currently pinned, sorted by name.
+  std::vector<std::string> List() const;
+
+  /// The shard index `name` is pinned to (NotFound when unpinned).
+  StatusOr<size_t> PinnedShard(const std::string& name) const;
+
+  /// Inner scheduler of one shard (tests; index < pool->num_shards()).
+  WindowScheduler& shard(size_t index) { return *shards_[index]; }
+
+  // serve::StreamBackend (the wire adapter):
+  StatusOr<serve::wire::StreamOpenOkMsg> OpenStream(
+      const serve::wire::StreamOpenMsg& msg) override;
+  Status CloseStream(const std::string& stream) override;
+  StatusOr<serve::wire::AppendSamplesOkMsg> AppendSamples(
+      const std::string& stream, const Tensor& samples) override;
+  StatusOr<std::vector<serve::wire::StreamReportMsg>> TakeReports(
+      const std::string& stream, uint32_t max_reports) override;
+
+  /// Flight-recorder state: one block per shard scheduler, pins included.
+  std::string DebugString() const;
+
+ private:
+  /// Pins `name` (or returns its existing pin's shard for `must_exist`).
+  StatusOr<size_t> Pin(const std::string& name);
+  /// The pinned shard of `name`, or NotFound.
+  StatusOr<size_t> FindPin(const std::string& name) const;
+
+  serve::EnginePool* pool_;
+  std::vector<std::unique_ptr<WindowScheduler>> shards_;
+
+  mutable std::mutex mu_;  // guards pins_
+  std::map<std::string, size_t> pins_;
+};
+
+}  // namespace stream
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_STREAM_SHARDED_SCHEDULER_H_

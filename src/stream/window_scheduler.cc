@@ -48,7 +48,7 @@ WindowScheduler::Stream::Stream(std::string stream_name, StreamConfig cfg,
       drift(config.drift),
       next_end(config.window) {}
 
-WindowScheduler::WindowScheduler(serve::InferenceEngine* engine,
+WindowScheduler::WindowScheduler(serve::EngineFrontend* engine,
                                  obs::Observability* obs)
     : engine_(engine), obs_(obs) {
   CF_CHECK(engine != nullptr);
@@ -401,8 +401,13 @@ void WindowScheduler::CompletionLoop() {
           stream.reports.pop_front();
           ++stream.stats.reports_dropped;
           // The consumer stopped draining StreamReports; oldest evidence is
-          // being discarded. One line per ~minute per site, not per report.
-          CF_LOG_EVERY_N(kWarning, 256)
+          // being discarded. Same throttling discipline as the ring-overrun
+          // warning above: one CF_LOG_THROTTLED site, so a sustained drop
+          // storm costs one line per second and the skipped emissions ride
+          // the next line's `suppressed` carryover instead of flooding —
+          // the per-N counter this used before kept firing every 256 drops
+          // even while suppression was already active on the site.
+          CF_LOG_THROTTLED(kWarning, 1.0, 5.0)
               << "stream report ring full; dropping oldest report"
               << LogKV("stream", stream.name.c_str())
               << LogKV("reports_dropped_total",

@@ -280,6 +280,37 @@ TEST_F(LoggingTest, ThrottledFollowsTheTokenBucket) {
   EXPECT_EQ(records[2].suppressed, 3u);  // the three dropped burst calls
 }
 
+TEST_F(LoggingTest, ThrottledSuppressedCountCarriesOverExactly) {
+  // The suppressed counter is a carryover, not a running total: every drop
+  // is charged to exactly the NEXT emission, and an emission with no drops
+  // before it reports zero. Three windows through one site: 4 drops, then
+  // 2 drops, then none — the WindowScheduler's drop warning relies on this
+  // to report "suppressed N" figures an operator can sum losslessly.
+  serve::testutil::ScriptedClock clock(50.0);
+  SetLogClock(obs::Clock(clock.fn()));
+  const auto tick = [&] { CF_LOG_THROTTLED(kWarning, 1.0, 1.0) << "drop"; };
+
+  tick();                                  // burst token: emits, suppressed 0
+  for (int i = 0; i < 4; ++i) tick();      // window 1: 4 drops
+  clock.Advance(1.0);
+  tick();                                  // emits, carries the 4
+  for (int i = 0; i < 2; ++i) tick();      // window 2: 2 drops
+  clock.Advance(1.0);
+  tick();                                  // emits, carries the 2 — not 6
+  clock.Advance(1.0);
+  tick();                                  // quiet window: nothing carried
+
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].suppressed, 0u);
+  EXPECT_EQ(records[1].suppressed, 4u);
+  EXPECT_EQ(records[2].suppressed, 2u);  // reset after each emission
+  EXPECT_EQ(records[3].suppressed, 0u);
+  uint64_t total = 0;
+  for (const auto& r : records) total += r.suppressed;
+  EXPECT_EQ(total, 6u);  // emitted + suppressed == calls, losslessly
+}
+
 TEST(LogTokenBucketTest, RefillsAtTheConfiguredRate) {
   serve::testutil::ScriptedClock clock(0.0);
   SetLogClock(obs::Clock(clock.fn()));

@@ -1,0 +1,169 @@
+// Routing-property tests for the bounded-load consistent-hash ShardRouter:
+// determinism (same key → same live shard, across calls and across
+// identically-configured routers), distribution flatness, bounded-load
+// capping, minimal re-homing when a shard leaves, exact key reclamation
+// when it returns, and full-cache-key / stream-name routing.
+
+#include "serve/shard_router.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "serve/score_cache.h"
+#include "util/rng.h"
+
+namespace causalformer {
+namespace serve {
+namespace {
+
+// 10k pseudorandom fingerprints, fixed seed: the property corpus.
+std::vector<uint64_t> Corpus(size_t n = 10000, uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(rng.Next());
+  return keys;
+}
+
+TEST(ShardRouterTest, RoutingIsDeterministicPerRouterAndAcrossRouters) {
+  ShardRouter a(8);
+  ShardRouter b(8);  // identically configured → identical placement
+  for (const uint64_t key : Corpus(2000)) {
+    const size_t shard = a.Route(key);
+    EXPECT_EQ(a.Route(key), shard);  // stable across calls
+    EXPECT_EQ(b.Route(key), shard);  // stable across instances
+    EXPECT_LT(shard, 8u);
+  }
+}
+
+TEST(ShardRouterTest, DistributionWithinTwentyPercentOfUniform) {
+  ShardRouter router(8);
+  std::vector<int> counts(8, 0);
+  const auto corpus = Corpus();
+  for (const uint64_t key : corpus) ++counts[router.Route(key)];
+  const double expected =
+      static_cast<double>(corpus.size()) / static_cast<double>(counts.size());
+  for (size_t s = 0; s < counts.size(); ++s) {
+    EXPECT_GT(counts[s], expected * 0.8)
+        << "shard " << s << " starved: " << counts[s];
+    EXPECT_LT(counts[s], expected * 1.2)
+        << "shard " << s << " overloaded: " << counts[s];
+  }
+}
+
+TEST(ShardRouterTest, OwnedShareRespectsBoundedLoadCap) {
+  ShardRouterOptions options;
+  options.load_epsilon = 0.15;
+  for (const size_t shards : {2u, 3u, 5u, 8u}) {
+    ShardRouter router(shards, options);
+    const auto share = router.OwnedShare();
+    ASSERT_EQ(share.size(), shards);
+    double total = 0;
+    const double cap = (1.0 + options.load_epsilon) /
+                       static_cast<double>(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      EXPECT_LE(share[s], cap + 1e-9) << "shard " << s << " over the cap";
+      total += share[s];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ShardRouterTest, RemovingOneShardRehomesAboutOneNth) {
+  const size_t kShards = 8;
+  ShardRouter router(kShards);
+  const auto corpus = Corpus();
+  std::map<uint64_t, size_t> before;
+  for (const uint64_t key : corpus) before[key] = router.Route(key);
+
+  router.SetLive(3, false);
+  size_t moved = 0, moved_from_survivors = 0;
+  for (const uint64_t key : corpus) {
+    const size_t now = router.Route(key);
+    EXPECT_NE(now, 3u);  // routing never returns a dead shard
+    if (now != before[key]) {
+      ++moved;
+      if (before[key] != 3) ++moved_from_survivors;
+    }
+  }
+  // Everything shard 3 owned must move (~1/8 of the corpus); keys on the
+  // surviving shards mostly stay put — only bounded-load re-capping at the
+  // new topology may shuffle a small fraction.
+  const double n = static_cast<double>(corpus.size());
+  EXPECT_GT(moved, n / kShards * 0.8);
+  EXPECT_LT(moved, n / kShards * 0.8 + n * 0.15);
+  EXPECT_LT(moved_from_survivors, n * 0.12)
+      << "removal churned keys that never touched the dead shard";
+}
+
+TEST(ShardRouterTest, ReAddedShardReclaimsItsExactKeys) {
+  // Vnode positions depend only on (seed, shard, vnode), so a shard leaving
+  // and returning reproduces the original ring exactly — every key routes
+  // where it did before the fault.
+  ShardRouter router(8);
+  const auto corpus = Corpus(4000, 7);
+  std::map<uint64_t, size_t> before;
+  for (const uint64_t key : corpus) before[key] = router.Route(key);
+  router.SetLive(5, false);
+  router.SetLive(5, true);
+  for (const uint64_t key : corpus) EXPECT_EQ(router.Route(key), before[key]);
+}
+
+TEST(ShardRouterTest, LiveSetAccountingAndLastShardRoutes) {
+  ShardRouter router(3);
+  EXPECT_EQ(router.num_live(), 3u);
+  router.SetLive(0, false);
+  router.SetLive(2, false);
+  EXPECT_EQ(router.num_live(), 1u);
+  EXPECT_FALSE(router.is_live(0));
+  EXPECT_TRUE(router.is_live(1));
+  for (const uint64_t key : Corpus(500)) EXPECT_EQ(router.Route(key), 1u);
+  const auto share = router.OwnedShare();
+  EXPECT_NEAR(share[1], 1.0, 1e-9);  // sole survivor owns the whole space
+  EXPECT_EQ(share[0], 0.0);
+}
+
+TEST(ShardRouterTest, FullCacheKeyRoutingCoLocatesIdenticalKeys) {
+  // Two CacheKeys equal under CacheKeyHash must co-locate; changing any
+  // component that changes the cache identity may (and usually does) move
+  // the key.
+  ShardRouter router(8);
+  CacheKey key;
+  key.model = "m";
+  key.generation = 1;
+  key.windows = WindowHash{0x1234567890abcdefull, 0xfedcba0987654321ull};
+  key.options = "opts";
+  CacheKey same = key;
+  EXPECT_EQ(router.RouteKey(key), router.RouteKey(same));
+
+  size_t moves = 0;
+  for (int i = 0; i < 64; ++i) {
+    CacheKey variant = key;
+    variant.generation = static_cast<uint64_t>(2 + i);  // hot-swapped model
+    if (router.RouteKey(variant) != router.RouteKey(key)) ++moves;
+  }
+  EXPECT_GT(moves, 0u) << "generation never entered the fingerprint";
+}
+
+TEST(ShardRouterTest, StreamPinningInvariantAcrossAppendsAndTopology) {
+  // A stream's pin is RouteName at open; the name keeps routing identically
+  // call after call (appends), and across a rebuild that didn't touch the
+  // pinned shard.
+  ShardRouter router(4);
+  const std::string name = "sensor-stream-7";
+  const size_t pin = router.RouteName(name);
+  for (int append = 0; append < 100; ++append) {
+    EXPECT_EQ(router.RouteName(name), pin);
+  }
+  const size_t other = (pin + 1) % 4;
+  router.SetLive(other, false);
+  router.SetLive(other, true);
+  EXPECT_EQ(router.RouteName(name), pin);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace causalformer

@@ -40,6 +40,12 @@
 //   serve_cli trace --connect 127.0.0.1:7071 --last 10
 //   serve_cli trace --connect 127.0.0.1:7071 --json > trace.json
 //
+//   # 2f. Profile the server: cut a timed window out of its continuous
+//   #     sampling profiler as folded stacks (flamegraph.pl / speedscope)
+//   #     or chrome-trace JSON (docs/observability.md):
+//   serve_cli profile --connect 127.0.0.1:7071 --seconds 2 > prof.folded
+//   serve_cli profile --connect 127.0.0.1:7071 --json --out prof.json
+//
 //   Query language (one command per line, serve/query modes):
 //     q <start> <count>   discover on `count` windows starting at row <start>
 //     models              list registered models
@@ -84,6 +90,8 @@
 #include "nn/serialize.h"
 #include "obs/flight_recorder.h"
 #include "obs/observability.h"
+#include "obs/process_metrics.h"
+#include "obs/profiler.h"
 #include "serve/client.h"
 #include "serve/engine_pool.h"
 #include "serve/inference_engine.h"
@@ -101,7 +109,7 @@ namespace {
 
 struct CliOptions {
   // "train", "serve", "selftest", "netserve", "query", "stream", "metrics",
-  // "top", "dump" or "trace".
+  // "top", "dump", "trace" or "profile".
   std::string mode;
   std::string checkpoint;
   std::string csv;
@@ -134,7 +142,9 @@ struct CliOptions {
   // of printing a summary to stdout (empty = print).
   std::string out_dir;
   int64_t last = 20;   // trace mode: print the newest N traces
-  bool json = false;   // trace mode: emit chrome-trace JSON instead of text
+  bool json = false;   // trace/profile modes: emit chrome-trace JSON
+  bool folded = false;     // profile mode: force folded-stack text output
+  int64_t seconds = 2;     // profile mode: sampling window length
   cf::core::ModelOptions model;
   cf::core::DetectorOptions detector;
 
@@ -166,6 +176,8 @@ void Usage() {
                "[--interval SECONDS]\n"
                "  serve_cli dump --connect <host:port> [--out DIR]\n"
                "  serve_cli trace --connect <host:port> [--last N] [--json]\n"
+               "  serve_cli profile --connect <host:port> [--seconds N] "
+               "[--folded|--json] [--out FILE]\n"
                "  serve_cli --selftest [--queries N]\n"
                "model flags: --series N --window T --d_model D --d_qk D "
                "--heads H --d_ffn D\n");
@@ -189,6 +201,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->mode = "dump";
     } else if (sub == "trace") {
       opts->mode = "trace";
+    } else if (sub == "profile") {
+      opts->mode = "profile";
     } else {
       std::fprintf(stderr, "unknown subcommand: %s\n", sub.c_str());
       return false;
@@ -244,6 +258,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (!next(&opts->last) || opts->last < 1) return false;
     } else if (arg == "--json") {
       opts->json = true;
+    } else if (arg == "--folded") {
+      opts->folded = true;
+    } else if (arg == "--seconds") {
+      if (!next(&opts->seconds) || opts->seconds < 1 || opts->seconds > 60) {
+        return false;
+      }
     } else if (arg == "--watch") {
       opts->watch = true;
     } else if (arg == "--interval") {
@@ -281,7 +301,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   }
   if ((opts->mode == "query" || opts->mode == "stream" ||
        opts->mode == "metrics" || opts->mode == "top" ||
-       opts->mode == "dump" || opts->mode == "trace") &&
+       opts->mode == "dump" || opts->mode == "trace" ||
+       opts->mode == "profile") &&
       opts->connect.empty()) {
     std::fprintf(stderr, "%s mode needs --connect host:port\n",
                  opts->mode.c_str());
@@ -603,6 +624,21 @@ int RunNetServe(const CliOptions& opts) {
   cf::obs::ObservabilityOptions oopts;
   oopts.slow_request_seconds = opts.slow_request;
   cf::obs::Observability obs(oopts);
+  // Continuous in-process sampling profiler: started here and left running
+  // for the server's lifetime, so `serve_cli profile --connect` can cut a
+  // timed window out of it at any time and flight-recorder bundles carry a
+  // profile.folded member (docs/observability.md). Declared before the
+  // engine so it outlives every thread it samples.
+  // Process-level resource gauges (cf_process_*): registered up front,
+  // refreshed by the server on every kMetrics scrape.
+  cf::obs::ProcessMetrics process_metrics(&obs.metrics());
+  cf::obs::RegisterProfilingThread("cf-main");
+  cf::obs::ProfilerOptions profopts;
+  profopts.metrics = &obs.metrics();
+  cf::obs::Profiler profiler(profopts);
+  if (const cf::Status pst = profiler.Start(); !pst.ok()) {
+    CF_LOG(kWarning) << "profiler disabled: " << pst.ToString();
+  }
   // The engine pool: N independent engines (each with its own score cache,
   // in-flight table and micro-batcher) behind one ring router. --shards 1
   // (the default) degenerates to the classic single-engine server — same
@@ -651,6 +687,7 @@ int RunNetServe(const CliOptions& opts) {
       "scheduler", [&scheduler] { return scheduler.DebugString(); });
   recorder.InstallCheckFailureDump();
   if (opts.slow_request > 0) recorder.ArmSlowRequestDump();
+  recorder.set_profiler(&profiler);
 
   cf::serve::WireServerOptions sopts;
   sopts.port = static_cast<uint16_t>(opts.port);
@@ -658,6 +695,8 @@ int RunNetServe(const CliOptions& opts) {
   sopts.stream_backend = &scheduler;
   sopts.obs = &obs;
   sopts.flight_recorder = &recorder;
+  sopts.process_metrics = &process_metrics;
+  sopts.profiler = &profiler;
   cf::serve::WireServer server(&engine, sopts);
   st = server.Start();
   if (!st.ok()) {
@@ -1325,6 +1364,55 @@ int RunTrace(const CliOptions& opts) {
   return 1;
 }
 
+// `profile --connect host:port [--seconds N] [--folded|--json] [--out FILE]`:
+// one timed window of the server's sampling profiler. Folded-stack text is
+// the default (ready for flamegraph.pl / speedscope); --json emits the same
+// samples as chrome://tracing JSON; --out writes to a file instead of
+// stdout. The call blocks for the whole window.
+int RunProfile(const CliOptions& opts) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(opts.connect, &host, &port)) {
+    CF_LOG(kError) << "bad --connect '" << opts.connect
+                   << "' (want host:port)";
+    return 1;
+  }
+  if (opts.folded && opts.json) {
+    CF_LOG(kError) << "--folded and --json are mutually exclusive";
+    return 1;
+  }
+  cf::serve::WireClient client;
+  const cf::Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    CF_LOG(kError) << "connect: " << st.ToString();
+    return 1;
+  }
+  const auto profile = client.Profile(static_cast<uint32_t>(opts.seconds));
+  if (!profile.ok()) {
+    CF_LOG(kError) << "profile: " << profile.status().ToString();
+    return 1;
+  }
+  const std::string& body = opts.json ? profile->json : profile->folded;
+  std::fprintf(stderr, "profiled %llds: %llu samples, %llu dropped\n",
+               static_cast<long long>(opts.seconds),
+               static_cast<unsigned long long>(profile->samples),
+               static_cast<unsigned long long>(profile->drops));
+  if (!opts.out_dir.empty()) {
+    std::ofstream out(opts.out_dir, std::ios::binary);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    if (!out) {
+      CF_LOG(kError) << "write " << opts.out_dir << " failed";
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", opts.out_dir.c_str(), body.size());
+    std::fflush(stdout);
+    return 0;
+  }
+  std::fputs(body.c_str(), stdout);
+  std::fflush(stdout);
+  return 0;
+}
+
 int RunSelfTest(const CliOptions& opts) {
   const int num_queries = opts.queries < 100 ? 100 : opts.queries;
   std::printf("[1/5] training demo model\n");
@@ -1494,5 +1582,6 @@ int main(int argc, char** argv) {
   if (opts.mode == "top") return RunTop(opts);
   if (opts.mode == "dump") return RunDump(opts);
   if (opts.mode == "trace") return RunTrace(opts);
+  if (opts.mode == "profile") return RunProfile(opts);
   return RunSelfTest(opts);
 }

@@ -4,6 +4,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <fstream>
 
 #include "obs/log_ring.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "util/logging.h"
 
@@ -91,12 +93,14 @@ DiagnosticBundle FlightRecorder::BuildBundle() const {
   }
 
   // state.txt — every registered provider, one titled section each.
+  Profiler* profiler;
   {
     std::vector<std::pair<std::string, std::function<std::string()>>>
         providers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       providers = providers_;
+      profiler = profiler_;
     }
     std::string state;
     for (const auto& [section, provider] : providers) {
@@ -107,6 +111,12 @@ DiagnosticBundle FlightRecorder::BuildBundle() const {
     bundle.files.push_back({"state.txt", std::move(state)});
   }
 
+  // profile.folded — the attached profiler's accumulated folded stacks
+  // (everything sampled since its last collection window was cut).
+  if (profiler != nullptr) {
+    bundle.files.push_back({"profile.folded", profiler->RenderFolded()});
+  }
+
   return bundle;
 }
 
@@ -114,14 +124,14 @@ StatusOr<std::string> FlightRecorder::DumpToDirectory() {
   const DiagnosticBundle bundle = BuildBundle();
 
   CF_RETURN_IF_ERROR(MakeDir(options_.directory));
-  uint64_t seq;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    seq = dump_seq_++;
-  }
-  std::string stem = "dump_" + std::to_string(WallMillis()) + "_" +
-                     std::to_string(static_cast<long long>(::getpid()));
-  if (seq > 0) stem += "_" + std::to_string(seq);
+  // The sequence counter is process-wide (not per-recorder): two recorders
+  // dumping into the same directory within one millisecond used to produce
+  // identical stems and the second rename clobbered the first bundle.
+  static std::atomic<uint64_t> g_dump_seq{0};
+  const uint64_t seq = g_dump_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string stem = "dump_" + std::to_string(WallMillis()) + "_" +
+                           std::to_string(static_cast<long long>(::getpid())) +
+                           "_" + std::to_string(seq);
   const std::string final_path = options_.directory + "/" + stem;
   // Write into a hidden sibling and rename into place: a watcher polling
   // the dump directory never sees a half-written bundle.
@@ -162,6 +172,11 @@ void FlightRecorder::InstallCheckFailureDump() {
                    path.status().message().c_str());
     }
   });
+}
+
+void FlightRecorder::set_profiler(Profiler* profiler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiler_ = profiler;
 }
 
 void FlightRecorder::ArmSlowRequestDump() {

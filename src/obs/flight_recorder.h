@@ -23,7 +23,10 @@
 ///    (obs/trace_export.h), loadable in Perfetto;
 ///  * `traces.txt`  — the same traces as one ToString() line each;
 ///  * `state.txt`   — registered state providers (engine shape buckets,
-///    in-flight table occupancy, per-stream ring depths, server counters).
+///    in-flight table occupancy, per-stream ring depths, server counters);
+///  * `profile.folded` — folded CPU stacks from the attached sampling
+///    profiler (obs/profiler.h), present only when one is attached via
+///    set_profiler().
 ///
 /// Three triggers produce a bundle: a `SIGUSR1` (serve_cli's self-pipe
 /// handler calls DumpToDirectory on its poll loop), a CF_CHECK failure
@@ -40,6 +43,8 @@
 namespace causalformer {
 namespace obs {
 
+class Profiler;
+
 /// One named member file of a diagnostic bundle.
 struct DiagnosticFile {
   std::string name;     ///< file name inside the bundle directory
@@ -54,8 +59,10 @@ struct DiagnosticBundle {
 
 /// FlightRecorder construction knobs.
 struct FlightRecorderOptions {
-  /// Bundles land in `<directory>/dump_<millis>_<pid>[_<seq>]/`; the
-  /// directory is created on first dump.
+  /// Bundles land in `<directory>/dump_<millis>_<pid>_<seq>/` — `<seq>` is
+  /// a process-wide monotonic counter, so two recorders (or two dumps
+  /// inside one millisecond) can never collide on a name; the directory is
+  /// created on first dump.
   std::string directory = "cf_dumps";
   /// LogRing records included in `logs.txt` (newest; 0 = all retained).
   size_t log_tail = 1024;
@@ -106,6 +113,12 @@ class FlightRecorder {
   /// Requires a non-null Observability.
   void ArmSlowRequestDump();
 
+  /// Attaches a sampling profiler (not owned; must outlive the recorder,
+  /// or be detached with nullptr first). While attached, every bundle
+  /// carries a `profile.folded` member with the folded stacks accumulated
+  /// since the profiler's last collection window.
+  void set_profiler(Profiler* profiler);
+
  private:
   /// The slow-trace hook body: cooldown check, then DumpToDirectory.
   void MaybeDumpOnSlowTrace();
@@ -116,7 +129,7 @@ class FlightRecorder {
   mutable std::mutex mu_;  ///< guards providers_ + dump bookkeeping
   std::vector<std::pair<std::string, std::function<std::string()>>>
       providers_;
-  uint64_t dump_seq_ = 0;
+  Profiler* profiler_ = nullptr;
   double last_slow_dump_seconds_ = 0;
   bool slow_dumped_once_ = false;
   bool fatal_hook_installed_ = false;

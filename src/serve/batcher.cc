@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -51,7 +53,13 @@ MicroBatcher::MicroBatcher(const BatcherOptions& options, ExecuteFn execute)
   admitted_ = options_.max_in_flight_batches;
   executors_.reserve(options_.max_in_flight_batches);
   for (int i = 0; i < options_.max_in_flight_batches; ++i) {
-    executors_.emplace_back([this] { ExecutorLoop(); });
+    std::string name = "cf-exec";
+    if (!options_.thread_label.empty()) name += "-" + options_.thread_label;
+    name += "-" + std::to_string(i);
+    executors_.emplace_back([this, name] {
+      obs::RegisterProfilingThread(name.c_str());
+      ExecutorLoop();
+    });
   }
 }
 

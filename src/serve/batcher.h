@@ -110,6 +110,11 @@ struct BatcherOptions {
   /// Batch fill fraction at or below which a dispatch shrinks it by one
   /// (never below one executor per pending shape bucket).
   double shrink_occupancy = 0.25;
+  /// Label spliced into the executor threads' profiling names:
+  /// `cf-exec-<label>-<i>` (empty → `cf-exec-<i>`). The engine pool sets
+  /// it to the shard index so profiles attribute samples to the right
+  /// shard's executor lane (obs/profiler.h).
+  std::string thread_label;
 };
 
 /// The adaptive micro-batching queue between the engine and the detector.

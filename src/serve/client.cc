@@ -254,5 +254,16 @@ StatusOr<wire::DumpResultMsg> WireClient::Dump() {
   return dump;
 }
 
+StatusOr<wire::ProfileResultMsg> WireClient::Profile(uint32_t seconds) {
+  wire::ProfileMsg msg;
+  msg.seconds = seconds;
+  auto frame = Call(wire::MessageType::kProfile, wire::EncodeProfile(msg),
+                    wire::MessageType::kProfileResult);
+  if (!frame.ok()) return frame.status();
+  wire::ProfileResultMsg result;
+  CF_RETURN_IF_ERROR(wire::DecodeProfileResult(frame->payload, &result));
+  return result;
+}
+
 }  // namespace serve
 }  // namespace causalformer

@@ -78,6 +78,12 @@ class WireClient {
   /// runs without a flight recorder.
   StatusOr<wire::DumpResultMsg> Dump();
 
+  /// Samples the server's CPU profiler for `seconds` (protocol v7) and
+  /// returns the folded stacks plus chrome-trace JSON of the window. The
+  /// call blocks for the whole window (1..60 s). Fails with
+  /// kFailedPrecondition when the server runs without a profiler.
+  StatusOr<wire::ProfileResultMsg> Profile(uint32_t seconds);
+
   /// Opens a named sliding-window stream on the server (protocol v2);
   /// returns the config after server-side defaulting.
   StatusOr<wire::StreamOpenOkMsg> OpenStream(const wire::StreamOpenMsg& msg);

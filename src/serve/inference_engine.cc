@@ -43,6 +43,17 @@ ScoreCacheOptions CacheOptions(const EngineOptions& options) {
   return cache;
 }
 
+// The executor threads spawn inside the MicroBatcher's constructor, so the
+// shard label must ride into BatcherOptions before the member initializer
+// runs; profiles then attribute samples to `cf-exec-<shard>-<i>` lanes.
+BatcherOptions BatcherOptionsFor(const EngineOptions& options) {
+  BatcherOptions batcher = options.batcher;
+  if (batcher.thread_label.empty()) {
+    batcher.thread_label = options.metrics_shard_label;
+  }
+  return batcher;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(ModelRegistry* registry,
@@ -50,7 +61,7 @@ InferenceEngine::InferenceEngine(ModelRegistry* registry,
     : registry_(registry),
       options_(options),
       cache_(CacheOptions(options)),
-      batcher_(options.batcher,
+      batcher_(BatcherOptionsFor(options),
                [this](std::vector<BatchItem> items) {
                  ExecuteBatch(std::move(items));
                }) {

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "obs/process_metrics.h"
+#include "obs/profiler.h"
 #include "serve/stream_backend.h"
 #include "util/logging.h"
 #include "util/socket.h"
@@ -131,8 +133,14 @@ Status WireServer::Start() {
   }
   running_ = true;
   started_ = true;
-  poll_thread_ = std::thread([this] { PollLoop(); });
-  completion_thread_ = std::thread([this] { CompletionLoop(); });
+  poll_thread_ = std::thread([this] {
+    obs::RegisterProfilingThread("cf-poll");
+    PollLoop();
+  });
+  completion_thread_ = std::thread([this] {
+    obs::RegisterProfilingThread("cf-complete");
+    CompletionLoop();
+  });
   return Status::Ok();
 }
 
@@ -486,6 +494,9 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         reject(st);
         return true;
       }
+      if (options_.process_metrics != nullptr) {
+        options_.process_metrics->Update();
+      }
       wire::MetricsResultMsg msg;
       msg.text = options_.obs->metrics().RenderText();
       for (const obs::HistogramSummary& h :
@@ -523,6 +534,53 @@ bool WireServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         msg.files.push_back({file.name, file.content});
       }
       PushReady(conn, MessageType::kDumpResult, wire::EncodeDumpResult(msg));
+      return true;
+    }
+    case MessageType::kProfile: {
+      if (options_.profiler == nullptr) {
+        reject(Status::FailedPrecondition("profiler not enabled"));
+        return true;
+      }
+      wire::ProfileMsg msg;
+      if (const Status st = wire::DecodeProfile(frame.payload, &msg);
+          !st.ok()) {
+        reject(st);
+        return true;
+      }
+      if (msg.seconds < 1 || msg.seconds > 60) {
+        reject(Status::InvalidArgument(
+            "profile seconds out of range [1, 60]: " +
+            std::to_string(msg.seconds)));
+        return true;
+      }
+      // Collect() sleeps for the whole sampling window — far too long for
+      // the poll thread. Run it on a worker like kLoadModel; unlike admin
+      // frames the connection stays live for pipelined queries (those
+      // responses queue behind this one, which is the protocol's ordering
+      // guarantee, but dispatch for other connections never stalls).
+      Pending pending;
+      pending.conn = conn;
+      pending.is_frame_future = true;
+      pending.frame_future = std::async(
+          std::launch::async, [this, seconds = msg.seconds]() {
+            auto report = options_.profiler->Collect(
+                static_cast<double>(seconds));
+            if (!report.ok()) {
+              if (obs_wire_errors_ != nullptr) obs_wire_errors_->Increment();
+              std::lock_guard<std::mutex> lock(mu_);
+              ++stats_.wire_errors;
+              return wire::EncodeFrame(wire::MessageType::kError,
+                                       wire::EncodeError(report.status()));
+            }
+            wire::ProfileResultMsg result;
+            result.samples = report.value().samples;
+            result.drops = report.value().drops;
+            result.folded = std::move(report.value().folded);
+            result.json = std::move(report.value().chrome_json);
+            return wire::EncodeFrame(wire::MessageType::kProfileResult,
+                                     wire::EncodeProfileResult(result));
+          });
+      PushPending(std::move(pending));
       return true;
     }
     default: {

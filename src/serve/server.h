@@ -44,6 +44,8 @@ namespace causalformer {
 
 namespace obs {
 class FlightRecorder;
+class ProcessMetrics;
+class Profiler;
 }  // namespace obs
 
 namespace serve {
@@ -76,6 +78,18 @@ struct WireServerOptions {
   /// diagnostic bundle (not owned; must outlive the server). Null answers
   /// kDump kFailedPrecondition — remote diagnostics are disabled.
   obs::FlightRecorder* flight_recorder = nullptr;
+  /// Process-level resource gauges (not owned; must outlive the server).
+  /// When set, every kMetrics scrape refreshes the cf_process_* gauges
+  /// first, so clients always read current RSS/CPU/fd/uptime values
+  /// without a background poller. Null leaves the gauges wherever their
+  /// owner last set them.
+  obs::ProcessMetrics* process_metrics = nullptr;
+  /// Running sampling profiler answering v7 kProfile frames (not owned;
+  /// must outlive the server). A kProfile request collects a timed window
+  /// from it on a transient worker thread — never the poll thread — so the
+  /// multi-second sleep cannot stall dispatch. Null answers kProfile
+  /// kFailedPrecondition — remote profiling is disabled.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// A TCP server bridging wire-protocol clients onto one EngineFrontend —

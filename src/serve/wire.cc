@@ -303,7 +303,7 @@ bool IsKnownMessageType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MessageType::kPing) &&
           type <= static_cast<uint8_t>(MessageType::kError)) ||
          (type >= static_cast<uint8_t>(MessageType::kStreamOpen) &&
-          type <= static_cast<uint8_t>(MessageType::kDumpResult));
+          type <= static_cast<uint8_t>(MessageType::kProfileResult));
 }
 
 // ---- Frame ----------------------------------------------------------------
@@ -1007,6 +1007,39 @@ Status DecodeDumpResult(const std::vector<uint8_t>& payload,
     CF_RETURN_IF_ERROR(r.Str(&file.content));
     msg->files.push_back(std::move(file));
   }
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeProfile(const ProfileMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(msg.seconds);
+  return payload;
+}
+
+Status DecodeProfile(const std::vector<uint8_t>& payload, ProfileMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U32(&msg->seconds));
+  return r.ExpectEnd();
+}
+
+std::vector<uint8_t> EncodeProfileResult(const ProfileResultMsg& msg) {
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(msg.samples);
+  w.U64(msg.drops);
+  w.Str(msg.folded);
+  w.Str(msg.json);
+  return payload;
+}
+
+Status DecodeProfileResult(const std::vector<uint8_t>& payload,
+                           ProfileResultMsg* msg) {
+  PayloadReader r(payload.data(), payload.size());
+  CF_RETURN_IF_ERROR(r.U64(&msg->samples));
+  CF_RETURN_IF_ERROR(r.U64(&msg->drops));
+  CF_RETURN_IF_ERROR(r.Str(&msg->folded));
+  CF_RETURN_IF_ERROR(r.Str(&msg->json));
   return r.ExpectEnd();
 }
 

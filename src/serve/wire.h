@@ -47,10 +47,12 @@ inline constexpr uint8_t kMagic[4] = {0x43, 0x46, 0x57, 0x50};
 /// diagnostics frames (kDump/kDumpResult: the flight recorder's bundle —
 /// log tail, metrics snapshot, chrome-trace JSON, engine state — fetched
 /// remotely); version 6 added the per-shard rows of StatsResult (one row
-/// per engine shard slot when the server fronts a sharded EnginePool) —
-/// see docs/wire-protocol.md §3 for the version history and negotiation
-/// rules.
-inline constexpr uint8_t kVersion = 6;
+/// per engine shard slot when the server fronts a sharded EnginePool);
+/// version 7 added the profiling frames (kProfile/kProfileResult: a timed
+/// sampling-profiler window returning folded stacks and chrome-trace
+/// JSON) — see docs/wire-protocol.md §3 for the version history and
+/// negotiation rules.
+inline constexpr uint8_t kVersion = 7;
 /// Fixed frame header size in bytes (payload follows immediately).
 inline constexpr size_t kHeaderSize = 16;
 /// Upper bound on the payload length field; larger frames are malformed
@@ -88,10 +90,12 @@ enum class MessageType : uint8_t {
   kMetricsResult = 24,       ///< Metrics response (exposition + summaries)
   kDump = 25,                ///< diagnostic bundle request (empty, v5)
   kDumpResult = 26,          ///< Dump response (flight-recorder bundle)
+  kProfile = 27,             ///< timed sampling-profile request (v7)
+  kProfileResult = 28,       ///< Profile response (folded stacks + JSON)
 };
 
 /// True for type values defined by this protocol version (used by frame
-/// decoding on both ends; value 14 and values past kDumpResult are
+/// decoding on both ends; value 14 and values past kProfileResult are
 /// unknown).
 bool IsKnownMessageType(uint8_t type);
 
@@ -315,6 +319,24 @@ struct DumpResultMsg {
   std::vector<DumpFileMsg> files;  ///< bundle member files, server order
 };
 
+// ---- Profiling messages (protocol version 7) ---------------------------
+
+/// kProfile request: sample the server's installed CPU profiler for a
+/// bounded window and return the result. The server rejects requests when
+/// no profiler is installed (FAILED_PRECONDITION) and clamps nothing —
+/// out-of-range durations are an INVALID_ARGUMENT error.
+struct ProfileMsg {
+  uint32_t seconds = 2;  ///< sampling window in whole seconds (1..60)
+};
+
+/// kProfileResult response: one completed profiling window.
+struct ProfileResultMsg {
+  uint64_t samples = 0;  ///< stack samples captured during the window
+  uint64_t drops = 0;    ///< samples dropped (buffer full) during it
+  std::string folded;    ///< folded-stack text (`frame;frame;... count`)
+  std::string json;      ///< chrome://tracing JSON of the same samples
+};
+
 // ---- Streaming messages (protocol version 2) ---------------------------
 
 /// kStreamOpen request: create a named sliding-window stream on the server.
@@ -501,6 +523,17 @@ std::vector<uint8_t> EncodeDumpResult(const DumpResultMsg& msg);
 /// Decodes a kDumpResult payload.
 Status DecodeDumpResult(const std::vector<uint8_t>& payload,
                         DumpResultMsg* msg);
+
+/// Encodes a kProfile payload (u32 seconds).
+std::vector<uint8_t> EncodeProfile(const ProfileMsg& msg);
+/// Decodes a kProfile payload.
+Status DecodeProfile(const std::vector<uint8_t>& payload, ProfileMsg* msg);
+
+/// Encodes a kProfileResult payload.
+std::vector<uint8_t> EncodeProfileResult(const ProfileResultMsg& msg);
+/// Decodes a kProfileResult payload.
+Status DecodeProfileResult(const std::vector<uint8_t>& payload,
+                           ProfileResultMsg* msg);
 
 /// Encodes a kError payload from a Status (code + message).
 std::vector<uint8_t> EncodeError(const Status& status);

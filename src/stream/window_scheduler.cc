@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -52,7 +53,10 @@ WindowScheduler::WindowScheduler(serve::EngineFrontend* engine,
                                  obs::Observability* obs)
     : engine_(engine), obs_(obs) {
   CF_CHECK(engine != nullptr);
-  completion_thread_ = std::thread([this] { CompletionLoop(); });
+  completion_thread_ = std::thread([this] {
+    obs::RegisterProfilingThread("cf-sched");
+    CompletionLoop();
+  });
 }
 
 WindowScheduler::~WindowScheduler() {

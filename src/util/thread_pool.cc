@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -16,7 +18,11 @@ ThreadPool::ThreadPool(int num_threads) {
   CF_CHECK_GT(num_threads, 0);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      const std::string name = "cf-work-" + std::to_string(i);
+      obs::RegisterProfilingThread(name.c_str());
+      WorkerLoop();
+    });
   }
 }
 

@@ -6,11 +6,13 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/log_ring.h"
 #include "obs/observability.h"
 #include "serve/inference_engine.h"
@@ -483,6 +485,57 @@ TEST(FlightRecorderTest, DumpWritesEveryBundleFileAtomically) {
     ::rmdir(dir.c_str());
   }
   ::rmdir(options.directory.c_str());
+}
+
+// Regression: the dump-name sequence used to be per-recorder, so two
+// recorders (the serving stack plus a test harness, say) dumping into one
+// directory within the same millisecond produced identical stems and the
+// second rename silently replaced the first bundle. The sequence is now
+// process-wide; every dump must land in its own directory.
+TEST(FlightRecorderTest, TwoRecordersNeverCollideOnDumpNames) {
+  obs::FlightRecorderOptions options;
+  options.directory = "logging_test_collide";
+  obs::FlightRecorder first(nullptr, options);
+  obs::FlightRecorder second(nullptr, options);
+
+  std::vector<std::string> dumped;
+  for (int i = 0; i < 3; ++i) {
+    const auto a = first.DumpToDirectory();
+    const auto b = second.DumpToDirectory();
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    dumped.push_back(*a);
+    dumped.push_back(*b);
+  }
+  std::set<std::string> distinct(dumped.begin(), dumped.end());
+  EXPECT_EQ(distinct.size(), dumped.size()) << "dump names collided";
+
+  for (const auto& dir : dumped) {
+    for (const char* name : {"logs.txt", "metrics.txt", "trace.json",
+                             "traces.txt", "state.txt"}) {
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::rmdir(dir.c_str());
+  }
+  ::rmdir(options.directory.c_str());
+}
+
+TEST(FlightRecorderTest, AttachedProfilerAddsFoldedMember) {
+  obs::FlightRecorder recorder(nullptr);
+  obs::Profiler profiler;
+  recorder.set_profiler(&profiler);
+  profiler.SampleNow();
+
+  const auto bundle = recorder.BuildBundle();
+  ASSERT_EQ(bundle.files.size(), 6u);
+  EXPECT_EQ(bundle.files[5].name, "profile.folded");
+  // One sample -> one folded line ending in its count.
+  EXPECT_NE(bundle.files[5].content.find(" 1\n"), std::string::npos)
+      << bundle.files[5].content;
+
+  // Detaching removes the member again.
+  recorder.set_profiler(nullptr);
+  EXPECT_EQ(recorder.BuildBundle().files.size(), 5u);
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "nn/serialize.h"
 #include "obs/flight_recorder.h"
 #include "obs/observability.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "serve/client.h"
 #include "serve/inference_engine.h"
@@ -88,7 +91,7 @@ TEST(Crc32Test, ChainingMatchesOneShot) {
 
 TEST(WireFrameTest, DocumentedPingFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x01, 0x00, 0x00,  // magic, v6, Ping
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x01, 0x00, 0x00,  // magic, v6, Ping
       0x08, 0x00, 0x00, 0x00, 0x25, 0xed, 0xcc, 0xa5,  // length 8, CRC
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // token LE
   };
@@ -102,7 +105,7 @@ TEST(WireFrameTest, DocumentedDetectFrameBytes) {
   // The worked Detect hex dump: model "demo", default detector options,
   // windows [B=1, N=2, T=2] = {1, 2, 3, 4}.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x07, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x07, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x46, 0x5a, 0xa4, 0xc2,
       0x04, 0x00, 0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f,
       0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -131,7 +134,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
   // (window/history 0 = server-resolved, max_in_flight 4, max_reports 256,
   // default detector options, drift thresholds 0.25/0.34, stability 3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x0f, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x0f, 0x00, 0x00,
       0x57, 0x00, 0x00, 0x00, 0x26, 0x66, 0x96, 0xf6,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00, 0x64, 0x65, 0x6d, 0x6f, 0x00, 0x00,
@@ -158,7 +161,7 @@ TEST(WireFrameTest, DocumentedStreamOpenFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
   // Resolved config: window 8, stride 2, history 32.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x10, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x10, 0x00, 0x00,
       0x18, 0x00, 0x00, 0x00, 0xab, 0xb1, 0x1a, 0x0f,
       0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -176,7 +179,7 @@ TEST(WireFrameTest, DocumentedStreamOpenOkFrameBytes) {
 
 TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x11, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x11, 0x00, 0x00,
       0x06, 0x00, 0x00, 0x00, 0xa7, 0x2a, 0xc6, 0xa9,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31,
   };
@@ -189,7 +192,7 @@ TEST(WireFrameTest, DocumentedStreamCloseFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
   // Empty payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x12, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x12, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kStreamCloseOk, {});
@@ -200,7 +203,7 @@ TEST(WireFrameTest, DocumentedStreamCloseOkFrameBytes) {
 TEST(WireFrameTest, DocumentedAppendSamplesFrameBytes) {
   // Stream "s1", samples [N=2, K=2] = {1, 2, 3, 4} (series-major).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x13, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x13, 0x00, 0x00,
       0x1e, 0x00, 0x00, 0x00, 0x89, 0x85, 0x94, 0x52,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x02, 0x00,
       0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -220,7 +223,7 @@ TEST(WireFrameTest, DocumentedAppendSamplesOkFrameBytes) {
   // total_samples 10, windows_emitted 2, windows_dropped 0,
   // windows_failed 0, pending 1, deduped_windows 1 (v3).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x14, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x14, 0x00, 0x00,
       0x2c, 0x00, 0x00, 0x00, 0x13, 0x30, 0xdb, 0xfb,
       0x0a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -247,7 +250,7 @@ TEST(WireFrameTest, DocumentedStatsResultFrameBytes) {
   // 1 shape bucket; server 1 connection, 12 frames, 0 wire errors; no
   // models; no shard rows (the trailing v6 count of 0).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x0c, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x0c, 0x00, 0x00,
       0x8c, 0x00, 0x00, 0x00, 0xac, 0xae, 0x90, 0x68,
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -294,7 +297,7 @@ TEST(WireFrameTest, DocumentedShardedStatsResultFrameBytes) {
   // The second §7.8 dump: the same counters from a two-shard pool mid-drain
   // — shard 0 live (5 routed), shard 1 draining after 1 restart (4 routed).
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x0c, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x0c, 0x00, 0x00,
       0x06, 0x01, 0x00, 0x00, 0x86, 0x82, 0xeb, 0x15,
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -375,7 +378,7 @@ TEST(WireFrameTest, DocumentedShardedStatsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedStreamReportsFrameBytes) {
   // Stream "s1", max_reports 4.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x15, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x15, 0x00, 0x00,
       0x0a, 0x00, 0x00, 0x00, 0x45, 0xc1, 0xea, 0x79,
       0x02, 0x00, 0x00, 0x00, 0x73, 0x31, 0x04, 0x00,
       0x00, 0x00,
@@ -395,7 +398,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
   // one consecutive drift, one edge added (also listed), mean Δ 0.25,
   // max Δ 0.5, jaccard 0, nothing removed.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x16, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x16, 0x00, 0x00,
       0x85, 0x00, 0x00, 0x00, 0xcb, 0x65, 0x43, 0x3f,
       0x01, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x06, 0x00, 0x00, 0x00,
@@ -442,7 +445,7 @@ TEST(WireFrameTest, DocumentedStreamReportsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedMetricsFrameBytes) {
   // kMetrics carries no payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x17, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x17, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kMetrics, {});
@@ -454,7 +457,7 @@ TEST(WireFrameTest, DocumentedMetricsResultFrameBytes) {
   // Exposition text "a 1\n", one histogram row: series "h" with count 1
   // and sum = p50 = p90 = p99 = 0.5.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x18, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x18, 0x00, 0x00,
       0x39, 0x00, 0x00, 0x00, 0x33, 0x28, 0x27, 0xdf,
       0x04, 0x00, 0x00, 0x00, 0x61, 0x20, 0x31, 0x0a,
       0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
@@ -483,7 +486,7 @@ TEST(WireFrameTest, DocumentedMetricsResultFrameBytes) {
 TEST(WireFrameTest, DocumentedDumpFrameBytes) {
   // kDump carries no payload: header only, CRC of zero bytes is 0.
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x19, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x19, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
   };
   const auto frame = wire::EncodeFrame(wire::MessageType::kDump, {});
@@ -494,7 +497,7 @@ TEST(WireFrameTest, DocumentedDumpFrameBytes) {
 TEST(WireFrameTest, DocumentedDumpResultFrameBytes) {
   // A one-file bundle: "metrics.txt" containing "a 1\n".
   const uint8_t kExpected[] = {
-      0x43, 0x46, 0x57, 0x50, 0x06, 0x1a, 0x00, 0x00,
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x1a, 0x00, 0x00,
       0x1b, 0x00, 0x00, 0x00, 0x5d, 0x4f, 0xb7, 0x3f,
       0x01, 0x00, 0x00, 0x00, 0x0b, 0x00, 0x00, 0x00,
       0x6d, 0x65, 0x74, 0x72, 0x69, 0x63, 0x73, 0x2e,
@@ -538,6 +541,85 @@ TEST(WireCodecTest, DumpResultRejectsTrailingBytes) {
   payload.push_back(0);
   wire::DumpResultMsg decoded;
   EXPECT_FALSE(wire::DecodeDumpResult(payload, &decoded).ok());
+}
+
+// The v7 profiling frames, byte for byte against the §7.11 hex dumps.
+
+TEST(WireFrameTest, DocumentedProfileFrameBytes) {
+  // A two-second sampling window: payload is one u32.
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x1b, 0x00, 0x00,
+      0x04, 0x00, 0x00, 0x00, 0x97, 0x17, 0x4d, 0x8b,
+      0x02, 0x00, 0x00, 0x00,
+  };
+  wire::ProfileMsg msg;
+  msg.seconds = 2;
+  const auto frame = wire::EncodeFrame(wire::MessageType::kProfile,
+                                       wire::EncodeProfile(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireFrameTest, DocumentedProfileResultFrameBytes) {
+  // 3 samples, 1 drop, folded text "a;b 3\n", chrome JSON "{}".
+  const uint8_t kExpected[] = {
+      0x43, 0x46, 0x57, 0x50, 0x07, 0x1c, 0x00, 0x00,
+      0x20, 0x00, 0x00, 0x00, 0x67, 0xec, 0x7b, 0xed,
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x06, 0x00, 0x00, 0x00, 0x61, 0x3b, 0x62, 0x20,
+      0x33, 0x0a, 0x02, 0x00, 0x00, 0x00, 0x7b, 0x7d,
+  };
+  wire::ProfileResultMsg msg;
+  msg.samples = 3;
+  msg.drops = 1;
+  msg.folded = "a;b 3\n";
+  msg.json = "{}";
+  const auto frame = wire::EncodeFrame(wire::MessageType::kProfileResult,
+                                       wire::EncodeProfileResult(msg));
+  ASSERT_EQ(frame.size(), sizeof(kExpected));
+  EXPECT_EQ(std::memcmp(frame.data(), kExpected, sizeof(kExpected)), 0);
+}
+
+TEST(WireCodecTest, ProfileRoundTrips) {
+  wire::ProfileMsg msg;
+  msg.seconds = 30;
+  wire::ProfileMsg decoded;
+  ASSERT_TRUE(wire::DecodeProfile(wire::EncodeProfile(msg), &decoded).ok());
+  EXPECT_EQ(decoded.seconds, 30u);
+}
+
+TEST(WireCodecTest, ProfileRejectsTrailingBytes) {
+  auto payload = wire::EncodeProfile(wire::ProfileMsg{});
+  payload.push_back(0);
+  wire::ProfileMsg decoded;
+  EXPECT_FALSE(wire::DecodeProfile(payload, &decoded).ok());
+}
+
+TEST(WireCodecTest, ProfileResultRoundTrips) {
+  wire::ProfileResultMsg msg;
+  msg.samples = 1234567;
+  msg.drops = 89;
+  msg.folded = "cf-poll;PollLoop;read 41\ncf-exec-0;Detect 7\n";
+  msg.json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+  wire::ProfileResultMsg decoded;
+  ASSERT_TRUE(
+      wire::DecodeProfileResult(wire::EncodeProfileResult(msg), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.samples, msg.samples);
+  EXPECT_EQ(decoded.drops, msg.drops);
+  EXPECT_EQ(decoded.folded, msg.folded);
+  EXPECT_EQ(decoded.json, msg.json);
+}
+
+TEST(WireCodecTest, ProfileResultRejectsTruncation) {
+  const auto payload = wire::EncodeProfileResult(wire::ProfileResultMsg{});
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<uint8_t> prefix(payload.begin(), payload.begin() + len);
+    wire::ProfileResultMsg decoded;
+    EXPECT_FALSE(wire::DecodeProfileResult(prefix, &decoded).ok())
+        << "prefix length " << len;
+  }
 }
 
 // ---- Frame codec ----------------------------------------------------------
@@ -1862,6 +1944,94 @@ TEST(ChromeTraceExportTest, EmptyRingRendersValidEmptyJson) {
   const std::string json = obs::RenderChromeTrace({});
   EXPECT_EQ(ValidateChromeTraceJson(json), 0);
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+// ---- Profiling over the wire (v7) -----------------------------------------
+
+TEST_F(WireLoopbackTest, ProfileWithoutProfilerAnswersPrecondition) {
+  // The fixture's server runs without a profiler: the v7 Profile frame
+  // must answer a typed error, not crash or close.
+  const auto profile = client_.Profile(1);
+  ASSERT_FALSE(profile.ok());
+  EXPECT_EQ(profile.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// A live server fronting a running sampling profiler — the production
+// shape of `serve_cli serve` + `serve_cli profile --connect`.
+class WireProfileLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.Register("m", TinyModel()).ok());
+    engine_ = std::make_unique<InferenceEngine>(&registry_);
+    ASSERT_TRUE(profiler_.Start().ok());
+    WireServerOptions sopts;
+    sopts.profiler = &profiler_;
+    server_ = std::make_unique<WireServer>(engine_.get(), sopts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    ASSERT_TRUE(profiler_.Stop().ok());
+  }
+
+  ModelRegistry registry_;
+  std::unique_ptr<InferenceEngine> engine_;
+  obs::Profiler profiler_;
+  std::unique_ptr<WireServer> server_;
+  WireClient client_;
+};
+
+TEST_F(WireProfileLoopbackTest, ProfileFrameCapturesBurningThread) {
+  // Pin a burner thread for the window so SIGPROF (process-CPU-time
+  // driven) has cycles to land on regardless of machine speed.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    obs::RegisterProfilingThread("cf-wire-burner");
+    volatile double sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 1; i < 2048; ++i) sink += 1.0 / i;
+    }
+  });
+  const auto profile = client_.Profile(1);
+  stop.store(true);
+  burner.join();
+
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_GT(profile->samples, 0u);
+  EXPECT_NE(profile->folded.find("cf-wire-burner;"), std::string::npos)
+      << profile->folded;
+  // Folded lines end in a count; the chrome JSON is the same window.
+  EXPECT_EQ(profile->folded.back(), '\n');
+  EXPECT_NE(profile->json.find("\"displayTimeUnit\":\"ms\""),
+            std::string::npos);
+  EXPECT_NE(profile->json.find("cf-wire-burner"), std::string::npos);
+}
+
+TEST_F(WireProfileLoopbackTest, ProfileRejectsOutOfRangeSeconds) {
+  const auto zero = client_.Profile(0);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  const auto huge = client_.Profile(61);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WireProfileLoopbackTest, DetectsStayLiveDuringProfileWindow) {
+  // The profile window must not stall dispatch: a second connection's
+  // Detect answers while the first connection's Profile is in flight.
+  WireClient prof_client;
+  ASSERT_TRUE(prof_client.Connect("127.0.0.1", server_->port()).ok());
+  auto profile_future = std::async(std::launch::async, [&prof_client] {
+    return prof_client.Profile(1);
+  });
+  // Give the server a moment to park the profile request on its worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto detect = client_.Detect("m", RandomWindows(2, 93));
+  EXPECT_TRUE(detect.ok()) << detect.status().ToString();
+  const auto profile = profile_future.get();
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
 }
 
 }  // namespace

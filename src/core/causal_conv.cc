@@ -1,10 +1,29 @@
 #include "core/causal_conv.h"
 
+#include <vector>
+
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace causalformer {
 namespace core {
+
+namespace {
+
+// The per-step averaging denominators [1, 2, ..., steps]. Dividing a whole
+// row at once through K.div replaces `steps` serial scalar divisions with a
+// vectorized pass; IEEE division is elementwise-exact, so the results are
+// bit-identical to dividing inside the t loop.
+std::vector<float> DenomRow(int64_t steps) {
+  std::vector<float> denom(static_cast<size_t>(steps));
+  for (int64_t t = 0; t < steps; ++t) {
+    denom[static_cast<size_t>(t)] = static_cast<float>(t + 1);
+  }
+  return denom;
+}
+
+}  // namespace
 
 Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
                              bool shared_kernel) {
@@ -22,6 +41,7 @@ Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
     const float* px = x.data();
     const float* pk = kernel.data();
     float* po = out.data();
+    const std::vector<float> denom = DenomRow(steps);
     ParallelFor(batch * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
       for (int64_t bi = begin; bi < end; ++bi) {
         const int64_t b = bi / n;
@@ -32,14 +52,13 @@ Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
           const float* krow =
               pk + (i * kernel.dim(1) + kj) * steps;
           float* orow = po + ((b * n + i) * n + j) * steps;
+          const simd::KernelTable& K = simd::Active();
           for (int64_t t = 0; t < steps; ++t) {
-            float acc = 0.0f;
-            // Tap T-1-(t-tau) multiplies x[tau]; iterate over lag.
-            for (int64_t tau = 0; tau <= t; ++tau) {
-              acc += krow[steps - 1 - (t - tau)] * xrow[tau];
-            }
-            orow[t] = acc / static_cast<float>(t + 1);
+            // Tap T-1-(t-tau) multiplies x[tau]: a contiguous dot of the
+            // kernel tail against the input prefix.
+            orow[t] = K.dot(krow + steps - 1 - t, xrow, t + 1);
           }
+          K.div(orow, denom.data(), orow, steps);
         }
       }
     });
@@ -61,6 +80,8 @@ Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
         float* pgk = gk.data();
         // Serial over (b, i, j); the grad-kernel buffer is shared across
         // batches so parallelising would race on pgk.
+        const std::vector<float> denom = DenomRow(steps);
+        std::vector<float> cs(static_cast<size_t>(steps));
         for (int64_t b = 0; b < batch; ++b) {
           for (int64_t i = 0; i < n; ++i) {
             const float* xrow = px + (b * n + i) * steps;
@@ -70,14 +91,14 @@ Tensor MultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
               const float* krow = pk + (i * kdim1 + kj) * steps;
               float* gkrow = pgk + (i * kdim1 + kj) * steps;
               const float* crow = pc + ((b * n + i) * n + j) * steps;
+              const simd::KernelTable& K = simd::Active();
+              K.div(crow, denom.data(), cs.data(), steps);
               for (int64_t t = 0; t < steps; ++t) {
-                const float c = crow[t] / static_cast<float>(t + 1);
+                const float c = cs[static_cast<size_t>(t)];
                 if (c == 0.0f) continue;
-                for (int64_t tau = 0; tau <= t; ++tau) {
-                  const int64_t tap = steps - 1 - (t - tau);
-                  gxrow[tau] += krow[tap] * c;
-                  gkrow[tap] += xrow[tau] * c;
-                }
+                // Two contiguous axpys: taps steps-1-t.. pair with x[0..t].
+                K.axpy(c, krow + steps - 1 - t, gxrow, t + 1);
+                K.axpy(c, xrow, gkrow + steps - 1 - t, t + 1);
               }
             }
           }
@@ -110,6 +131,7 @@ Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
     const float* px = x.data();
     const float* pk = kernel.data();
     float* po = out.data();
+    const std::vector<float> denom = DenomRow(steps);
     ParallelFor(batch * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
       for (int64_t bi = begin; bi < end; ++bi) {
         const int64_t b = bi / n;
@@ -120,13 +142,11 @@ Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
           const int64_t kj = shared_kernel ? 0 : j;
           const float* krow = pk + ((g * n + i) * kdim2 + kj) * steps;
           float* orow = po + ((b * n + i) * n + j) * steps;
+          const simd::KernelTable& K = simd::Active();
           for (int64_t t = 0; t < steps; ++t) {
-            float acc = 0.0f;
-            for (int64_t tau = 0; tau <= t; ++tau) {
-              acc += krow[steps - 1 - (t - tau)] * xrow[tau];
-            }
-            orow[t] = acc / static_cast<float>(t + 1);
+            orow[t] = K.dot(krow + steps - 1 - t, xrow, t + 1);
           }
+          K.div(orow, denom.data(), orow, steps);
         }
       }
     });
@@ -157,7 +177,9 @@ Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
         for (int64_t b = 0; b < batch; ++b) {
           group_rows[static_cast<size_t>(row_groups[b])].push_back(b);
         }
+        const std::vector<float> denom = DenomRow(steps);
         ParallelFor(groups * n, /*grain=*/1, [&](int64_t begin, int64_t end) {
+          std::vector<float> cs(static_cast<size_t>(steps));
           for (int64_t gi = begin; gi < end; ++gi) {
             const int64_t g = gi / n;
             const int64_t i = gi % n;
@@ -169,14 +191,13 @@ Tensor GroupedMultiKernelCausalConv(const Tensor& x, const Tensor& kernel,
                 const float* krow = pk + ((g * n + i) * kdim2 + kj) * steps;
                 float* gkrow = pgk + ((g * n + i) * kdim2 + kj) * steps;
                 const float* crow = pc + ((b * n + i) * n + j) * steps;
+                const simd::KernelTable& K = simd::Active();
+                K.div(crow, denom.data(), cs.data(), steps);
                 for (int64_t t = 0; t < steps; ++t) {
-                  const float c = crow[t] / static_cast<float>(t + 1);
+                  const float c = cs[static_cast<size_t>(t)];
                   if (c == 0.0f) continue;
-                  for (int64_t tau = 0; tau <= t; ++tau) {
-                    const int64_t tap = steps - 1 - (t - tau);
-                    gxrow[tau] += krow[tap] * c;
-                    gkrow[tap] += xrow[tau] * c;
-                  }
+                  K.axpy(c, krow + steps - 1 - t, gxrow, t + 1);
+                  K.axpy(c, xrow, gkrow + steps - 1 - t, t + 1);
                 }
               }
             }

@@ -6,6 +6,7 @@
 #include "interpret/gradient_modulation.h"
 #include "interpret/relevance.h"
 #include "obs/trace.h"
+#include "tensor/allocator.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -73,6 +74,11 @@ std::vector<DetectionResult> DetectCausalGraphBatched(
     const DetectorOptions& options) {
   std::vector<DetectionResult> results;
   if (window_batches.empty()) return results;
+
+  // Per-request tensors recur with the same geometries, so draw them from the
+  // process-wide arena: after the first request warms the size-class pools,
+  // steady-state detection performs zero mallocs on this thread.
+  ScopedAllocator arena_guard(DetectArena());
 
   const ModelOptions& mopt = model.options();
   const int n = static_cast<int>(mopt.num_series);

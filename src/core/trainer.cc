@@ -3,6 +3,7 @@
 #include "data/windowing.h"
 #include "optim/adam.h"
 #include "optim/early_stopping.h"
+#include "tensor/allocator.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -14,6 +15,9 @@ TrainReport TrainCausalityTransformer(CausalityTransformer* model,
                                       Tensor* windows_out) {
   CF_CHECK(model != nullptr);
   CF_CHECK(rng != nullptr);
+  // Per-step activations and gradients recycle through the shared arena
+  // instead of hitting malloc every epoch.
+  ScopedAllocator arena_guard(DetectArena());
   const ModelOptions& mopt = model->options();
   const Tensor windows =
       data::MakeWindows(series, mopt.window, options.stride);

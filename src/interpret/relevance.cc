@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -10,36 +11,20 @@ namespace interpret {
 
 namespace {
 
-// f + eps * sign(f), with sign(0) := +1, so s = R / f never divides by zero.
-Tensor Stabilize(const Tensor& f, float eps) {
-  Tensor out = Tensor::Zeros(f.shape());
-  const float* pf = f.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < f.numel(); ++i) {
-    po[i] = pf[i] + (pf[i] >= 0.0f ? eps : -eps);
-  }
-  return out;
-}
-
-// cot = R / stabilize(f), computed without touching the tape.
+// cot = R / (f + eps * sign(f)), with sign(0) := +1, so the ratio never
+// divides by zero. Fused into one vectorized pass, off-tape.
 Tensor SafeRatio(const Tensor& relevance, const Tensor& f, float eps) {
-  Tensor denom = Stabilize(f, eps);
-  Tensor out = Tensor::Zeros(f.shape());
-  const float* pr = relevance.data();
-  const float* pd = denom.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < f.numel(); ++i) po[i] = pr[i] / pd[i];
+  Tensor out = Tensor::Empty(f.shape());
+  simd::Active().stab_ratio(relevance.data(), f.data(), eps, out.data(),
+                            f.numel());
   return out;
 }
 
 // a ⊙ b elementwise on raw buffers (same shape), off-tape.
 Tensor HadamardRaw(const Tensor& a, const Tensor& b) {
   CF_CHECK(a.shape() == b.shape());
-  Tensor out = Tensor::Zeros(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  Tensor out = Tensor::Empty(a.shape());
+  simd::Active().mul(a.data(), b.data(), out.data(), a.numel());
   return out;
 }
 
@@ -109,9 +94,8 @@ RelevanceMap PropagateRelevance(const Tensor& output, const Tensor& seed,
       if (inserted) {
         slot->second = contrib.Clone();
       } else {
-        float* dst = slot->second.data();
-        const float* src = contrib.data();
-        for (int64_t k = 0; k < contrib.numel(); ++k) dst[k] += src[k];
+        simd::Active().accumulate(slot->second.data(), contrib.data(),
+                                  contrib.numel());
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "nn/conv1d.h"
 
 #include "nn/init.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -39,15 +40,13 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           for (int64_t k = 0; k < kernel; ++k) {
             const int64_t back = (kernel - 1 - k) * dilation + shift;
             const float w = wrow[k];
-            if (w == 0.0f) continue;
-            for (int64_t t = back; t < steps; ++t) {
-              orow[t] += w * xrow[t - back];
-            }
+            if (w == 0.0f || back >= steps) continue;
+            // Each tap is one shifted axpy over the time axis.
+            simd::Active().axpy(w, xrow, orow + back, steps - back);
           }
         }
         if (bias.defined()) {
-          const float bv = bias.data()[oc];
-          for (int64_t t = 0; t < steps; ++t) orow[t] += bv;
+          simd::Active().add_scalar(bias.data()[oc], orow, orow, steps);
         }
       }
     }
@@ -86,14 +85,11 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
               float* gwrow = pgw + (oc * c_in_per_group + icl) * kernel;
               for (int64_t k = 0; k < kernel; ++k) {
                 const int64_t back = (kernel - 1 - k) * dilation + shift;
-                const float w = wrow[k];
-                float acc = 0.0f;
-                for (int64_t t = back; t < steps; ++t) {
-                  const float c = crow[t];
-                  gxrow[t - back] += w * c;
-                  acc += c * xrow[t - back];
-                }
-                gwrow[k] += acc;
+                if (back >= steps) continue;
+                // Fused: gx accumulation and the weight-grad dot share one
+                // pass over the cotangent row.
+                gwrow[k] += simd::Active().axpy_dot(
+                    wrow[k], crow + back, gxrow, xrow, steps - back);
               }
             }
           }
@@ -105,9 +101,7 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
           for (int64_t b = 0; b < batch; ++b) {
             for (int64_t oc = 0; oc < c_out; ++oc) {
               const float* crow = pc + (b * c_out + oc) * steps;
-              float acc = 0.0f;
-              for (int64_t t = 0; t < steps; ++t) acc += crow[t];
-              pgb[oc] += acc;
+              pgb[oc] += simd::Active().sum(crow, steps);
             }
           }
           grads.push_back(gb);

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -111,10 +112,7 @@ GradientMap ComputeGradients(const Tensor& root, const Tensor& seed,
       } else {
         // Accumulate into the existing cotangent buffer.
         Tensor& acc = slot->second;
-        float* dst = acc.data();
-        const float* src = g.data();
-        const int64_t n = acc.numel();
-        for (int64_t k = 0; k < n; ++k) dst[k] += src[k];
+        simd::Active().accumulate(acc.data(), g.data(), acc.numel());
       }
     }
   }

@@ -2,36 +2,74 @@
 #include <functional>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
 
 namespace {
 
+// Which arithmetic op a BroadcastBinary call performs, so the contiguous fast
+// paths can dispatch to the vectorized kernel table instead of calling the
+// std::function per element. kGeneric keeps the scalar closure.
+enum class BinKind { kGeneric, kAdd, kSub, kMul, kDiv };
+
 // Applies fn(a_i, b_i) with NumPy broadcasting. Fast paths: identical shapes
-// and scalar operands; general path walks output indices with stride-0 for
-// broadcast dimensions.
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
+// and scalar operands (vectorized for the arithmetic kinds); general path
+// walks output indices with stride-0 for broadcast dimensions.
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinKind kind,
                        const std::function<float(float, float)>& fn) {
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out = Tensor::Zeros(out_shape);
+  Tensor out = Tensor::Empty(out_shape);  // every element written below
   float* o = out.data();
   const float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = out_shape.numel();
+  const simd::KernelTable& K = simd::Active();
 
   if (a.shape() == b.shape()) {
+    switch (kind) {
+      case BinKind::kAdd:
+        K.add(pa, pb, o, n);
+        return out;
+      case BinKind::kSub:
+        K.sub(pa, pb, o, n);
+        return out;
+      case BinKind::kMul:
+        K.mul(pa, pb, o, n);
+        return out;
+      case BinKind::kDiv:
+        K.div(pa, pb, o, n);
+        return out;
+      case BinKind::kGeneric:
+        break;
+    }
     for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], pb[i]);
     return out;
   }
   if (a.numel() == 1) {
     const float va = pa[0];
-    for (int64_t i = 0; i < n; ++i) o[i] = fn(va, pb[i]);
+    if (kind == BinKind::kAdd) {
+      K.add_scalar(va, pb, o, n);
+    } else if (kind == BinKind::kMul) {
+      K.scale(va, pb, o, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) o[i] = fn(va, pb[i]);
+    }
     return out;
   }
   if (b.numel() == 1) {
     const float vb = pb[0];
-    for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], vb);
+    if (kind == BinKind::kAdd) {
+      K.add_scalar(vb, pa, o, n);
+    } else if (kind == BinKind::kSub) {
+      // x - c == x + (-c) exactly in IEEE-754.
+      K.add_scalar(-vb, pa, o, n);
+    } else if (kind == BinKind::kMul) {
+      K.scale(vb, pa, o, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) o[i] = fn(pa[i], vb);
+    }
     return out;
   }
 
@@ -71,14 +109,14 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b,
 Tensor UnaryOp(const std::string& name, const Tensor& x,
                const std::function<float(float)>& fn,
                const std::function<float(float, float)>& dfn_xy) {
-  Tensor out = Tensor::Zeros(x.shape());
+  Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
   const int64_t n = x.numel();
   for (int64_t i = 0; i < n; ++i) po[i] = fn(px[i]);
   return MakeOp(name, {x}, out,
                 [x, dfn_xy](const Tensor& y, const Tensor& cot) {
-                  Tensor gx = Tensor::Zeros(x.shape());
+                  Tensor gx = Tensor::Empty(x.shape());
                   const float* px = x.data();
                   const float* py = y.data();
                   const float* pc = cot.data();
@@ -89,6 +127,18 @@ Tensor UnaryOp(const std::string& name, const Tensor& x,
                   }
                   return std::vector<Tensor>{gx};
                 });
+}
+
+// Unary op whose forward is o = c * x and whose VJP is g = c * cot — Neg and
+// Scale, which ride the vectorized scale kernel on both passes.
+Tensor ScaleOp(const std::string& name, const Tensor& x, float c) {
+  Tensor out = Tensor::Empty(x.shape());
+  simd::Active().scale(c, x.data(), out.data(), x.numel());
+  return MakeOp(name, {x}, out, [c](const Tensor& y, const Tensor& cot) {
+    Tensor gx = Tensor::Empty(cot.shape());
+    simd::Active().scale(c, cot.data(), gx.data(), cot.numel());
+    return std::vector<Tensor>{gx};
+  });
 }
 
 }  // namespace
@@ -125,7 +175,8 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+  Tensor out = BroadcastBinary(a, b, BinKind::kAdd,
+                               [](float x, float y) { return x + y; });
   return MakeOp("add", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
     return std::vector<Tensor>{ReduceToShape(cot, a.shape()),
                                ReduceToShape(cot, b.shape())};
@@ -133,47 +184,48 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+  Tensor out = BroadcastBinary(a, b, BinKind::kSub,
+                               [](float x, float y) { return x - y; });
   return MakeOp("sub", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
-    Tensor gb = Tensor::Zeros(cot.shape());
-    const float* pc = cot.data();
-    float* pg = gb.data();
-    for (int64_t i = 0; i < cot.numel(); ++i) pg[i] = -pc[i];
+    Tensor gb = Tensor::Empty(cot.shape());
+    simd::Active().scale(-1.0f, cot.data(), gb.data(), cot.numel());
     return std::vector<Tensor>{ReduceToShape(cot, a.shape()),
                                ReduceToShape(gb, b.shape())};
   });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+  Tensor out = BroadcastBinary(a, b, BinKind::kMul,
+                               [](float x, float y) { return x * y; });
   return MakeOp("mul", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
-    Tensor ga_full = BroadcastBinary(cot, b, [](float c, float y) { return c * y; });
-    Tensor gb_full = BroadcastBinary(cot, a, [](float c, float x) { return c * x; });
+    Tensor ga_full = BroadcastBinary(cot, b, BinKind::kMul,
+                                     [](float c, float y) { return c * y; });
+    Tensor gb_full = BroadcastBinary(cot, a, BinKind::kMul,
+                                     [](float c, float x) { return c * x; });
     return std::vector<Tensor>{ReduceToShape(ga_full, a.shape()),
                                ReduceToShape(gb_full, b.shape())};
   });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  Tensor out = BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+  Tensor out = BroadcastBinary(a, b, BinKind::kDiv,
+                               [](float x, float y) { return x / y; });
   return MakeOp("div", {a, b}, out, [a, b](const Tensor&, const Tensor& cot) {
-    Tensor ga_full = BroadcastBinary(cot, b, [](float c, float y) { return c / y; });
-    Tensor tmp = BroadcastBinary(a, b, [](float x, float y) { return -x / (y * y); });
-    Tensor gb_full = BroadcastBinary(cot, tmp, [](float c, float t) { return c * t; });
+    Tensor ga_full = BroadcastBinary(cot, b, BinKind::kDiv,
+                                     [](float c, float y) { return c / y; });
+    Tensor tmp = BroadcastBinary(
+        a, b, BinKind::kGeneric,
+        [](float x, float y) { return -x / (y * y); });
+    Tensor gb_full = BroadcastBinary(cot, tmp, BinKind::kMul,
+                                     [](float c, float t) { return c * t; });
     return std::vector<Tensor>{ReduceToShape(ga_full, a.shape()),
                                ReduceToShape(gb_full, b.shape())};
   });
 }
 
-Tensor Neg(const Tensor& x) {
-  return UnaryOp("neg", x, [](float v) { return -v; },
-                 [](float, float) { return -1.0f; });
-}
+Tensor Neg(const Tensor& x) { return ScaleOp("neg", x, -1.0f); }
 
-Tensor Scale(const Tensor& x, float c) {
-  return UnaryOp("scale", x, [c](float v) { return c * v; },
-                 [c](float, float) { return c; });
-}
+Tensor Scale(const Tensor& x, float c) { return ScaleOp("scale", x, c); }
 
 Tensor AddScalar(const Tensor& x, float c) {
   return UnaryOp("add_scalar", x, [c](float v) { return v + c; },

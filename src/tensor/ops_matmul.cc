@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -7,12 +8,16 @@ namespace causalformer {
 
 namespace {
 
-// C[b] += A[b] (m x k) @ B[b] (k x n), row-major, i-k-j loop order for cache
-// friendliness. `batch_stride_*` of 0 broadcasts that operand across batches.
+// C[b] = A[b] (m x k) @ B[b] (k x n), row-major. `batch_stride_*` of 0
+// broadcasts that operand across batches. Each output row is one gemm_row
+// (plain B) or a run of dots (transposed B, where B's rows are contiguous in
+// the reduction dimension); the kernel table supplies the vectorized inner
+// loops.
 void MatMulKernel(const float* a, const float* b, float* c, int64_t batch,
                   int64_t m, int64_t k, int64_t n, int64_t a_bstride,
                   int64_t b_bstride, int64_t c_bstride, bool transpose_a,
                   bool transpose_b) {
+  const simd::KernelTable& K = simd::Active();
   const int64_t rows_total = batch * m;
   ParallelFor(rows_total, /*grain=*/256, [&](int64_t begin, int64_t end) {
     for (int64_t r = begin; r < end; ++r) {
@@ -21,14 +26,21 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t batch,
       const float* ab = a + bi * a_bstride;
       const float* bb = b + bi * b_bstride;
       float* cb = c + bi * c_bstride + i * n;
-      for (int64_t j = 0; j < n; ++j) cb[j] = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = transpose_a ? ab[kk * m + i] : ab[i * k + kk];
-        const float* brow = transpose_b ? nullptr : bb + kk * n;
-        if (transpose_b) {
-          for (int64_t j = 0; j < n; ++j) cb[j] += av * bb[j * k + kk];
-        } else {
-          for (int64_t j = 0; j < n; ++j) cb[j] += av * brow[j];
+      const float* arow = transpose_a ? ab + i : ab + i * k;
+      const int64_t a_stride = transpose_a ? m : 1;
+      if (!transpose_b) {
+        K.gemm_row(arow, a_stride, bb, cb, k, n);
+      } else if (!transpose_a) {
+        for (int64_t j = 0; j < n; ++j) cb[j] = K.dot(arow, bb + j * k, k);
+      } else {
+        // Both transposed: neither operand is contiguous along the reduction
+        // axis; no caller uses this form, keep the plain loop.
+        for (int64_t j = 0; j < n; ++j) {
+          float acc = 0.0f;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            acc += ab[kk * m + i] * bb[j * k + kk];
+          }
+          cb[j] = acc;
         }
       }
     }
@@ -75,7 +87,7 @@ MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const MatMulPlan plan = PlanMatMul(a.shape(), b.shape());
-  Tensor out = Tensor::Zeros(plan.out_shape);
+  Tensor out = Tensor::Empty(plan.out_shape);  // kernel writes every row
   {
     obs::ScopedPhaseTimer timer("kernel.matmul", /*kernel=*/true);
     MatMulKernel(a.data(), b.data(), out.data(), plan.batch, plan.m, plan.k,
@@ -91,7 +103,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const bool b_batched = plan.b_bstride != 0;
 
     Tensor ga_full =
-        Tensor::Zeros(a_batched ? a.shape()
+        Tensor::Empty(a_batched ? a.shape()
                                 : Shape({plan.batch, plan.m, plan.k}));
     MatMulKernel(cot.data(), b.data(), ga_full.data(), plan.batch, plan.m,
                  plan.n, plan.k, plan.m * plan.n, plan.b_bstride,
@@ -103,7 +115,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (!a_batched && plan.batch > 1) ga = Reshape(ga, a.shape());
 
     Tensor gb_full =
-        Tensor::Zeros(b_batched ? b.shape()
+        Tensor::Empty(b_batched ? b.shape()
                                 : Shape({plan.batch, plan.k, plan.n}));
     MatMulKernel(a.data(), cot.data(), gb_full.data(), plan.batch, plan.k,
                  plan.m, plan.n, plan.a_bstride, plan.m * plan.n,

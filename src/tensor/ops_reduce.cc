@@ -1,6 +1,8 @@
 #include <cmath>
+#include <cstring>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
@@ -55,23 +57,26 @@ Tensor Sum(const Tensor& x, int axis, bool keepdim) {
   Tensor out = Tensor::Zeros(ReducedShape(x.shape(), ax, keepdim));
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t l = 0; l < len; ++l) {
-      const float* src = px + (o * len + l) * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+  const simd::KernelTable& K = simd::Active();
+  if (inner == 1) {
+    // The reduced axis is contiguous: one horizontal sum per output element.
+    for (int64_t o = 0; o < outer; ++o) po[o] = K.sum(px + o * len, len);
+  } else {
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t l = 0; l < len; ++l) {
+        K.accumulate(po + o * inner, px + (o * len + l) * inner, inner);
+      }
     }
   }
   return MakeOp("sum_axis", {x}, out,
                 [x, ax, outer, len, inner](const Tensor&, const Tensor& cot) {
-                  Tensor g = Tensor::Zeros(x.shape());
+                  Tensor g = Tensor::Empty(x.shape());
                   const float* pc = cot.data();
                   float* pg = g.data();
                   for (int64_t o = 0; o < outer; ++o) {
                     for (int64_t l = 0; l < len; ++l) {
-                      float* dst = pg + (o * len + l) * inner;
-                      const float* src = pc + o * inner;
-                      for (int64_t i = 0; i < inner; ++i) dst[i] = src[i];
+                      std::memcpy(pg + (o * len + l) * inner, pc + o * inner,
+                                  static_cast<size_t>(inner) * sizeof(float));
                     }
                   }
                   return std::vector<Tensor>{g};

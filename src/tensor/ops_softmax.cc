@@ -1,10 +1,24 @@
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
+
+namespace {
+
+// A row whose max is non-finite (fully masked: every entry -inf) or whose
+// exp-sum vanished has no well-defined softmax; emitting NaN poisons every
+// downstream score, so such rows become the uniform distribution instead.
+inline bool DegenerateRow(float max_v, float sum) {
+  return !std::isfinite(max_v) || sum == 0.0f || !std::isfinite(sum);
+}
+
+}  // namespace
 
 Tensor Softmax(const Tensor& x, int axis) {
   int ax = axis;
@@ -18,24 +32,54 @@ Tensor Softmax(const Tensor& x, int axis) {
   const int64_t len = x.shape()[ax];
 
   obs::ScopedPhaseTimer timer("kernel.softmax", /*kernel=*/true);
-  Tensor out = Tensor::Zeros(x.shape());
+  Tensor out = Tensor::Empty(x.shape());  // every element written below
   const float* px = x.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
-      const int64_t base = o * len * inner + in;
-      float max_v = px[base];
-      for (int64_t l = 1; l < len; ++l) {
-        max_v = std::max(max_v, px[base + l * inner]);
-      }
+  const simd::KernelTable& K = simd::Active();
+  const float uniform = 1.0f / static_cast<float>(len);
+
+  if (inner == 1) {
+    // The axis is contiguous: one horizontal max/exp-sum/scale per row.
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* row = px + o * len;
+      float* orow = po + o * len;
+      const float max_v = K.max(row, len);
       float sum = 0.0f;
-      for (int64_t l = 0; l < len; ++l) {
-        const float e = std::exp(px[base + l * inner] - max_v);
-        po[base + l * inner] = e;
-        sum += e;
+      if (std::isfinite(max_v)) sum = K.exp_shift_sum(row, max_v, orow, len);
+      if (DegenerateRow(max_v, sum)) {
+        for (int64_t l = 0; l < len; ++l) orow[l] = uniform;
+        continue;
       }
-      const float inv = 1.0f / sum;
-      for (int64_t l = 0; l < len; ++l) po[base + l * inner] *= inv;
+      K.scale(1.0f / sum, orow, orow, len);
+    }
+  } else {
+    // The axis is strided; iterate it outermost and vectorize across the
+    // contiguous `inner` lanes (bit-identical per lane to the seed loop).
+    std::vector<float> mx(static_cast<size_t>(inner));
+    std::vector<float> sm(static_cast<size_t>(inner));
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* xb = px + o * len * inner;
+      float* ob = po + o * len * inner;
+      std::memcpy(mx.data(), xb, static_cast<size_t>(inner) * sizeof(float));
+      for (int64_t l = 1; l < len; ++l) {
+        K.max_into(mx.data(), xb + l * inner, inner);
+      }
+      std::memset(sm.data(), 0, static_cast<size_t>(inner) * sizeof(float));
+      for (int64_t l = 0; l < len; ++l) {
+        K.exp_sub(xb + l * inner, mx.data(), ob + l * inner, inner);
+        K.accumulate(sm.data(), ob + l * inner, inner);
+      }
+      for (int64_t in = 0; in < inner; ++in) {
+        if (DegenerateRow(mx[in], sm[in])) {
+          for (int64_t l = 0; l < len; ++l) ob[l * inner + in] = uniform;
+          sm[in] = 1.0f;  // lane already final; scale below is a no-op
+        } else {
+          sm[in] = 1.0f / sm[in];
+        }
+      }
+      for (int64_t l = 0; l < len; ++l) {
+        K.mul(ob + l * inner, sm.data(), ob + l * inner, inner);
+      }
     }
   }
 
@@ -44,20 +88,30 @@ Tensor Softmax(const Tensor& x, int axis) {
       [outer, inner, len](const Tensor& y, const Tensor& cot) {
         // dX = y * (cot - sum(cot * y, axis)).
         obs::ScopedPhaseTimer timer("kernel.softmax", /*kernel=*/true);
-        Tensor g = Tensor::Zeros(y.shape());
+        Tensor g = Tensor::Empty(y.shape());
         const float* py = y.data();
         const float* pc = cot.data();
         float* pg = g.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t in = 0; in < inner; ++in) {
-            const int64_t base = o * len * inner + in;
-            float dot = 0.0f;
+        const simd::KernelTable& K = simd::Active();
+        if (inner == 1) {
+          for (int64_t o = 0; o < outer; ++o) {
+            const int64_t base = o * len;
+            const float dot = K.dot(pc + base, py + base, len);
+            K.mul_sub_scalar(py + base, pc + base, dot, pg + base, len);
+          }
+        } else {
+          std::vector<float> dt(static_cast<size_t>(inner));
+          for (int64_t o = 0; o < outer; ++o) {
+            const int64_t base = o * len * inner;
+            std::memset(dt.data(), 0,
+                        static_cast<size_t>(inner) * sizeof(float));
             for (int64_t l = 0; l < len; ++l) {
-              dot += pc[base + l * inner] * py[base + l * inner];
+              K.fma_into(dt.data(), pc + base + l * inner,
+                         py + base + l * inner, inner);
             }
             for (int64_t l = 0; l < len; ++l) {
               const int64_t k = base + l * inner;
-              pg[k] = py[k] * (pc[k] - dot);
+              K.mul_sub(py + k, pc + k, dt.data(), pg + k, inner);
             }
           }
         }

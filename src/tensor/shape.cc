@@ -15,7 +15,11 @@ int64_t Shape::dim(int i) const {
 
 int64_t Shape::numel() const {
   int64_t n = 1;
-  for (const int64_t d : dims_) n *= d;
+  for (const int64_t d : dims_) {
+    CF_CHECK_GE(d, 0) << "negative dimension in shape " << ToString();
+    CF_CHECK(!__builtin_mul_overflow(n, d, &n))
+        << "element count overflows int64 for shape " << ToString();
+  }
   return n;
 }
 

@@ -1,0 +1,117 @@
+#ifndef CAUSALFORMER_TENSOR_SIMD_H_
+#define CAUSALFORMER_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+/// \file
+/// Runtime-dispatched vector kernels for the tensor hot loops.
+///
+/// Every primitive exists in a scalar reference form (bit-identical to the
+/// original hand-written loops — the contract the ScoreCache and in-flight
+/// dedup rely on) and, when the build and the CPU allow, in a vectorized form
+/// (AVX2+FMA on x86-64, NEON on ARM). The active implementation is picked
+/// once at startup:
+///
+///   * compile-time: the CMake option CF_SIMD=auto|avx2|neon|off decides
+///     which backends are built (the `off` build contains only the scalar
+///     table);
+///   * runtime: the best built backend the CPU actually supports wins, and
+///     the CF_SIMD environment variable (`off`/`scalar`, `avx2`, `neon`,
+///     `auto`) can force a lower level without rebuilding.
+///
+/// Numerics contract: vectorized kernels are bit-identical to the scalar
+/// reference for order-independent operations (elementwise arithmetic,
+/// accumulation, max) and within a small documented tolerance for horizontal
+/// reductions (dot/sum reassociate into lane partials) and the polynomial
+/// exp (|rel err| <= ~4 ulp; inputs below -87.33 flush to exactly 0). The
+/// scalar table preserves the seed kernels' exact accumulation order, so a
+/// CF_SIMD=off build reproduces pre-SIMD detector outputs bit-for-bit.
+/// tests/simd_kernel_test.cc sweeps every kernel over sizes 1..67 against
+/// the scalar reference so unaligned tails can never silently diverge.
+
+namespace causalformer {
+namespace simd {
+
+/// Instruction-set level of a kernel table.
+enum class IsaLevel { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// One implementation of every vector primitive. All pointers are non-null.
+struct KernelTable {
+  // -- Horizontal reductions (SIMD reassociates; scalar is sequential) ------
+  /// sum_i a[i] * b[i].
+  float (*dot)(const float* a, const float* b, int64_t n);
+  /// sum_i x[i].
+  float (*sum)(const float* x, int64_t n);
+  /// max_i x[i] (n >= 1); exact at every level.
+  float (*max)(const float* x, int64_t n);
+
+  // -- Fused accumulation ---------------------------------------------------
+  /// y[i] += alpha * x[i].
+  void (*axpy)(float alpha, const float* x, float* y, int64_t n);
+  /// y[i] += alpha * c[i]; returns sum_i c[i] * x[i] (conv backward fusion).
+  float (*axpy_dot)(float alpha, const float* c, float* y, const float* x,
+                    int64_t n);
+
+  // -- Elementwise (exact at every level) -----------------------------------
+  void (*add)(const float* a, const float* b, float* o, int64_t n);
+  void (*sub)(const float* a, const float* b, float* o, int64_t n);
+  void (*mul)(const float* a, const float* b, float* o, int64_t n);
+  void (*div)(const float* a, const float* b, float* o, int64_t n);
+  /// o[i] = c * x[i] (in-place safe).
+  void (*scale)(float c, const float* x, float* o, int64_t n);
+  /// o[i] = x[i] + c.
+  void (*add_scalar)(float c, const float* x, float* o, int64_t n);
+  /// dst[i] += src[i].
+  void (*accumulate)(float* dst, const float* src, int64_t n);
+  /// dst[i] = max(dst[i], src[i]).
+  void (*max_into)(float* dst, const float* src, int64_t n);
+  /// dst[i] += a[i] * b[i].
+  void (*fma_into)(float* dst, const float* a, const float* b, int64_t n);
+
+  // -- Softmax rows ---------------------------------------------------------
+  /// o[i] = exp(x[i] - shift); returns sum_i o[i] (contiguous row).
+  float (*exp_shift_sum)(const float* x, float shift, float* o, int64_t n);
+  /// o[i] = exp(x[i] - m[i]) (lane-vectorized rows, strided softmax).
+  void (*exp_sub)(const float* x, const float* m, float* o, int64_t n);
+  /// g[i] = y[i] * (c[i] - d[i]).
+  void (*mul_sub)(const float* y, const float* c, const float* d, float* g,
+                  int64_t n);
+  /// g[i] = y[i] * (c[i] - d).
+  void (*mul_sub_scalar)(const float* y, const float* c, float d, float* g,
+                         int64_t n);
+
+  // -- Relevance propagation ------------------------------------------------
+  /// o[i] = r[i] / (f[i] + (f[i] >= 0 ? eps : -eps))  (Eq. 17 stabilizer).
+  void (*stab_ratio)(const float* r, const float* f, float eps, float* o,
+                     int64_t n);
+
+  // -- Matmul row -----------------------------------------------------------
+  /// crow[j] = sum_kk a[kk * a_stride] * b[kk * n + j]  for j in [0, n).
+  /// a_stride = 1 walks a row of A; a_stride = m walks a column (A^T form).
+  void (*gemm_row)(const float* a, int64_t a_stride, const float* b,
+                   float* crow, int64_t k, int64_t n);
+};
+
+/// The table the process dispatched to (resolved once, overridable by
+/// SetLevelForTesting).
+const KernelTable& Active();
+
+/// Level of the active table.
+IsaLevel ActiveLevel();
+
+/// Human-readable level name: "scalar", "avx2", "neon".
+const char* LevelName(IsaLevel level);
+
+/// The table for `level`, or nullptr when that backend is not built in or
+/// not supported by this CPU. `kScalar` is always available.
+const KernelTable* TableForLevel(IsaLevel level);
+
+/// Forces dispatch to `level` (clamped to the best available backend when
+/// unavailable). Benches use this to time scalar vs vector in one process;
+/// tests use it to pin a level. Not thread-safe against in-flight kernels.
+void SetLevelForTesting(IsaLevel level);
+
+}  // namespace simd
+}  // namespace causalformer
+
+#endif  // CAUSALFORMER_TENSOR_SIMD_H_

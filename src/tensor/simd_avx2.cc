@@ -1,0 +1,432 @@
+#ifdef CF_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/simd_tables.h"
+
+// AVX2+FMA kernel table. This translation unit is compiled with
+// -mavx2 -mfma -ffp-contract=off; the dispatcher only selects it after
+// __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma").
+//
+// Contraction is disabled so the *scalar tail* loops here round exactly like
+// the scalar reference table (separate multiply and add), keeping the exact
+// elementwise kernels bit-identical across vector body and tail. Fused
+// multiply-adds are used only through explicit intrinsics, and only inside
+// the horizontal reductions whose reassociation tolerance is already
+// documented in simd.h.
+
+namespace causalformer {
+namespace simd {
+namespace {
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+inline float Hmax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_max_ps(lo, hi);
+  lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+// Cephes-style polynomial exp. Relative error <= ~4 ulp on the clamped
+// range; inputs below kExpLoF (incl. -inf) flush to exactly 0, inputs above
+// kExpHiF saturate to exp(kExpHiF). NaN propagates.
+constexpr float kExpHiF = 88.3762626647949f;
+constexpr float kExpLoF = -87.3365478515625f;
+constexpr float kLog2eF = 1.44269504088896341f;
+constexpr float kLn2HiF = 0.693359375f;
+constexpr float kLn2LoF = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+
+inline __m256 ExpPs(__m256 x) {
+  // Lanes below the cutoff (including -inf) become exactly 0 at the end.
+  const __m256 flush = _mm256_cmp_ps(x, _mm256_set1_ps(kExpLoF), _CMP_LT_OQ);
+  // Operand order keeps NaN lanes as NaN (min/max return the second operand
+  // when either input is NaN).
+  __m256 xc = _mm256_min_ps(_mm256_set1_ps(kExpHiF), x);
+  xc = _mm256_max_ps(_mm256_set1_ps(kExpLoF), xc);
+
+  const __m256 fx = _mm256_round_ps(
+      _mm256_mul_ps(xc, _mm256_set1_ps(kLog2eF)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = xc - fx * ln2, split into hi/lo parts for extra precision.
+  __m256 r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(kLn2HiF), xc);
+  r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(kLn2LoF), r);
+
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  __m256 p = _mm256_set1_ps(kExpC0);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC1));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC2));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC3));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC4));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC5));
+  p = _mm256_fmadd_ps(p, r2, r);
+  p = _mm256_add_ps(p, _mm256_set1_ps(1.0f));
+
+  // 2^fx via the exponent bits; fx is integral in [-126, 128] after clamping.
+  __m256i n = _mm256_cvtps_epi32(fx);
+  n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(0x7f)), 23);
+  const __m256 result = _mm256_mul_ps(p, _mm256_castsi256_ps(n));
+  return _mm256_andnot_ps(flush, result);
+}
+
+// Scalar replica of ExpPs for loop tails: identical operation sequence
+// (std::fmaf mirrors the vector FMAs, nearbyintf mirrors round-to-nearest)
+// so a row's tail elements match what a full vector lane would produce.
+inline float ExpTail(float x) {
+  if (x < kExpLoF) return 0.0f;  // incl. -inf; NaN falls through
+  const float xc = x > kExpHiF ? kExpHiF : x;
+  const float fx = std::nearbyintf(xc * kLog2eF);
+  float r = std::fmaf(fx, -kLn2HiF, xc);
+  r = std::fmaf(fx, -kLn2LoF, r);
+  const float r2 = r * r;
+  float p = kExpC0;
+  p = std::fmaf(p, r, kExpC1);
+  p = std::fmaf(p, r, kExpC2);
+  p = std::fmaf(p, r, kExpC3);
+  p = std::fmaf(p, r, kExpC4);
+  p = std::fmaf(p, r, kExpC5);
+  p = std::fmaf(p, r2, r);
+  p += 1.0f;
+  const int n = static_cast<int>(std::lrintf(fx));
+  union {
+    uint32_t bits;
+    float value;
+  } pow2;
+  pow2.bits = static_cast<uint32_t>(n + 0x7f) << 23;
+  return p * pow2.value;
+}
+
+// ---- Horizontal reductions ---------------------------------------------------
+
+float Avx2Dot(const float* a, const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float s = Hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                               _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float Avx2Sum(const float* x, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(x + i));
+    acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(x + i + 8));
+    acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(x + i + 16));
+    acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(x + i + 24));
+  }
+  for (; i + 8 <= n; i += 8) acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(x + i));
+  float s = Hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                               _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+float Avx2Max(const float* x, int64_t n) {
+  if (n < 8) {
+    float m = x[0];
+    for (int64_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+    return m;
+  }
+  __m256 mv = _mm256_loadu_ps(x);
+  int64_t i = 8;
+  for (; i + 8 <= n; i += 8) mv = _mm256_max_ps(mv, _mm256_loadu_ps(x + i));
+  float m = Hmax(mv);
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+// ---- Fused accumulation ------------------------------------------------------
+
+// Exact kernel: multiply and add round separately (matching the scalar
+// reference), so no FMA here.
+void Avx2Axpy(float alpha, const float* x, float* y, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float Avx2AxpyDot(float alpha, const float* c, float* y, const float* x,
+                  int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vc = _mm256_loadu_ps(c + i);
+    const __m256 prod = _mm256_mul_ps(va, vc);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+    acc = _mm256_fmadd_ps(vc, _mm256_loadu_ps(x + i), acc);
+  }
+  float s = Hsum(acc);
+  for (; i < n; ++i) {
+    y[i] += alpha * c[i];
+    s += c[i] * x[i];
+  }
+  return s;
+}
+
+// ---- Elementwise (exact) -----------------------------------------------------
+
+void Avx2Add(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i,
+                     _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void Avx2Sub(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void Avx2Mul(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void Avx2Div(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i,
+                     _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                   _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] / b[i];
+}
+
+void Avx2Scale(float c, const float* x, float* o, int64_t n) {
+  const __m256 vc = _mm256_set1_ps(c);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(vc, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) o[i] = c * x[i];
+}
+
+void Avx2AddScalar(float c, const float* x, float* o, int64_t n) {
+  const __m256 vc = _mm256_set1_ps(c);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(x + i), vc));
+  }
+  for (; i < n; ++i) o[i] = x[i] + c;
+}
+
+void Avx2Accumulate(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                   _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void Avx2MaxInto(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_max_ps(_mm256_loadu_ps(dst + i),
+                                   _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void Avx2FmaInto(float* dst, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+// ---- Softmax rows ------------------------------------------------------------
+
+float Avx2ExpShiftSum(const float* x, float shift, float* o, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(shift);
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 e = ExpPs(_mm256_sub_ps(_mm256_loadu_ps(x + i), vs));
+    _mm256_storeu_ps(o + i, e);
+    acc = _mm256_add_ps(acc, e);
+  }
+  float s = Hsum(acc);
+  for (; i < n; ++i) {
+    const float e = ExpTail(x[i] - shift);
+    o[i] = e;
+    s += e;
+  }
+  return s;
+}
+
+void Avx2ExpSub(const float* x, const float* m, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i,
+        ExpPs(_mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(m + i))));
+  }
+  for (; i < n; ++i) o[i] = ExpTail(x[i] - m[i]);
+}
+
+void Avx2MulSub(const float* y, const float* c, const float* d, float* g,
+                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        g + i,
+        _mm256_mul_ps(_mm256_loadu_ps(y + i),
+                      _mm256_sub_ps(_mm256_loadu_ps(c + i),
+                                    _mm256_loadu_ps(d + i))));
+  }
+  for (; i < n; ++i) g[i] = y[i] * (c[i] - d[i]);
+}
+
+void Avx2MulSubScalar(const float* y, const float* c, float d, float* g,
+                      int64_t n) {
+  const __m256 vd = _mm256_set1_ps(d);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(g + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(y + i),
+                                   _mm256_sub_ps(_mm256_loadu_ps(c + i), vd)));
+  }
+  for (; i < n; ++i) g[i] = y[i] * (c[i] - d);
+}
+
+// ---- Relevance propagation ---------------------------------------------------
+
+void Avx2StabRatio(const float* r, const float* f, float eps, float* o,
+                   int64_t n) {
+  const __m256 vpos = _mm256_set1_ps(eps);
+  const __m256 vneg = _mm256_set1_ps(-eps);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vf = _mm256_loadu_ps(f + i);
+    // f >= 0 ? +eps : -eps, matching the scalar comparison exactly (incl. the
+    // -0.0f >= 0.0f == true case a sign-bit trick would get wrong).
+    const __m256 ge = _mm256_cmp_ps(vf, zero, _CMP_GE_OQ);
+    const __m256 ve = _mm256_blendv_ps(vneg, vpos, ge);
+    _mm256_storeu_ps(
+        o + i, _mm256_div_ps(_mm256_loadu_ps(r + i), _mm256_add_ps(vf, ve)));
+  }
+  for (; i < n; ++i) o[i] = r[i] / (f[i] + (f[i] >= 0.0f ? eps : -eps));
+}
+
+// ---- Matmul row --------------------------------------------------------------
+
+void Avx2GemmRow(const float* a, int64_t a_stride, const float* b, float* crow,
+                 int64_t k, int64_t n) {
+  int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    __m256 c0 = _mm256_setzero_ps();
+    __m256 c1 = _mm256_setzero_ps();
+    __m256 c2 = _mm256_setzero_ps();
+    __m256 c3 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const __m256 av = _mm256_set1_ps(a[kk * a_stride]);
+      const float* brow = b + kk * n + j;
+      c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), c0);
+      c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), c1);
+      c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), c2);
+      c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), c3);
+    }
+    _mm256_storeu_ps(crow + j, c0);
+    _mm256_storeu_ps(crow + j + 8, c1);
+    _mm256_storeu_ps(crow + j + 16, c2);
+    _mm256_storeu_ps(crow + j + 24, c3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 c0 = _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k; ++kk) {
+      c0 = _mm256_fmadd_ps(_mm256_set1_ps(a[kk * a_stride]),
+                           _mm256_loadu_ps(b + kk * n + j), c0);
+    }
+    _mm256_storeu_ps(crow + j, c0);
+  }
+  for (; j < n; ++j) {
+    float acc = 0.0f;
+    for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * a_stride] * b[kk * n + j];
+    crow[j] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2KernelTable() {
+  static const KernelTable table = {
+      Avx2Dot,       Avx2Sum,         Avx2Max,
+      Avx2Axpy,      Avx2AxpyDot,     Avx2Add,
+      Avx2Sub,       Avx2Mul,         Avx2Div,
+      Avx2Scale,     Avx2AddScalar,   Avx2Accumulate,
+      Avx2MaxInto,   Avx2FmaInto,     Avx2ExpShiftSum,
+      Avx2ExpSub,    Avx2MulSub,      Avx2MulSubScalar,
+      Avx2StabRatio, Avx2GemmRow,
+  };
+  return table;
+}
+
+}  // namespace simd
+}  // namespace causalformer
+
+#endif  // CF_HAVE_AVX2

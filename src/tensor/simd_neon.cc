@@ -1,0 +1,293 @@
+#ifdef CF_HAVE_NEON
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/simd_tables.h"
+
+// NEON (float32x4) kernel table for AArch64, compiled with -ffp-contract=off
+// so the scalar tails round like the scalar reference table. Fused
+// multiply-adds appear only via explicit vfmaq in the horizontal reductions
+// (whose reassociation tolerance simd.h documents); exact elementwise kernels
+// use separate multiply and add. The exp kernels call std::exp per element —
+// NEON has no cheap exp and libm keeps this table's softmax bit-identical to
+// the scalar reference.
+
+namespace causalformer {
+namespace simd {
+namespace {
+
+inline float Hsum(float32x4_t v) { return vaddvq_f32(v); }
+inline float Hmax(float32x4_t v) { return vmaxvq_f32(v); }
+
+// ---- Horizontal reductions ---------------------------------------------------
+
+float NeonDot(const float* a, const float* b, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float s = Hsum(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float NeonSum(const float* x, int64_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vaddq_f32(acc0, vld1q_f32(x + i));
+    acc1 = vaddq_f32(acc1, vld1q_f32(x + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) acc0 = vaddq_f32(acc0, vld1q_f32(x + i));
+  float s = Hsum(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+float NeonMax(const float* x, int64_t n) {
+  if (n < 4) {
+    float m = x[0];
+    for (int64_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+    return m;
+  }
+  float32x4_t mv = vld1q_f32(x);
+  int64_t i = 4;
+  for (; i + 4 <= n; i += 4) mv = vmaxq_f32(mv, vld1q_f32(x + i));
+  float m = Hmax(mv);
+  for (; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+// ---- Fused accumulation ------------------------------------------------------
+
+// Exact kernel: multiply and add round separately, matching the scalar
+// reference.
+void NeonAxpy(float alpha, const float* x, float* y, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t prod = vmulq_f32(va, vld1q_f32(x + i));
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float NeonAxpyDot(float alpha, const float* c, float* y, const float* x,
+                  int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t vc = vld1q_f32(c + i);
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vmulq_f32(va, vc)));
+    acc = vfmaq_f32(acc, vc, vld1q_f32(x + i));
+  }
+  float s = Hsum(acc);
+  for (; i < n; ++i) {
+    y[i] += alpha * c[i];
+    s += c[i] * x[i];
+  }
+  return s;
+}
+
+// ---- Elementwise (exact) -----------------------------------------------------
+
+void NeonAdd(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void NeonSub(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void NeonMul(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void NeonDiv(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vdivq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] / b[i];
+}
+
+void NeonScale(float c, const float* x, float* o, int64_t n) {
+  const float32x4_t vc = vdupq_n_f32(c);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vmulq_f32(vc, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) o[i] = c * x[i];
+}
+
+void NeonAddScalar(float c, const float* x, float* o, int64_t n) {
+  const float32x4_t vc = vdupq_n_f32(c);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(o + i, vaddq_f32(vld1q_f32(x + i), vc));
+  }
+  for (; i < n; ++i) o[i] = x[i] + c;
+}
+
+void NeonAccumulate(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), vld1q_f32(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void NeonMaxInto(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vmaxq_f32(vld1q_f32(dst + i), vld1q_f32(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void NeonFmaInto(float* dst, const float* a, const float* b, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t prod = vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+// ---- Softmax rows (libm exp: bit-identical to the scalar reference) ----------
+
+float NeonExpShiftSum(const float* x, float shift, float* o, int64_t n) {
+  float sum = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float e = std::exp(x[i] - shift);
+    o[i] = e;
+    sum += e;
+  }
+  return sum;
+}
+
+void NeonExpSub(const float* x, const float* m, float* o, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) o[i] = std::exp(x[i] - m[i]);
+}
+
+void NeonMulSub(const float* y, const float* c, const float* d, float* g,
+                int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(g + i, vmulq_f32(vld1q_f32(y + i),
+                               vsubq_f32(vld1q_f32(c + i), vld1q_f32(d + i))));
+  }
+  for (; i < n; ++i) g[i] = y[i] * (c[i] - d[i]);
+}
+
+void NeonMulSubScalar(const float* y, const float* c, float d, float* g,
+                      int64_t n) {
+  const float32x4_t vd = vdupq_n_f32(d);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(g + i,
+              vmulq_f32(vld1q_f32(y + i), vsubq_f32(vld1q_f32(c + i), vd)));
+  }
+  for (; i < n; ++i) g[i] = y[i] * (c[i] - d);
+}
+
+// ---- Relevance propagation ---------------------------------------------------
+
+void NeonStabRatio(const float* r, const float* f, float eps, float* o,
+                   int64_t n) {
+  const float32x4_t vpos = vdupq_n_f32(eps);
+  const float32x4_t vneg = vdupq_n_f32(-eps);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t vf = vld1q_f32(f + i);
+    const uint32x4_t ge = vcgeq_f32(vf, zero);
+    const float32x4_t ve = vbslq_f32(ge, vpos, vneg);
+    vst1q_f32(o + i, vdivq_f32(vld1q_f32(r + i), vaddq_f32(vf, ve)));
+  }
+  for (; i < n; ++i) o[i] = r[i] / (f[i] + (f[i] >= 0.0f ? eps : -eps));
+}
+
+// ---- Matmul row --------------------------------------------------------------
+
+void NeonGemmRow(const float* a, int64_t a_stride, const float* b, float* crow,
+                 int64_t k, int64_t n) {
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    float32x4_t c0 = vdupq_n_f32(0.0f);
+    float32x4_t c1 = vdupq_n_f32(0.0f);
+    float32x4_t c2 = vdupq_n_f32(0.0f);
+    float32x4_t c3 = vdupq_n_f32(0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[kk * a_stride];
+      const float* brow = b + kk * n + j;
+      c0 = vfmaq_n_f32(c0, vld1q_f32(brow), av);
+      c1 = vfmaq_n_f32(c1, vld1q_f32(brow + 4), av);
+      c2 = vfmaq_n_f32(c2, vld1q_f32(brow + 8), av);
+      c3 = vfmaq_n_f32(c3, vld1q_f32(brow + 12), av);
+    }
+    vst1q_f32(crow + j, c0);
+    vst1q_f32(crow + j + 4, c1);
+    vst1q_f32(crow + j + 8, c2);
+    vst1q_f32(crow + j + 12, c3);
+  }
+  for (; j + 4 <= n; j += 4) {
+    float32x4_t c0 = vdupq_n_f32(0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      c0 = vfmaq_n_f32(c0, vld1q_f32(b + kk * n + j), a[kk * a_stride]);
+    }
+    vst1q_f32(crow + j, c0);
+  }
+  for (; j < n; ++j) {
+    float acc = 0.0f;
+    for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * a_stride] * b[kk * n + j];
+    crow[j] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& NeonKernelTable() {
+  static const KernelTable table = {
+      NeonDot,       NeonSum,         NeonMax,
+      NeonAxpy,      NeonAxpyDot,     NeonAdd,
+      NeonSub,       NeonMul,         NeonDiv,
+      NeonScale,     NeonAddScalar,   NeonAccumulate,
+      NeonMaxInto,   NeonFmaInto,     NeonExpShiftSum,
+      NeonExpSub,    NeonMulSub,      NeonMulSubScalar,
+      NeonStabRatio, NeonGemmRow,
+  };
+  return table;
+}
+
+}  // namespace simd
+}  // namespace causalformer
+
+#endif  // CF_HAVE_NEON

@@ -1,21 +1,34 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "tensor/autograd.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace causalformer {
 
 namespace {
 
+std::shared_ptr<TensorBuffer> NewBuffer(int64_t count) {
+  return std::make_shared<TensorBuffer>(CurrentAllocator(), count);
+}
+
+// Fresh storage from the thread's current allocator. Arena blocks are
+// recycled without clearing, so `zero` must be true unless the caller
+// overwrites every element before reading.
 std::shared_ptr<internal::TensorImpl> NewImpl(const Shape& shape,
-                                              bool requires_grad) {
+                                              bool requires_grad, bool zero) {
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  impl->buf = NewBuffer(shape.numel());
   impl->requires_grad = requires_grad;
+  if (zero) {
+    std::memset(impl->data(), 0,
+                static_cast<size_t>(shape.numel()) * sizeof(float));
+  }
   return impl;
 }
 
@@ -28,7 +41,11 @@ Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl) {
 }
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
-  return WrapImpl(NewImpl(shape, requires_grad));
+  return WrapImpl(NewImpl(shape, requires_grad, /*zero=*/true));
+}
+
+Tensor Tensor::Empty(const Shape& shape, bool requires_grad) {
+  return WrapImpl(NewImpl(shape, requires_grad, /*zero=*/false));
 }
 
 Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
@@ -36,8 +53,8 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  auto impl = NewImpl(shape, requires_grad);
-  std::fill(impl->data.begin(), impl->data.end(), value);
+  auto impl = NewImpl(shape, requires_grad, /*zero=*/false);
+  std::fill(impl->data(), impl->data() + shape.numel(), value);
   return WrapImpl(std::move(impl));
 }
 
@@ -45,10 +62,8 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                           bool requires_grad) {
   CF_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel())
       << "FromVector size mismatch for shape " << shape.ToString();
-  auto impl = std::make_shared<internal::TensorImpl>();
-  impl->shape = shape;
-  impl->data = std::move(values);
-  impl->requires_grad = requires_grad;
+  auto impl = NewImpl(shape, requires_grad, /*zero=*/false);
+  std::memcpy(impl->data(), values.data(), values.size() * sizeof(float));
   return WrapImpl(std::move(impl));
 }
 
@@ -58,16 +73,22 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 
 Tensor Tensor::Randn(const Shape& shape, Rng* rng, bool requires_grad) {
   CF_CHECK(rng != nullptr);
-  auto impl = NewImpl(shape, requires_grad);
-  for (auto& v : impl->data) v = static_cast<float>(rng->Normal());
+  auto impl = NewImpl(shape, requires_grad, /*zero=*/false);
+  float* p = impl->data();
+  const int64_t n = shape.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(rng->Normal());
   return WrapImpl(std::move(impl));
 }
 
 Tensor Tensor::Rand(const Shape& shape, float lo, float hi, Rng* rng,
                     bool requires_grad) {
   CF_CHECK(rng != nullptr);
-  auto impl = NewImpl(shape, requires_grad);
-  for (auto& v : impl->data) v = static_cast<float>(rng->Uniform(lo, hi));
+  auto impl = NewImpl(shape, requires_grad, /*zero=*/false);
+  float* p = impl->data();
+  const int64_t n = shape.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
   return WrapImpl(std::move(impl));
 }
 
@@ -84,12 +105,12 @@ const Shape& Tensor::shape() const {
 
 float* Tensor::data() {
   CF_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data();
 }
 
 const float* Tensor::data() const {
   CF_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data();
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
@@ -103,7 +124,7 @@ float& Tensor::at(std::initializer_list<int64_t> idx) {
     offset += i * strides[d];
     ++d;
   }
-  return impl_->data[static_cast<size_t>(offset)];
+  return impl_->data()[offset];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -112,7 +133,7 @@ float Tensor::at(std::initializer_list<int64_t> idx) const {
 
 float Tensor::item() const {
   CF_CHECK_EQ(numel(), 1) << "item() on tensor with shape " << shape().ToString();
-  return impl_->data[0];
+  return impl_->data()[0];
 }
 
 std::string Tensor::ToString(int max_per_dim) const {
@@ -122,7 +143,7 @@ std::string Tensor::ToString(int max_per_dim) const {
   const int64_t n = std::min<int64_t>(numel(), max_per_dim);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out << ", ";
-    out << impl_->data[static_cast<size_t>(i)];
+    out << impl_->data()[i];
   }
   if (numel() > n) out << ", ...";
   out << "]";
@@ -148,21 +169,22 @@ void Tensor::AccumulateGrad(const Tensor& g) {
   CF_CHECK(g.defined());
   CF_CHECK(g.shape() == shape())
       << "grad shape " << g.shape().ToString() << " vs " << shape().ToString();
+  const int64_t n = numel();
   if (!impl_->grad) {
     impl_->grad = std::make_shared<internal::TensorImpl>();
     impl_->grad->shape = shape();
-    impl_->grad->data.assign(static_cast<size_t>(numel()), 0.0f);
+    impl_->grad->buf = NewBuffer(n);
+    std::memset(impl_->grad->data(), 0,
+                static_cast<size_t>(n) * sizeof(float));
   }
-  float* dst = impl_->grad->data.data();
-  const float* src = g.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  simd::Active().accumulate(impl_->grad->data(), g.data(), n);
 }
 
 void Tensor::ZeroGrad() {
   CF_CHECK(defined());
   if (impl_->grad) {
-    std::fill(impl_->grad->data.begin(), impl_->grad->data.end(), 0.0f);
+    std::memset(impl_->grad->data(), 0,
+                static_cast<size_t>(numel()) * sizeof(float));
   }
 }
 
@@ -187,7 +209,9 @@ Tensor Tensor::Detach() const {
   CF_CHECK(defined());
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // copy of values; cheap relative to safety
+  impl->buf = NewBuffer(numel());  // copy of values; cheap relative to safety
+  std::memcpy(impl->data(), impl_->data(),
+              static_cast<size_t>(numel()) * sizeof(float));
   impl->requires_grad = false;
   return WrapImpl(std::move(impl));
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/allocator.h"
 #include "tensor/shape.h"
 #include "util/rng.h"
 
@@ -13,7 +14,10 @@
 /// Dense float32 tensor with value-handle semantics (copies share storage,
 /// like torch.Tensor) and hooks for reverse-mode automatic differentiation.
 ///
-/// Tensors are always contiguous in row-major (C) order. The autograd tape is
+/// Tensors are always contiguous in row-major (C) order. Storage is a
+/// TensorBuffer drawn from the thread's CurrentAllocator() at creation time
+/// (see tensor/allocator.h), so hot paths that install an ArenaAllocator
+/// recycle their buffers instead of hitting malloc. The autograd tape is
 /// define-by-run: every differentiable op (see tensor/ops.h) records a Node
 /// holding its inputs and a vector-Jacobian-product closure. Backward() walks
 /// the tape; the same tape is reused by the interpretation module to perform
@@ -27,10 +31,12 @@ namespace internal {
 
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  std::shared_ptr<TensorBuffer> buf;  // storage from the creating allocator
   bool requires_grad = false;
   std::shared_ptr<TensorImpl> grad;  // lazily created, same shape
   std::shared_ptr<Node> grad_fn;     // op that produced this tensor (if any)
+
+  float* data() const { return buf->data(); }
 };
 
 }  // namespace internal
@@ -43,6 +49,9 @@ class Tensor {
   // ---- Factories -----------------------------------------------------------
 
   static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  /// Uninitialized storage (arena memory is recycled, so the contents are
+  /// garbage). Only for outputs a kernel overwrites in full before reading.
+  static Tensor Empty(const Shape& shape, bool requires_grad = false);
   static Tensor Ones(const Shape& shape, bool requires_grad = false);
   static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
   static Tensor FromVector(const Shape& shape, std::vector<float> values,

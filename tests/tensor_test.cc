@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -233,6 +234,56 @@ TEST(OpsTest, SoftmaxAlongNonTrailingAxis) {
   Tensor y = Softmax(x, 0);
   EXPECT_NEAR(y.at({0, 0}) + y.at({1, 0}), 1.0f, 1e-6);
   EXPECT_NEAR(y.at({0, 0}), 0.5f, 1e-6);
+}
+
+TEST(OpsTest, SoftmaxFullyMaskedRowIsUniformNotNaN) {
+  // Regression: an axis that is entirely -inf (a fully masked attention row)
+  // used to produce exp(-inf - -inf) = NaN across the row. It must yield the
+  // uniform distribution, and unmasked rows must be unaffected.
+  const float ninf = -std::numeric_limits<float>::infinity();
+  Tensor x = Tensor::FromVector(Shape{2, 4},
+                                {ninf, ninf, ninf, ninf, 1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor y = Softmax(x, 1);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FALSE(std::isnan(y.at({0, j})));
+    EXPECT_FLOAT_EQ(y.at({0, j}), 0.25f);
+  }
+  float sum = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) sum += y.at({1, j});
+  EXPECT_NEAR(sum, 1.0f, 1e-6);
+  EXPECT_GT(y.at({1, 3}), y.at({1, 2}));
+}
+
+TEST(OpsTest, SoftmaxPartiallyMaskedRowIgnoresMaskedEntries) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  Tensor x = Tensor::FromVector(Shape{1, 4}, {ninf, 0.0f, 0.0f, ninf});
+  Tensor y = Softmax(x, 1);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 3}), 0.0f);
+  EXPECT_NEAR(y.at({0, 1}), 0.5f, 1e-6);
+  EXPECT_NEAR(y.at({0, 2}), 0.5f, 1e-6);
+}
+
+TEST(OpsTest, SoftmaxFullyMaskedStridedAxisIsUniform) {
+  // Same regression along a non-trailing (strided) axis: lane 0 fully masked,
+  // lane 1 ordinary.
+  const float ninf = -std::numeric_limits<float>::infinity();
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {ninf, 5.0f, ninf, 7.0f});
+  Tensor y = Softmax(x, 0);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 0.5f);
+  EXPECT_FLOAT_EQ(y.at({1, 0}), 0.5f);
+  EXPECT_NEAR(y.at({0, 1}) + y.at({1, 1}), 1.0f, 1e-6);
+  EXPECT_GT(y.at({1, 1}), y.at({0, 1}));
+}
+
+TEST(TensorTest, OversizedShapeDiesAtConstruction) {
+  // Index-arithmetic overflow must be caught at tensor construction (the
+  // TensorBuffer byte cap), not surface as a wild pointer inside a kernel.
+  EXPECT_DEATH(Tensor::Zeros(Shape{int64_t{1} << 30, int64_t{1} << 30}),
+               "size cap");
+  // numel() itself refuses products that overflow int64.
+  EXPECT_DEATH(Shape({int64_t{1} << 40, int64_t{1} << 40}).numel(),
+               "overflows");
 }
 
 TEST(OpsTest, ArgMaxIndex) {
